@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: out-of-order vs. in-order execution.
+ *
+ * Section 3.2 motivates data dependence speculation *because* the host
+ * is an out-of-order superscalar: forwarding delays final-address
+ * generation, which only matters if loads want to bypass older stores.
+ * This bench reruns the workloads on an in-order, blocking
+ * configuration (width 1, minimal window, 1 port) to show (a) how much
+ * of the machine's baseline performance comes from overlap, and (b)
+ * that the layout optimizations win on BOTH machines — their benefit
+ * is fewer misses, not just better overlap.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+using namespace memfwd;
+using namespace memfwd::bench;
+
+namespace
+{
+
+RunResult
+runOn(const std::string &wl, bool inorder, bool opt)
+{
+    setVerbose(false);
+    RunConfig cfg;
+    cfg.workload = wl;
+    cfg.params.scale = benchScale() * 0.5; // in-order runs are slow
+    cfg.machine = machineAt(64);
+    if (inorder) {
+        cfg.machine.cpu.width = 1;
+        cfg.machine.cpu.window = 2;
+        cfg.machine.cpu.mem_ports = 1;
+        cfg.machine.cpu.store_buffer = 1;
+    }
+    cfg.variant.layout_opt = opt;
+    return runWorkload(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Ablation: out-of-order (4-wide, 64-entry) vs. in-order "
+           "(1-wide, blocking); 64B lines",
+           "layout optimizations must win on both machines");
+
+    std::printf("%-10s %22s %22s %12s\n", "app",
+                "OoO: N cyc -> L spd", "InO: N cyc -> L spd",
+                "InO/OoO (N)");
+
+    for (const std::string wl : {"health", "mst", "vis"}) {
+        const RunResult on = runOn(wl, false, false);
+        const RunResult ol = runOn(wl, false, true);
+        const RunResult in = runOn(wl, true, false);
+        const RunResult il = runOn(wl, true, true);
+        if (on.checksum != il.checksum) {
+            std::printf("CHECKSUM MISMATCH\n");
+            return 1;
+        }
+        char ooo[32], ino[32];
+        std::snprintf(ooo, sizeof(ooo), "%.1fM -> %.2fx",
+                      double(on.cycles) / 1e6,
+                      double(on.cycles) / double(ol.cycles));
+        std::snprintf(ino, sizeof(ino), "%.1fM -> %.2fx",
+                      double(in.cycles) / 1e6,
+                      double(in.cycles) / double(il.cycles));
+        std::printf("%-10s %22s %22s %11.2fx\n", wl.c_str(), ooo, ino,
+                    double(in.cycles) / double(on.cycles));
+    }
+
+    std::printf("\ntakeaway: the optimizations win on both machines, "
+                "but MORE on the out-of-order one: the pointer-chasing "
+                "misses they eliminate were serial on either machine, "
+                "while the relocation work they add is "
+                "instruction-level-parallel — cheap on a 4-wide OoO, "
+                "comparatively expensive on a 1-wide blocking core.  "
+                "The paper's choice to evaluate on a modern OoO "
+                "superscalar (Section 2.3: \"modern processors can "
+                "execute multiple instructions per cycle\") is exactly "
+                "why relocation overhead \"is usually not a "
+                "problem\".\n");
+    return 0;
+}

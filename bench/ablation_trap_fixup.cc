@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: user-level traps that fix stray pointers on the fly
+ * (Section 3.2, "Providing User-Level Traps Upon Forwarding").
+ *
+ * SMV is the workload where forwarding fires (stale BDD tree
+ * pointers).  A fixup handler with application knowledge — BDD nodes
+ * move as rigid 32-byte blocks — rewrites each offending pointer to
+ * the object's final address, so repeat traversals through the same
+ * pointer go direct.  This bench compares L (forwarding every time)
+ * against L+fixup, plus the profiling-tool view of which reference
+ * sites forward most.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "core/traps.hh"
+#include "runtime/machine.hh"
+#include "workloads/smv_hooks.hh"
+#include "workloads/workload.hh"
+
+using namespace memfwd;
+using namespace memfwd::bench;
+
+namespace
+{
+
+struct SmvRun
+{
+    Cycles cycles;
+    std::uint64_t forwarded_loads;
+    std::uint64_t traps;
+    std::uint64_t fixed;
+    std::uint64_t checksum;
+};
+
+SmvRun
+runSmv(bool fixup, ForwardingProfiler **out_prof = nullptr)
+{
+    setVerbose(false);
+    MachineConfig mc = machineAt(32);
+    Machine machine(mc);
+
+    static ForwardingProfiler *prof = nullptr;
+    delete prof;
+    prof = new ForwardingProfiler(machine.forwarding().traps());
+    if (out_prof)
+        *out_prof = prof;
+
+    if (fixup)
+        installSmvPointerFixup(machine);
+
+    WorkloadParams params;
+    params.scale = benchScale();
+    auto w = makeWorkload("smv", params);
+    WorkloadVariant v;
+    v.layout_opt = true;
+    w->run(machine, v);
+
+    return {machine.cycles(), machine.loadsForwarded(),
+            machine.forwarding().traps().delivered(),
+            machine.forwarding().traps().pointersFixed(),
+            w->checksum()};
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Ablation: on-the-fly pointer fixup via user-level traps "
+           "(SMV, 32B lines)",
+           "the trap handler rewrites each stray pointer it catches");
+
+    const SmvRun plain = runSmv(false);
+    const SmvRun fixed = runSmv(true);
+
+    if (plain.checksum != fixed.checksum) {
+        std::printf("CHECKSUM MISMATCH\n");
+        return 1;
+    }
+
+    std::printf("\n%-18s %14s %16s %12s %12s\n", "scheme", "cycles",
+                "forwarded loads", "traps", "ptrs fixed");
+    std::printf("%-18s %14s %16s %12s %12s\n", "L (no fixup)",
+                withCommas(plain.cycles).c_str(),
+                withCommas(plain.forwarded_loads).c_str(),
+                withCommas(plain.traps).c_str(),
+                withCommas(plain.fixed).c_str());
+    std::printf("%-18s %14s %16s %12s %12s\n", "L + trap fixup",
+                withCommas(fixed.cycles).c_str(),
+                withCommas(fixed.forwarded_loads).c_str(),
+                withCommas(fixed.traps).c_str(),
+                withCommas(fixed.fixed).c_str());
+    std::printf("\nspeedup from fixup: %.2fx; forwarded loads cut by "
+                "%.0f%%\n",
+                double(plain.cycles) / double(fixed.cycles),
+                100.0 * (1.0 - double(fixed.forwarded_loads) /
+                                   double(plain.forwarded_loads)));
+
+    // Profiling-tool view (the paper's first trap use case).
+    ForwardingProfiler *prof = nullptr;
+    runSmv(false, &prof);
+    std::printf("\nprofiling tool: forwarded references per static "
+                "site\n");
+    for (const auto &[site, count] : prof->hottest()) {
+        const char *names[] = {"(none)", "hash-chain walk",
+                               "tree low-child deref",
+                               "tree high-child deref"};
+        std::printf("  site %u (%s): %s forwarded refs\n", site,
+                    site < 4 ? names[site] : "?",
+                    withCommas(count).c_str());
+    }
+
+    std::printf("\ntakeaway: with application knowledge the trap "
+                "handler converts the paper's recurring forwarding "
+                "overhead into a one-time cost per stray pointer.\n");
+    return 0;
+}

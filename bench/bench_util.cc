@@ -1,0 +1,91 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace memfwd::bench
+{
+
+double
+benchScale()
+{
+    // MEMFWD_BENCH_SCALE lets CI run the full harness quickly.
+    if (const char *env = std::getenv("MEMFWD_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+MachineConfig
+machineAt(unsigned line_bytes)
+{
+    MachineConfig mc;
+    mc.hierarchy.setLineBytes(line_bytes);
+    return mc;
+}
+
+RunResult
+run(const std::string &workload, unsigned line_bytes, bool layout_opt,
+    bool prefetch, unsigned prefetch_block)
+{
+    setVerbose(false);
+    RunConfig cfg;
+    cfg.workload = workload;
+    cfg.params.scale = benchScale();
+    cfg.machine = machineAt(line_bytes);
+    cfg.variant.layout_opt = layout_opt;
+    cfg.variant.prefetch = prefetch;
+    cfg.variant.prefetch_block = prefetch_block;
+    return runWorkload(cfg);
+}
+
+const std::vector<unsigned> &
+prefetchBlocks()
+{
+    static const std::vector<unsigned> blocks = {1, 2, 4, 8};
+    return blocks;
+}
+
+void
+header(const std::string &title, const std::string &subtitle)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", subtitle.c_str());
+    std::printf("================================================================\n");
+}
+
+void
+printBar(const std::string &label, const RunResult &r, double norm_cycles)
+{
+    const double scale = 100.0 / norm_cycles;
+    const std::uint64_t width = 4; // graduation width of the model
+    const double slot_to_cycle = 1.0 / double(width);
+    const double busy = r.stalls.busy * slot_to_cycle * scale;
+    const double load = r.stalls.load_stall * slot_to_cycle * scale;
+    const double store = r.stalls.store_stall * slot_to_cycle * scale;
+    const double inst = r.stalls.inst_stall * slot_to_cycle * scale;
+    std::printf(
+        "  %-8s total %6.1f | busy %5.1f  load %5.1f  store %5.1f  "
+        "inst %5.1f | %s cycles\n",
+        label.c_str(), r.cycles * scale, busy, load, store, inst,
+        withCommas(r.cycles).c_str());
+}
+
+std::string
+withCommas(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.insert(out.begin(), ',');
+        out.insert(out.begin(), *it);
+        ++count;
+    }
+    return out;
+}
+
+} // namespace memfwd::bench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: common
+ * machine configuration, run caching, and paper-style bar printing.
+ */
+
+#ifndef MEMFWD_BENCH_BENCH_UTIL_HH
+#define MEMFWD_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/driver.hh"
+
+namespace memfwd::bench
+{
+
+/** Benchmark scale: 1.0 = the sizes in DESIGN.md. */
+double benchScale();
+
+/** Default machine config at the given line size. */
+MachineConfig machineAt(unsigned line_bytes);
+
+/** Run one workload case and return all metrics. */
+RunResult run(const std::string &workload, unsigned line_bytes,
+              bool layout_opt, bool prefetch = false,
+              unsigned prefetch_block = 1);
+
+/** The prefetch block sizes swept (in lines), as in Section 5.2. */
+const std::vector<unsigned> &prefetchBlocks();
+
+/** Print a section header. */
+void header(const std::string &title, const std::string &subtitle);
+
+/**
+ * Print one Figure-5-style stacked bar: the four graduation-slot
+ * sections normalized so the N@first-line-size bar is 100.
+ */
+void printBar(const std::string &label, const RunResult &r,
+              double norm_cycles);
+
+/** Format a count with thousands separators. */
+std::string withCommas(std::uint64_t v);
+
+} // namespace memfwd::bench
+
+#endif // MEMFWD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Extension: reducing cache conflicts via data coloring and data
+ * copying (Section 2.2, "Reducing Cache Conflicts" — optimizations the
+ * paper lists as enabled by forwarding but does not evaluate).
+ *
+ * Part 1 (coloring): a ring of pointer-linked nodes whose addresses
+ * all map to the same cache sets (adversarial placement).  Chasing the
+ * ring thrashes a direct-mapped cache, and because every hop is
+ * address-dependent the misses serialize — the worst case conflicts
+ * can produce.  colorRelocate() spreads the nodes across cache colors.
+ * We measure three chases: original, through STALE pointers (the ring
+ * still stores old addresses — forwarding resolves every hop), and
+ * after the optimizer rewrites the ring to the new homes.
+ *
+ * Part 2 (copying): a strided tile whose rows all map to the same
+ * sets, reused by a dependent (accumulating) kernel; copyTile()
+ * relocates it into one contiguous, self-conflict-free buffer.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "runtime/data_coloring.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+using namespace memfwd;
+using namespace memfwd::bench;
+
+namespace
+{
+
+MachineConfig
+conflictProneMachine()
+{
+    MachineConfig mc;
+    mc.hierarchy.l1d.size_bytes = 16 * 1024;
+    mc.hierarchy.l1d.assoc = 1; // direct-mapped: conflicts bite
+    mc.hierarchy.setLineBytes(64);
+    return mc;
+}
+
+/** Chase the pointer ring starting at @p start for @p hops. */
+Cycles
+chase(Machine &m, Addr start, unsigned hops)
+{
+    const Cycles begin = m.cycles();
+    LoadResult cur{start, 0, 0, start};
+    for (unsigned h = 0; h < hops; ++h)
+        cur = m.load(static_cast<Addr>(cur.value), 8, cur.ready);
+    m.compute(cur.value & 1);
+    return m.cycles() - begin;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    header("Extension: conflict-miss removal via coloring and copying "
+           "(16KB direct-mapped L1, 64B lines)",
+           "dependent access chains — conflict misses serialize");
+
+    // ----- part 1: data coloring ---------------------------------------
+    {
+        Machine m(conflictProneMachine());
+        SimAllocator alloc(m);
+        RelocationPool pool(alloc, 64 << 20);
+        const unsigned cache = m.config().hierarchy.l1d.size_bytes;
+
+        // Eight 64B nodes, all cache-size apart: identical sets.  Each
+        // node's first word points to the next node (a ring).
+        std::vector<Addr> items;
+        const Addr base = alloc.alloc(Addr(cache) * 16);
+        for (unsigned i = 0; i < 8; ++i)
+            items.push_back(base + Addr(i) * cache);
+        for (unsigned i = 0; i < 8; ++i)
+            m.store(items[i], 8, items[(i + 1) % 8]);
+
+        const unsigned hops =
+            static_cast<unsigned>(30000 * benchScale());
+        const Cycles before = chase(m, items[0], hops);
+
+        const ColoringResult cr = colorRelocate(
+            m, items, 64, pool, cache,
+            m.config().hierarchy.l1d.line_bytes, 8);
+
+        // Chase via stale pointers: the ring still stores the OLD
+        // addresses, so every hop forwards.
+        const Cycles stale = chase(m, items[0], hops);
+
+        // The optimizer rewrites the ring to the new homes (it knows
+        // the mapping), then chases directly.
+        for (unsigned i = 0; i < 8; ++i)
+            m.store(cr.new_addrs[i], 8, cr.new_addrs[(i + 1) % 8]);
+        const Cycles updated = chase(m, cr.new_addrs[0], hops);
+
+        std::printf("\npart 1: chasing a ring of 8 conflict-mapped "
+                    "nodes, %u hops\n", hops);
+        std::printf("  %-26s %14s cycles\n", "original (thrashing)",
+                    withCommas(before).c_str());
+        std::printf("  %-26s %14s cycles (%.2fx) — every hop forwards\n",
+                    "colored, stale pointers", withCommas(stale).c_str(),
+                    double(before) / double(stale));
+        std::printf("  %-26s %14s cycles (%.2fx)\n",
+                    "colored, updated pointers",
+                    withCommas(updated).c_str(),
+                    double(before) / double(updated));
+    }
+
+    // ----- part 2: data copying for a tile ------------------------------
+    {
+        Machine m(conflictProneMachine());
+        SimAllocator alloc(m);
+        RelocationPool pool(alloc, 64 << 20);
+        const unsigned cache = m.config().hierarchy.l1d.size_bytes;
+
+        // A 16-row x 128B tile whose row stride equals the cache size:
+        // all rows in the same sets.  The kernel is a dependent
+        // accumulation over rows (each access waits for the last).
+        const unsigned rows = 16, row_bytes = 128;
+        const Addr matrix = alloc.alloc(Addr(cache) * (rows + 1));
+        for (unsigned r = 0; r < rows; ++r)
+            for (unsigned off = 0; off < row_bytes; off += 8)
+                m.store(matrix + Addr(r) * cache + off, 8, r + off);
+
+        auto reuse = [&](Addr tile, Addr stride, unsigned passes) {
+            const Cycles begin = m.cycles();
+            Cycles dep = 0;
+            std::uint64_t acc = 0;
+            for (unsigned p = 0; p < passes; ++p) {
+                for (unsigned r = 0; r < rows; ++r) {
+                    const LoadResult v = m.load(
+                        tile + Addr(r) * stride + (p % 16) * 8, 8, dep);
+                    acc += v.value;
+                    dep = v.ready;
+                }
+            }
+            m.compute(acc & 1);
+            return m.cycles() - begin;
+        };
+
+        const unsigned passes =
+            static_cast<unsigned>(1500 * benchScale());
+        const Cycles before = reuse(matrix, cache, passes);
+
+        const Addr buffer =
+            copyTile(m, matrix, rows, row_bytes, cache, pool);
+        const Cycles after = reuse(buffer, row_bytes, passes);
+
+        // Functional check through the original (now forwarded) rows.
+        bool ok = true;
+        for (unsigned r = 0; r < rows && ok; ++r)
+            for (unsigned off = 0; off < row_bytes; off += 8)
+                ok &= m.peek(matrix + Addr(r) * cache + off, 8) ==
+                      r + off;
+
+        std::printf("\npart 2: dependent reuse of a %ux%uB tile with "
+                    "cache-sized row stride\n", rows, row_bytes);
+        std::printf("  %-26s %14s cycles\n", "strided (self-conflicts)",
+                    withCommas(before).c_str());
+        std::printf("  %-26s %14s cycles (%.2fx)\n",
+                    "copied to dense buffer", withCommas(after).c_str(),
+                    double(before) / double(after));
+        std::printf("  stale-view contents: %s\n",
+                    ok ? "intact (forwarding covers the old tile)"
+                       : "BROKEN");
+        if (!ok)
+            return 1;
+    }
+
+    std::printf("\ntakeaway: both of Section 2.2's conflict "
+                "optimizations run safely on the forwarding substrate; "
+                "with dependent access patterns the conflict misses "
+                "they remove were full-latency serial misses.\n");
+    return 0;
+}

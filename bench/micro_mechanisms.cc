@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenches of the simulator's own mechanisms:
+ * how fast the host simulates tagged-memory access, forwarding walks,
+ * cache accesses, and timed machine references.  These measure the
+ * simulator (host seconds), not the simulated machine (cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "common/logging.hh"
+#include "core/forwarding_engine.hh"
+#include "mem/tagged_memory.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+
+namespace
+{
+
+using namespace memfwd;
+
+void
+BM_TaggedMemoryReadWrite(benchmark::State &state)
+{
+    TaggedMemory mem;
+    Addr a = 0;
+    for (auto _ : state) {
+        mem.rawWriteWord(a, a);
+        benchmark::DoNotOptimize(mem.rawReadWord(a));
+        a = (a + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_TaggedMemoryReadWrite);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    MemoryHierarchy h{HierarchyConfig{}};
+    h.access(0x1000, AccessType::load, 0);
+    Cycles t = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.access(0x1000, AccessType::load, t));
+        ++t;
+    }
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    MemoryHierarchy h{HierarchyConfig{}};
+    Cycles t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        const auto r = h.access(a, AccessType::load, t);
+        t = r.ready;
+        a += 4096; // always a fresh line
+    }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_ForwardingWalk(benchmark::State &state)
+{
+    const unsigned hops = static_cast<unsigned>(state.range(0));
+    TaggedMemory mem;
+    MemoryHierarchy h{HierarchyConfig{}};
+    ForwardingEngine engine(mem, h, {});
+    for (unsigned i = 0; i < hops; ++i)
+        engine.forwardWord(0x1000 + i * 64, 0x1000 + (i + 1) * 64);
+    Cycles t = 0;
+    for (auto _ : state) {
+        const auto w = engine.resolve(0x1000, AccessType::load, t);
+        benchmark::DoNotOptimize(w);
+        t = w.ready + 1;
+    }
+    state.SetLabel(std::to_string(hops) + " hops");
+}
+BENCHMARK(BM_ForwardingWalk)->Arg(0)->Arg(1)->Arg(4)->Arg(12);
+
+void
+BM_MachineTimedLoad(benchmark::State &state)
+{
+    setVerbose(false);
+    Machine m;
+    m.store(0x1000, 8, 7);
+    Cycles dep = 0;
+    for (auto _ : state) {
+        dep = m.load(0x1000, 8, dep).ready;
+        benchmark::DoNotOptimize(dep);
+    }
+}
+BENCHMARK(BM_MachineTimedLoad);
+
+void
+BM_Relocate64Words(benchmark::State &state)
+{
+    setVerbose(false);
+    Machine m;
+    Addr src = 0x100000, tgt = 0x900000;
+    for (auto _ : state) {
+        relocate(m, src, tgt, 64);
+        src = tgt;
+        tgt += 64 * 8;
+    }
+}
+// Iteration-capped: every iteration permanently consumes fresh
+// simulated memory for the relocation target.
+BENCHMARK(BM_Relocate64Words)->Iterations(5000);
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Example: safe list linearization with memory forwarding — the
+ * paper's Figure 2 end to end, on a list big enough to measure.
+ *
+ * Builds a scattered linked list, measures a traversal, linearizes it
+ * into a relocation pool (Figure 4(b)), measures again, and finally
+ * dereferences a deliberately-stale mid-list pointer to show the
+ * safety net at work.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/list_linearize.hh"
+#include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
+
+using namespace memfwd;
+
+namespace
+{
+
+constexpr unsigned node_bytes = 24; // next, payload, pad
+constexpr unsigned off_next = 0;
+constexpr unsigned off_payload = 8;
+
+Cycles
+traverse(Machine &m, Addr head, std::uint64_t &sum_out)
+{
+    const Cycles start = m.cycles();
+    std::uint64_t sum = 0;
+    LoadResult cur = m.load(head, 8);
+    while (cur.value != 0) {
+        sum += m.load(cur.value + off_payload, 8, cur.ready).value;
+        cur = m.load(cur.value + off_next, 8, cur.ready);
+    }
+    sum_out = sum;
+    return m.cycles() - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    MachineConfig mc;
+    mc.hierarchy.setLineBytes(64);
+    Machine m(mc);
+    SimAllocator alloc(m);
+    RelocationPool pool(alloc, 8 << 20);
+
+    // Build a 20,000-node list from scattered allocations.
+    const unsigned n = 20000;
+    const Addr head = alloc.alloc(8);
+    m.store(head, 8, 0);
+    Addr prev = 0;
+    Addr third_node = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr node = alloc.alloc(node_bytes, Placement::scattered);
+        m.store(node + off_next, 8, 0);
+        m.store(node + off_payload, 8, i);
+        if (prev == 0)
+            m.store(head, 8, node);
+        else
+            m.store(prev + off_next, 8, node);
+        if (i == 2)
+            third_node = node;
+        prev = node;
+    }
+
+    std::uint64_t sum_before = 0, sum_after = 0, sum_stale = 0;
+    const Cycles scattered = traverse(m, head, sum_before);
+
+    const LinearizeResult lin = listLinearize(
+        m, head, {node_bytes, off_next, 0}, pool);
+    std::printf("linearized %u nodes into %llu contiguous bytes\n",
+                lin.nodes,
+                static_cast<unsigned long long>(lin.pool_bytes));
+
+    const Cycles linear = traverse(m, head, sum_after);
+
+    std::printf("traversal before: %llu cycles\n",
+                static_cast<unsigned long long>(scattered));
+    std::printf("traversal after : %llu cycles  (%.2fx faster)\n",
+                static_cast<unsigned long long>(linear),
+                double(scattered) / double(linear));
+    std::printf("payload sums    : %llu vs %llu (%s)\n",
+                static_cast<unsigned long long>(sum_before),
+                static_cast<unsigned long long>(sum_after),
+                sum_before == sum_after ? "identical" : "BROKEN");
+
+    // The hazard memory forwarding exists for: a pointer into the
+    // middle of the list taken before linearization.
+    const LoadResult stale = m.load(third_node + off_payload, 8);
+    sum_stale = stale.value;
+    std::printf("stale mid-list pointer: payload=%llu via %u forwarding "
+                "hop(s) — still correct\n",
+                static_cast<unsigned long long>(sum_stale), stale.hops);
+
+    return (sum_before == sum_after && sum_stale == 2) ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: the memory-forwarding mechanism in a dozen lines.
+ *
+ * Builds a Machine, relocates a small object, and shows that (a) a
+ * stale pointer still reads the right data via forwarding, (b) an
+ * updated pointer pays nothing, and (c) the forwarding statistics
+ * record exactly what happened.  Then runs one small workload in its
+ * unoptimized and layout-optimized forms and prints the speedup.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+#include "workloads/driver.hh"
+
+using namespace memfwd;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // ----- the mechanism ------------------------------------------------
+    Machine machine;
+    SimAllocator alloc(machine);
+
+    // An "object" of four words, plus a stale pointer to its third word.
+    const Addr obj = alloc.alloc(32);
+    for (unsigned w = 0; w < 4; ++w)
+        machine.store(obj + 8 * w, 8, 100 + w);
+    const Addr stale_ptr = obj + 16;
+
+    // Relocate it — safe even though stale_ptr is not updated.
+    const Addr home = alloc.alloc(32);
+    relocate(machine, obj, home, 4);
+
+    const LoadResult via_stale = machine.load(stale_ptr, 8);
+    const LoadResult via_new = machine.load(home + 16, 8);
+    std::printf("stale pointer read : value=%llu hops=%u\n",
+                static_cast<unsigned long long>(via_stale.value),
+                via_stale.hops);
+    std::printf("updated pointer read: value=%llu hops=%u\n",
+                static_cast<unsigned long long>(via_new.value),
+                via_new.hops);
+    std::printf("forwarding walks so far: %llu\n\n",
+                static_cast<unsigned long long>(
+                    machine.forwarding().stats().walks));
+
+    // ----- a layout optimization end to end ------------------------------
+    RunConfig cfg;
+    cfg.workload = "vis";
+    cfg.params.scale = 0.1;
+    cfg.machine.hierarchy.setLineBytes(64);
+
+    cfg.variant.layout_opt = false;
+    const RunResult n = runWorkload(cfg);
+    cfg.variant.layout_opt = true;
+    const RunResult l = runWorkload(cfg);
+
+    std::printf("vis (scale 0.1, 64B lines)\n");
+    std::printf("  unoptimized : %llu cycles\n",
+                static_cast<unsigned long long>(n.cycles));
+    std::printf("  linearized  : %llu cycles  (speedup %.2fx)\n",
+                static_cast<unsigned long long>(l.cycles),
+                double(n.cycles) / double(l.cycles));
+    std::printf("  checksums   : %llu vs %llu (%s)\n",
+                static_cast<unsigned long long>(n.checksum),
+                static_cast<unsigned long long>(l.checksum),
+                n.checksum == l.checksum ? "match" : "MISMATCH");
+    return n.checksum == l.checksum ? 0 : 1;
+}

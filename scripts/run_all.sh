@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the complete reproduction: tests, every figure/table bench, every
+# ablation and extension, the microbenches, and all examples.
+# MEMFWD_BENCH_SCALE=0.2 sh scripts/run_all.sh   # quick CI variant
+set -e
+BUILD=${BUILD:-build}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for b in "$BUILD"/bench/*; do
+    [ -x "$b" ] && "$b"
+done
+
+for e in "$BUILD"/examples/*; do
+    [ -x "$e" ] && "$e"
+done

@@ -1,0 +1,265 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/main_memory.hh"
+
+namespace memfwd
+{
+
+// ---------------------------------------------------------------------
+// MemoryLevel
+// ---------------------------------------------------------------------
+
+MemLevel::Result
+MemoryLevel::access(Addr addr, AccessType type, Cycles now)
+{
+    (void)addr;
+    (void)type;
+    const Cycles ready = mem_.access(now, line_bytes_);
+    return {ready, MissKind::full, 0};
+}
+
+void
+MemoryLevel::writeback(Addr line_addr, Cycles now)
+{
+    (void)line_addr;
+    mem_.access(now, line_bytes_);
+}
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+Cache::Cache(const CacheConfig &cfg, MemLevel &below)
+    : cfg_(cfg), below_(below), mshrs_(cfg.mshrs)
+{
+    memfwd_assert(cfg_.line_bytes >= wordBytes &&
+                      (cfg_.line_bytes & (cfg_.line_bytes - 1)) == 0,
+                  "line size must be a power of two >= %u", wordBytes);
+    memfwd_assert(cfg_.numSets() > 0 &&
+                      (cfg_.numSets() & (cfg_.numSets() - 1)) == 0,
+                  "cache geometry must give a power-of-two set count");
+    lines_.resize(static_cast<std::size_t>(cfg_.numSets()) * cfg_.assoc);
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr / cfg_.line_bytes) %
+                                 cfg_.numSets());
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+Cache::Line &
+Cache::chooseVictim(unsigned set)
+{
+    Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
+    // Invalid ways first, regardless of policy.
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    switch (cfg_.replacement) {
+      case ReplacementPolicy::random: {
+        // Deterministic xorshift over the victim stream.
+        victim_seed_ ^= victim_seed_ << 13;
+        victim_seed_ ^= victim_seed_ >> 7;
+        victim_seed_ ^= victim_seed_ << 17;
+        return base[victim_seed_ % cfg_.assoc];
+      }
+      case ReplacementPolicy::fifo: {
+        Line *victim = base;
+        for (unsigned w = 1; w < cfg_.assoc; ++w) {
+            if (base[w].filled < victim->filled)
+                victim = &base[w];
+        }
+        return *victim;
+      }
+      case ReplacementPolicy::lru:
+      default: {
+        Line *victim = base;
+        for (unsigned w = 1; w < cfg_.assoc; ++w) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        return *victim;
+      }
+    }
+}
+
+void
+Cache::recordAccess(Line &line)
+{
+    line.lru = ++lru_clock_;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(lineAlign(addr)) != nullptr;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines_)
+        l = Line();
+}
+
+MemLevel::Result
+Cache::access(Addr addr, AccessType type, Cycles now)
+{
+    const Addr line_addr = lineAlign(addr);
+
+    if (Line *line = findLine(line_addr)) {
+        recordAccess(*line);
+        if (type == AccessType::store)
+            line->dirty = true;
+        if (line->prefetched && type != AccessType::prefetch) {
+            line->prefetched = false;
+            ++stats_.useful_prefetches;
+        }
+
+        // The line is installed eagerly at miss time, so a "hit" may be
+        // to a line whose fill is still in flight: that is the paper's
+        // *partial miss* — it combines with the outstanding miss and
+        // waits only the remaining latency.
+        if (Cycles fill = mshrs_.outstandingFill(line_addr, now)) {
+            switch (type) {
+              case AccessType::load:
+                ++stats_.load_partial_misses;
+                break;
+              case AccessType::store:
+                ++stats_.store_partial_misses;
+                break;
+              case AccessType::prefetch:
+                ++stats_.prefetch_hits;
+                break;
+            }
+            const Cycles ready = std::max(fill, now + cfg_.hit_latency);
+            return {ready, MissKind::partial, 0};
+        }
+
+        switch (type) {
+          case AccessType::load:
+            ++stats_.load_hits;
+            break;
+          case AccessType::store:
+            ++stats_.store_hits;
+            break;
+          case AccessType::prefetch:
+            ++stats_.prefetch_hits;
+            break;
+        }
+        return {now + cfg_.hit_latency, MissKind::hit, 0};
+    }
+
+    // Miss.  First see whether a fill for this line is already in
+    // flight — if so, combine with it (a "partial miss").
+    if (Cycles fill = mshrs_.outstandingFill(line_addr, now)) {
+        switch (type) {
+          case AccessType::load:
+            ++stats_.load_partial_misses;
+            break;
+          case AccessType::store:
+            ++stats_.store_partial_misses;
+            break;
+          case AccessType::prefetch:
+            ++stats_.prefetch_hits; // combined; no new traffic
+            break;
+        }
+        // The line will be resident when the fill completes; a store
+        // combining with the fill dirties it then.
+        const Cycles ready = std::max(fill, now + cfg_.hit_latency);
+        if (type == AccessType::store) {
+            if (Line *line = findLine(line_addr))
+                line->dirty = true;
+        }
+        return {ready, MissKind::partial, 1};
+    }
+
+    // Full miss: allocate an MSHR (possibly waiting for a free one) and
+    // fetch the line from below.
+    const Cycles start = mshrs_.allocate(line_addr, now);
+    const Result below = below_.access(line_addr, type,
+                                       start + cfg_.hit_latency);
+    mshrs_.complete(line_addr, below.ready);
+
+    switch (type) {
+      case AccessType::load:
+        ++stats_.load_full_misses;
+        break;
+      case AccessType::store:
+        ++stats_.store_full_misses;
+        break;
+      case AccessType::prefetch:
+        ++stats_.prefetch_misses;
+        break;
+    }
+    stats_.bytes_in += cfg_.line_bytes;
+
+    // Install the line now (simulation state is eager; timing is carried
+    // by the returned ready cycle and the MSHR entry).
+    const unsigned set = setIndex(line_addr);
+    Line &victim = chooseVictim(set);
+    if (victim.valid && victim.dirty) {
+        ++stats_.writebacks;
+        stats_.bytes_out += cfg_.line_bytes;
+        below_.writeback(victim.tag, below.ready);
+    }
+    victim.valid = true;
+    victim.tag = line_addr;
+    victim.dirty = (type == AccessType::store);
+    victim.prefetched = (type == AccessType::prefetch);
+    recordAccess(victim);
+    victim.filled = victim.lru;
+
+    return {below.ready, MissKind::full, below.depth + 1};
+}
+
+void
+Cache::writeback(Addr line_addr, Cycles now)
+{
+    // A dirty line arrives from the level above.  If we hold the line,
+    // just mark it dirty; otherwise allocate it without fetching from
+    // below (the incoming data is the whole line).
+    if (Line *line = findLine(line_addr)) {
+        line->dirty = true;
+        recordAccess(*line);
+        return;
+    }
+    const unsigned set = setIndex(line_addr);
+    Line &victim = chooseVictim(set);
+    if (victim.valid && victim.dirty) {
+        ++stats_.writebacks;
+        stats_.bytes_out += cfg_.line_bytes;
+        below_.writeback(victim.tag, now);
+    }
+    victim.valid = true;
+    victim.tag = line_addr;
+    victim.dirty = true;
+    victim.prefetched = false;
+    recordAccess(victim);
+    victim.filled = victim.lru;
+}
+
+} // namespace memfwd

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * One level of set-associative cache with timing.
+ *
+ * Write-back, write-allocate, true-LRU replacement.  Misses allocate an
+ * MSHR; accesses that combine with an in-flight fill are classified as
+ * *partial* misses, those that start a new fill as *full* misses, which
+ * is exactly the breakdown Figure 6(a) of the paper reports.
+ *
+ * Each cache counts the bytes it exchanges with the level below it
+ * (fills in, writebacks out); the hierarchy sums these into per-link
+ * traffic for Figure 6(b).
+ */
+
+#ifndef MEMFWD_CACHE_CACHE_HH
+#define MEMFWD_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/mshr.hh"
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+/** Abstract "level below" a cache: another cache or main memory. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Result of a timed access at this level. */
+    struct Result
+    {
+        Cycles ready;     ///< cycle at which the data is available
+        MissKind kind;    ///< how this level satisfied the access
+        unsigned depth;   ///< levels below that were touched (0 = here)
+    };
+
+    /**
+     * Access @p line-aligned address at @p now.  @p type distinguishes
+     * demand loads/stores from prefetches for the statistics.
+     */
+    virtual Result access(Addr addr, AccessType type, Cycles now) = 0;
+
+    /** Accept a dirty line evicted by the level above at @p now. */
+    virtual void writeback(Addr line_addr, Cycles now) = 0;
+};
+
+/** Adapts MainMemory to the MemLevel interface (always a "full miss"). */
+class MemoryLevel : public MemLevel
+{
+  public:
+    MemoryLevel(class MainMemory &mem, unsigned line_bytes)
+        : mem_(mem), line_bytes_(line_bytes)
+    {}
+
+    Result access(Addr addr, AccessType type, Cycles now) override;
+    void writeback(Addr line_addr, Cycles now) override;
+
+  private:
+    class MainMemory &mem_;
+    unsigned line_bytes_;
+};
+
+/** Per-cache statistics, split by access type and miss kind. */
+struct CacheStats
+{
+    std::uint64_t load_hits = 0;
+    std::uint64_t load_partial_misses = 0;
+    std::uint64_t load_full_misses = 0;
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_partial_misses = 0;
+    std::uint64_t store_full_misses = 0;
+    std::uint64_t prefetch_hits = 0;
+    std::uint64_t prefetch_misses = 0;
+    std::uint64_t writebacks = 0;
+
+    /** Bytes filled from the level below. */
+    std::uint64_t bytes_in = 0;
+    /** Bytes written back to the level below. */
+    std::uint64_t bytes_out = 0;
+
+    /** Lines filled by prefetch that were later demand-hit. */
+    std::uint64_t useful_prefetches = 0;
+
+    std::uint64_t loadMisses() const
+    {
+        return load_partial_misses + load_full_misses;
+    }
+    std::uint64_t storeMisses() const
+    {
+        return store_partial_misses + store_full_misses;
+    }
+    std::uint64_t demandAccesses() const
+    {
+        return load_hits + loadMisses() + store_hits + storeMisses();
+    }
+    std::uint64_t linkBytes() const { return bytes_in + bytes_out; }
+};
+
+/** A single set-associative, write-back, write-allocate cache level. */
+class Cache : public MemLevel
+{
+  public:
+    Cache(const CacheConfig &cfg, MemLevel &below);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    Result access(Addr addr, AccessType type, Cycles now) override;
+    void writeback(Addr line_addr, Cycles now) override;
+
+    /** True if the line containing @p addr is currently resident. */
+    bool contains(Addr addr) const;
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+    const MshrFile &mshrs() const { return mshrs_; }
+
+    /** Zero the statistics (contents and LRU state are preserved). */
+    void clearStats() { stats_ = CacheStats(); }
+
+    /** Invalidate every line (used between benchmark configurations). */
+    void flush();
+
+    Addr lineAlign(Addr a) const { return a & ~Addr(cfg_.line_bytes - 1); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;  ///< filled by prefetch, not yet used
+        std::uint64_t lru = 0;    ///< last-touch stamp
+        std::uint64_t filled = 0; ///< fill-order stamp (FIFO policy)
+    };
+
+    struct SetRef
+    {
+        Line *begin;
+    };
+
+    unsigned setIndex(Addr line_addr) const;
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    Line &chooseVictim(unsigned set);
+    void recordAccess(Line &line);
+
+    CacheConfig cfg_;
+    MemLevel &below_;
+    MshrFile mshrs_;
+    CacheStats stats_;
+    std::vector<Line> lines_; ///< sets_ x assoc, row-major
+    std::uint64_t lru_clock_ = 0;
+    std::uint64_t victim_seed_ = 0x2545f4914f6cdd1dULL;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_CACHE_CACHE_HH

@@ -1,0 +1,43 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg)
+{
+    memfwd_assert(cfg_.l1d.line_bytes == cfg_.l2.line_bytes,
+                  "mixed line sizes between levels are not supported");
+    mem_ = std::make_unique<MainMemory>(cfg_.memory);
+    mem_level_ =
+        std::make_unique<MemoryLevel>(*mem_, cfg_.l2.line_bytes);
+    l2_ = std::make_unique<Cache>(cfg_.l2, *mem_level_);
+    l1d_ = std::make_unique<Cache>(cfg_.l1d, *l2_);
+}
+
+HierarchyResult
+MemoryHierarchy::access(Addr addr, AccessType type, Cycles now)
+{
+    const MemLevel::Result r = l1d_->access(addr, type, now);
+    return {r.ready, r.kind, r.depth};
+}
+
+void
+MemoryHierarchy::clearStats()
+{
+    l1d_->clearStats();
+    l2_->clearStats();
+    mem_->clearStats();
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1d_->flush();
+    l2_->flush();
+    clearStats();
+}
+
+} // namespace memfwd

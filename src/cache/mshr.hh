@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * An MSHR tracks one outstanding line fill.  A demand access that finds
+ * an MSHR already allocated for its line is a *partial miss* in the
+ * paper's terminology (Figure 6(a)): it combines with the in-flight
+ * fill and waits only for the remaining latency.  The MSHR file has a
+ * fixed number of entries; when all are busy, a new miss must wait for
+ * the earliest entry to retire, modelling the limit on memory-level
+ * parallelism.
+ */
+
+#ifndef MEMFWD_CACHE_MSHR_HH
+#define MEMFWD_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+/** A fixed-size file of outstanding-miss registers. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /**
+     * If a fill for @p line_addr is outstanding at @p now, return its
+     * completion cycle (the caller combines with it); otherwise 0.
+     */
+    Cycles outstandingFill(Addr line_addr, Cycles now) const;
+
+    /**
+     * Allocate an entry for a new fill of @p line_addr.  If the file is
+     * full at @p now, the allocation is delayed until the earliest
+     * in-flight fill completes.  Returns the cycle at which the miss
+     * may actually start being serviced (>= now).
+     */
+    Cycles allocate(Addr line_addr, Cycles now);
+
+    /** Record the completion time of the fill started by allocate(). */
+    void complete(Addr line_addr, Cycles fill_done);
+
+    unsigned entries() const { return entries_; }
+
+    /** Number of entries busy at @p now. */
+    unsigned busyAt(Cycles now) const;
+
+    /** Peak simultaneous occupancy observed. */
+    unsigned peakOccupancy() const { return peak_; }
+
+    /** Times an allocation had to wait for a free entry. */
+    std::uint64_t allocationStalls() const { return alloc_stalls_; }
+
+  private:
+    struct Entry
+    {
+        Addr line_addr = 0;
+        Cycles fill_done = 0; ///< 0 means free
+        bool pending = false; ///< allocated but completion not yet known
+    };
+
+    void expire(Cycles now);
+
+    unsigned entries_;
+    std::vector<Entry> slots_;
+    unsigned peak_ = 0;
+    std::uint64_t alloc_stalls_ = 0;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_CACHE_MSHR_HH

@@ -1,0 +1,3 @@
+#include "cache/prefetcher.hh"
+
+// Prefetcher is header-only; this translation unit anchors the target.

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A small bus-based shared-memory multiprocessor with memory
+ * forwarding, for the paper's false-sharing experiments (Section 2.2).
+ *
+ * Each processor is a simple in-order core with a private MSI cache;
+ * all share one TaggedMemory (so forwarding bits are visible to every
+ * processor — exactly the property that makes relocation safe under
+ * sharing: a processor holding a stale pointer forwards to the new
+ * location like any other reference).
+ */
+
+#ifndef MEMFWD_COHERENCE_MP_SYSTEM_HH
+#define MEMFWD_COHERENCE_MP_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/coherent_cache.hh"
+#include "coherence/snoop_bus.hh"
+#include "common/types.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+
+/** Configuration of the MP substrate. */
+struct MpConfig
+{
+    unsigned processors = 4;
+    unsigned cache_bytes = 16 * 1024;
+    unsigned assoc = 2;
+    unsigned line_bytes = 64;
+    unsigned fwd_hop_limit = 16;
+};
+
+/** P in-order cores + private MSI caches + shared tagged memory. */
+class MpSystem
+{
+  public:
+    explicit MpSystem(const MpConfig &cfg = {});
+
+    MpSystem(const MpSystem &) = delete;
+    MpSystem &operator=(const MpSystem &) = delete;
+
+    /** Timed, forwarding-aware load by processor @p cpu. */
+    std::uint64_t load(unsigned cpu, Addr addr, unsigned size);
+
+    /** Timed, forwarding-aware store by processor @p cpu. */
+    void store(unsigned cpu, Addr addr, unsigned size,
+               std::uint64_t value);
+
+    /** Local compute on @p cpu (n single-cycle instructions). */
+    void compute(unsigned cpu, std::uint64_t n);
+
+    /**
+     * Relocate @p n_words from @p src to @p tgt (word-aligned) as
+     * processor @p cpu would: timed reads/writes plus the atomic
+     * forwarding-address installation.
+     */
+    void relocate(unsigned cpu, Addr src, Addr tgt, unsigned n_words);
+
+    /** Local clock of processor @p cpu. */
+    Cycles clock(unsigned cpu) const { return clocks_[cpu]; }
+
+    /** Execution time: the slowest processor's clock. */
+    Cycles elapsed() const;
+
+    TaggedMemory &mem() { return mem_; }
+    const SnoopBus &bus() const { return bus_; }
+    const CoherentCache &cache(unsigned cpu) const
+    {
+        return *caches_[cpu];
+    }
+    const MpConfig &config() const { return cfg_; }
+
+    /** References that required at least one forwarding hop. */
+    std::uint64_t forwardedRefs() const { return forwarded_refs_; }
+
+  private:
+    /** Follow the forwarding chain for cpu at its local time. */
+    Addr resolve(unsigned cpu, Addr addr);
+
+    MpConfig cfg_;
+    TaggedMemory mem_;
+    SnoopBus bus_;
+    std::vector<std::unique_ptr<CoherentCache>> caches_;
+    std::vector<Cycles> clocks_;
+    std::uint64_t forwarded_refs_ = 0;
+};
+
+/**
+ * The false-sharing repair: relocate each of @p items (word-aligned,
+ * @p item_words long) to its own cache-line-aligned home carved from
+ * @p pool_base onward.  Performed by @p cpu.  Returns the new homes.
+ */
+std::vector<Addr> separateToLines(MpSystem &sys, unsigned cpu,
+                                  const std::vector<Addr> &items,
+                                  unsigned item_words, Addr pool_base);
+
+} // namespace memfwd
+
+#endif // MEMFWD_COHERENCE_MP_SYSTEM_HH

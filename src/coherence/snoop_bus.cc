@@ -1,0 +1,64 @@
+#include "coherence/snoop_bus.hh"
+
+#include "coherence/coherent_cache.hh"
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+unsigned
+SnoopBus::attach(CoherentCache *cache)
+{
+    caches_.push_back(cache);
+    return static_cast<unsigned>(caches_.size()) - 1;
+}
+
+bool
+SnoopBus::busRead(unsigned from, Addr line_addr)
+{
+    ++stats_.read_misses;
+    bool supplied = false;
+    for (unsigned p = 0; p < caches_.size(); ++p) {
+        if (p == from)
+            continue;
+        if (caches_[p]->snoopRead(line_addr)) {
+            supplied = true;
+            ++stats_.transfers;
+        }
+    }
+    return supplied;
+}
+
+unsigned
+SnoopBus::busReadExclusive(unsigned from, Addr line_addr)
+{
+    ++stats_.write_misses;
+    unsigned invalidated = 0;
+    for (unsigned p = 0; p < caches_.size(); ++p) {
+        if (p == from)
+            continue;
+        if (caches_[p]->snoopInvalidate(line_addr)) {
+            ++invalidated;
+            ++stats_.invalidations;
+        }
+    }
+    return invalidated;
+}
+
+unsigned
+SnoopBus::busUpgrade(unsigned from, Addr line_addr)
+{
+    ++stats_.upgrades;
+    unsigned invalidated = 0;
+    for (unsigned p = 0; p < caches_.size(); ++p) {
+        if (p == from)
+            continue;
+        if (caches_[p]->snoopInvalidate(line_addr)) {
+            ++invalidated;
+            ++stats_.invalidations;
+        }
+    }
+    return invalidated;
+}
+
+} // namespace memfwd

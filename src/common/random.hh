@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workloads.
+ *
+ * All workloads must be reproducible run-to-run so that the unoptimized
+ * and layout-optimized variants of each benchmark operate on identical
+ * inputs and can be checksum-compared.  We use xoshiro256** which is
+ * fast, high quality, and fully specified here (no reliance on the
+ * standard library's unspecified distributions).
+ */
+
+#ifndef MEMFWD_COMMON_RANDOM_HH
+#define MEMFWD_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace memfwd
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_COMMON_RANDOM_HH

@@ -1,0 +1,45 @@
+#include "common/stats_registry.hh"
+
+namespace memfwd
+{
+
+void
+StatsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatsRegistry::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+std::uint64_t
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatsRegistry::clear()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+void
+StatsRegistry::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : counters_)
+        os << prefix << name << " = " << value << "\n";
+}
+
+} // namespace memfwd

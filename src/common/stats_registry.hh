@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A tiny named-statistics registry, loosely modelled on gem5's stats
+ * package.  Subsystems register scalar counters under dotted names
+ * ("l1d.load_misses_full"); benches and tests read them back by name
+ * and can dump everything for debugging.
+ */
+
+#ifndef MEMFWD_COMMON_STATS_REGISTRY_HH
+#define MEMFWD_COMMON_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace memfwd
+{
+
+/** A flat map of named 64-bit counters. */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if new. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Overwrite counter @p name. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Current value of @p name (0 if never touched). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if the counter has ever been touched. */
+    bool has(const std::string &name) const;
+
+    /** Reset every counter to zero (keeps the names). */
+    void clear();
+
+    /** Dump all counters, sorted by name. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_COMMON_STATS_REGISTRY_HH

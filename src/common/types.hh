@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every memfwd subsystem.
+ *
+ * The simulated machine is a 64-bit architecture, matching the paper's
+ * assumption that a pointer (and therefore the minimum relocatable unit,
+ * a "word") is 64 bits wide.  One forwarding bit is attached to each
+ * 64-bit word, giving the 1.5% space overhead quoted in Section 2.1.
+ */
+
+#ifndef MEMFWD_COMMON_TYPES_HH
+#define MEMFWD_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace memfwd
+{
+
+/** A simulated virtual address. */
+using Addr = std::uint64_t;
+
+/** A 64-bit memory word: the minimum unit of relocation. */
+using Word = std::uint64_t;
+
+/** A point in simulated time, measured in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Number of bytes in a relocatable word. */
+constexpr unsigned wordBytes = 8;
+
+/** log2(wordBytes), for cheap shifts. */
+constexpr unsigned wordShift = 3;
+
+/** Round an address down to its containing word. */
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~Addr(wordBytes - 1);
+}
+
+/** Byte offset of an address within its word. */
+constexpr unsigned
+wordOffset(Addr a)
+{
+    return static_cast<unsigned>(a & Addr(wordBytes - 1));
+}
+
+/** True if the address is word-aligned. */
+constexpr bool
+isWordAligned(Addr a)
+{
+    return wordOffset(a) == 0;
+}
+
+/** Round a size up to a whole number of words. */
+constexpr Addr
+roundUpToWord(Addr n)
+{
+    return (n + wordBytes - 1) & ~Addr(wordBytes - 1);
+}
+
+} // namespace memfwd
+
+#endif // MEMFWD_COMMON_TYPES_HH

@@ -1,0 +1,34 @@
+#include "core/cycle_check.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+
+ForwardingCycleError::ForwardingCycleError(Addr start, unsigned length)
+    : std::runtime_error(strfmt(
+          "forwarding cycle detected: start=%#llx length=%u",
+          static_cast<unsigned long long>(start), length)),
+      start_(start), length_(length)
+{
+}
+
+CycleCheckResult
+accurateCycleCheck(const TaggedMemory &mem, Addr addr)
+{
+    std::unordered_set<Addr> visited;
+    Addr word = wordAlign(addr);
+    unsigned length = 0;
+    while (mem.fbit(word)) {
+        if (!visited.insert(word).second)
+            return {true, length};
+        word = wordAlign(mem.rawReadWord(word));
+        ++length;
+    }
+    return {false, length};
+}
+
+} // namespace memfwd

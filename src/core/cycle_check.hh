@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accurate forwarding-cycle detection (Section 3.2, "Handling
+ * Forwarding Cycles").
+ *
+ * During normal execution the hardware only keeps a cheap hop counter;
+ * when the counter exceeds its limit an exception fires and this
+ * software check walks the chain precisely, remembering every address
+ * it visits.  Either the chain terminates (a false alarm — the counter
+ * is reset and execution resumes) or an address repeats (a true cycle —
+ * the execution must be aborted).
+ */
+
+#ifndef MEMFWD_CORE_CYCLE_CHECK_HH
+#define MEMFWD_CORE_CYCLE_CHECK_HH
+
+#include <stdexcept>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class TaggedMemory;
+
+/** Thrown when software erroneously created a forwarding cycle. */
+class ForwardingCycleError : public std::runtime_error
+{
+  public:
+    ForwardingCycleError(Addr start, unsigned length);
+
+    Addr start() const { return start_; }
+    unsigned length() const { return length_; }
+
+  private:
+    Addr start_;
+    unsigned length_;
+};
+
+/** Outcome of the accurate check. */
+struct CycleCheckResult
+{
+    bool is_cycle;    ///< true if an address repeats along the chain
+    unsigned length;  ///< chain length walked (hops until repeat or end)
+};
+
+/**
+ * Precisely walk the forwarding chain starting at the word containing
+ * @p addr.  Pure functional check — no timing, no cache effects (the
+ * engine charges a fixed software cost for invoking it).
+ */
+CycleCheckResult accurateCycleCheck(const TaggedMemory &mem, Addr addr);
+
+} // namespace memfwd
+
+#endif // MEMFWD_CORE_CYCLE_CHECK_HH

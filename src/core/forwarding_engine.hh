@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The forwarding engine: the paper's central mechanism.
+ *
+ * Every ordinary data reference first consults the forwarding bit of
+ * the word containing its *initial address*.  If set, the word's
+ * payload is a forwarding address: the reference is redirected (keeping
+ * its byte offset within the word, Section 2.1) and the test repeats,
+ * following chains of arbitrary length until a clear bit is found at
+ * the *final address*.
+ *
+ * Three implementation styles are modelled (Section 3.2):
+ *
+ *  - `hardware`  — the dereference loop runs in the load/store unit;
+ *                  each hop costs one additional cache access (which
+ *                  also *pollutes* the cache — old locations are
+ *                  touched, the effect Figure 10 highlights) plus a
+ *                  small per-hop pipeline cost.
+ *  - `exception` — the first set bit raises an exception and a software
+ *                  handler chases the chain with Unforwarded_Reads; the
+ *                  timing adds a fixed exception-dispatch cost per
+ *                  forwarded reference on top of the per-hop accesses.
+ *  - `perfect`   — the idealized bound of Figure 10 ("Perf"): every
+ *                  reference magically uses its final address with no
+ *                  hop accesses and no pollution.  Not implementable;
+ *                  used to bound how much of a slowdown is forwarding
+ *                  overhead versus layout fundamentals.
+ *
+ * Cycle handling follows the paper: a cheap hop counter with limit
+ * `hop_limit`; on overflow, a software exception performs the accurate
+ * check (core/cycle_check.hh) at cost `cycle_check_cost`.  A false
+ * alarm resets the counter and resumes; a true cycle aborts execution
+ * by throwing ForwardingCycleError.
+ */
+
+#ifndef MEMFWD_CORE_FORWARDING_ENGINE_HH
+#define MEMFWD_CORE_FORWARDING_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "common/types.hh"
+#include "core/traps.hh"
+
+namespace memfwd
+{
+
+class TaggedMemory;
+class MemoryHierarchy;
+
+/** Forwarding implementation style and costs. */
+struct ForwardingConfig
+{
+    enum class Mode
+    {
+        hardware,
+        exception,
+        perfect
+    };
+
+    Mode mode = Mode::hardware;
+
+    /** Hop-counter limit before the accurate cycle check fires. */
+    unsigned hop_limit = 16;
+
+    /** Extra pipeline cost per hop (address mux, retry), cycles. */
+    Cycles hop_cost = 1;
+
+    /** Exception dispatch+return cost per forwarded ref (exception mode). */
+    Cycles exception_cost = 30;
+
+    /** Cost of one software accurate cycle check, cycles. */
+    Cycles cycle_check_cost = 200;
+};
+
+/** Statistics the engine keeps (Figure 10(c) and friends). */
+struct ForwardingStats
+{
+    std::uint64_t walks = 0;          ///< references with >= 1 hop
+    std::uint64_t hops = 0;           ///< total hops taken
+    std::uint64_t hop_l1_misses = 0;  ///< hop accesses that missed L1
+    std::uint64_t false_alarms = 0;   ///< hop-limit hits that were acyclic
+    std::uint64_t cycles_detected = 0;
+    std::vector<std::uint64_t> hop_histogram; ///< [h] = refs with h hops
+
+    void
+    recordHops(unsigned h)
+    {
+        if (hop_histogram.size() <= h)
+            hop_histogram.resize(h + 1, 0);
+        ++hop_histogram[h];
+    }
+};
+
+/** Result of resolving one reference's forwarding chain. */
+struct WalkResult
+{
+    Addr final_addr;       ///< data address after following the chain
+    unsigned hops;         ///< chain length (0 = not forwarded)
+    Cycles ready;          ///< cycle at which resolution completed
+    Cycles forward_cycles; ///< ready - start (time spent forwarding)
+    bool hop_missed_l1;    ///< any hop access missed in L1
+};
+
+/** Walks forwarding chains with full timing and cache effects. */
+class ForwardingEngine
+{
+  public:
+    ForwardingEngine(TaggedMemory &mem, MemoryHierarchy &hierarchy,
+                     const ForwardingConfig &cfg = {});
+
+    /**
+     * Resolve the chain for a reference to @p addr beginning at cycle
+     * @p start.  @p type is the reference's demand type (hop accesses
+     * are issued as loads of that type's urgency).  @p site and
+     * @p pointer_slot feed the user-level trap if one is armed.
+     *
+     * @throws ForwardingCycleError on a genuine forwarding cycle.
+     */
+    WalkResult resolve(Addr addr, AccessType type, Cycles start,
+                       SiteId site = no_site, Addr pointer_slot = 0);
+
+    /**
+     * Relocation primitive used by the runtime: copy the word at
+     * @p src to @p tgt and atomically turn @p src into a forwarding
+     * address pointing at @p tgt.  Functional only (timing is charged
+     * by the runtime's instruction stream).
+     */
+    void forwardWord(Addr src, Addr tgt);
+
+    const ForwardingConfig &config() const { return cfg_; }
+    const ForwardingStats &stats() const { return stats_; }
+    TrapRegistry &traps() { return traps_; }
+
+    void clearStats() { stats_ = ForwardingStats(); }
+
+  private:
+    TaggedMemory &mem_;
+    MemoryHierarchy &hierarchy_;
+    ForwardingConfig cfg_;
+    ForwardingStats stats_;
+    TrapRegistry traps_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_CORE_FORWARDING_ENGINE_HH

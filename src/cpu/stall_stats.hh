@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Graduation-slot accounting, exactly as Figure 5 of the paper defines:
+ * every potential graduation slot (cycles x width) is classified as
+ * busy (an instruction graduated), load-stall or store-stall (the
+ * oldest instruction was waiting on a load/store miss), or inst-stall
+ * (all other non-graduating slots).
+ */
+
+#ifndef MEMFWD_CPU_STALL_STATS_HH
+#define MEMFWD_CPU_STALL_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+/** Why the oldest instruction could not graduate. */
+enum class WaitKind
+{
+    none,       ///< not a memory stall (classified as inst-stall)
+    load_miss,  ///< oldest instruction is a load that missed
+    store_miss  ///< oldest instruction is a store that missed
+};
+
+/** The Figure 5 breakdown. */
+struct StallStats
+{
+    std::uint64_t busy = 0;
+    std::uint64_t load_stall = 0;
+    std::uint64_t store_stall = 0;
+    std::uint64_t inst_stall = 0;
+
+    std::uint64_t
+    totalSlots() const
+    {
+        return busy + load_stall + store_stall + inst_stall;
+    }
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_CPU_STALL_STATS_HH

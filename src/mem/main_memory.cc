@@ -1,0 +1,4 @@
+#include "mem/main_memory.hh"
+
+// MainMemory is header-only; this translation unit exists so the build
+// has a stable home for future out-of-line additions.

@@ -1,0 +1,46 @@
+#include "mem/page_cache.hh"
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+PageCache::PageCache(unsigned page_bytes, unsigned resident_pages,
+                     Cycles fault_penalty)
+    : page_bytes_(page_bytes), resident_pages_(resident_pages),
+      fault_penalty_(fault_penalty)
+{
+    memfwd_assert(page_bytes_ > 0 &&
+                      (page_bytes_ & (page_bytes_ - 1)) == 0,
+                  "page size must be a power of two");
+    memfwd_assert(resident_pages_ > 0, "resident set must be nonempty");
+}
+
+bool
+PageCache::access(Addr addr)
+{
+    ++accesses_;
+    const Addr page = addr / page_bytes_;
+    touched_[page] = true;
+
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+        // Hit: move to the front of the LRU order.
+        lru_.erase(it->second);
+        lru_.push_front(page);
+        it->second = lru_.begin();
+        return false;
+    }
+
+    // Fault: evict the LRU page if full.
+    ++faults_;
+    if (resident_.size() >= resident_pages_) {
+        resident_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    resident_.emplace(page, lru_.begin());
+    return true;
+}
+
+} // namespace memfwd

@@ -1,0 +1,135 @@
+#include "mem/tagged_memory.hh"
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+TaggedMemory::Page &
+TaggedMemory::page(Addr addr)
+{
+    const Addr key = addr / pageBytes;
+    auto &slot = pages_[key];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+const TaggedMemory::Page *
+TaggedMemory::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Word
+TaggedMemory::rawReadWord(Addr addr) const
+{
+    const Page *p = pageIfPresent(addr);
+    if (!p)
+        return 0;
+    return p->data[(addr % pageBytes) >> wordShift];
+}
+
+void
+TaggedMemory::rawWriteWord(Addr addr, Word value)
+{
+    page(addr).data[(addr % pageBytes) >> wordShift] = value;
+}
+
+bool
+TaggedMemory::fbit(Addr addr) const
+{
+    const Page *p = pageIfPresent(addr);
+    if (!p)
+        return false;
+    return p->fbits[(addr % pageBytes) >> wordShift];
+}
+
+void
+TaggedMemory::setFBit(Addr addr, bool value)
+{
+    page(addr).fbits[(addr % pageBytes) >> wordShift] = value;
+}
+
+void
+TaggedMemory::unforwardedWrite(Addr addr, Word value, bool fbit_value)
+{
+    Page &p = page(addr);
+    const unsigned idx = (addr % pageBytes) >> wordShift;
+    // Simulated memory is single-threaded, so updating both fields
+    // back-to-back models the atomic word+tag write the ISA requires.
+    p.data[idx] = value;
+    p.fbits[idx] = fbit_value;
+}
+
+std::uint64_t
+TaggedMemory::readBytes(Addr addr, unsigned size) const
+{
+    const unsigned off = wordOffset(addr);
+    memfwd_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size %u", size);
+    memfwd_assert(off + size <= wordBytes,
+                  "access crosses word boundary: addr=%#llx size=%u",
+                  static_cast<unsigned long long>(addr), size);
+    const Word w = rawReadWord(addr);
+    if (size == 8)
+        return w;
+    const unsigned shift = off * 8;
+    const std::uint64_t mask = (std::uint64_t(1) << (size * 8)) - 1;
+    return (w >> shift) & mask;
+}
+
+void
+TaggedMemory::writeBytes(Addr addr, unsigned size, std::uint64_t value)
+{
+    const unsigned off = wordOffset(addr);
+    memfwd_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size %u", size);
+    memfwd_assert(off + size <= wordBytes,
+                  "access crosses word boundary: addr=%#llx size=%u",
+                  static_cast<unsigned long long>(addr), size);
+    if (size == 8) {
+        rawWriteWord(addr, value);
+        return;
+    }
+    const unsigned shift = off * 8;
+    const std::uint64_t mask =
+        ((std::uint64_t(1) << (size * 8)) - 1) << shift;
+    Word w = rawReadWord(addr);
+    w = (w & ~mask) | ((value << shift) & mask);
+    rawWriteWord(addr, w);
+}
+
+std::uint64_t
+TaggedMemory::fbitCount() const
+{
+    std::uint64_t count = 0;
+    for (const auto &[key, page] : pages_)
+        count += page->fbits.count();
+    return count;
+}
+
+void
+TaggedMemory::initializeRegion(Addr addr, Addr bytes)
+{
+    memfwd_assert(isWordAligned(addr) && isWordAligned(bytes),
+                  "initializeRegion must be word-aligned");
+    // Pages that were never materialized are already all-zero with
+    // clear forwarding bits, so only touched pages need sweeping.  This
+    // keeps huge, mostly-cold regions (relocation pools) cheap.
+    const Addr end = addr + bytes;
+    Addr a = addr;
+    while (a < end) {
+        const Addr page_start = a - (a % pageBytes);
+        const Addr page_end = page_start + pageBytes;
+        const Addr sweep_end = end < page_end ? end : page_end;
+        if (pages_.count(page_start / pageBytes)) {
+            for (Addr w = a; w < sweep_end; w += wordBytes)
+                unforwardedWrite(w, 0, false);
+        }
+        a = sweep_end;
+    }
+}
+
+} // namespace memfwd

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tagged simulated memory: the storage substrate for memory forwarding.
+ *
+ * Every 64-bit word of simulated memory carries one extra bit of state,
+ * the *forwarding bit* (Section 2.1 of the paper).  When the bit is set,
+ * the word's 64-bit payload is interpreted as a forwarding address
+ * rather than data, and ordinary accesses to the word must be redirected
+ * to that address (that redirection lives in core/forwarding_engine).
+ *
+ * This class is purely functional state — it knows nothing about caches
+ * or timing.  It provides exactly the primitives the paper's ISA
+ * extensions need:
+ *
+ *  - rawReadWord / rawWriteWord     : physical access, no forwarding
+ *                                     interpretation (these back the
+ *                                     Unforwarded_Read / Unforwarded_Write
+ *                                     instructions of Figure 3);
+ *  - fbit / setFBit                 : Read_FBit and the tag half of
+ *                                     Unforwarded_Write;
+ *  - unforwardedWrite               : atomic word + forwarding-bit update
+ *                                     (the paper requires atomicity to
+ *                                     preserve consistency);
+ *  - readBytes / writeBytes         : sub-word data access *within* one
+ *                                     word, used after the forwarding
+ *                                     chain has been resolved;
+ *  - initializeRegion               : the OS-side Unforwarded_Write(0,0)
+ *                                     sweep of Section 3.3 that clears
+ *                                     forwarding bits before memory is
+ *                                     handed to the application.
+ *
+ * Storage is sparse: 4KB pages are allocated on first touch, so a 64-bit
+ * address space costs only what the workload actually uses.
+ */
+
+#ifndef MEMFWD_MEM_TAGGED_MEMORY_HH
+#define MEMFWD_MEM_TAGGED_MEMORY_HH
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+/** Sparse, paged, word-tagged simulated memory. */
+class TaggedMemory
+{
+  public:
+    static constexpr unsigned pageBytes = 4096;
+    static constexpr unsigned pageWords = pageBytes / wordBytes;
+
+    TaggedMemory() = default;
+
+    TaggedMemory(const TaggedMemory &) = delete;
+    TaggedMemory &operator=(const TaggedMemory &) = delete;
+
+    /**
+     * Read the raw 64-bit payload of the word containing @p addr,
+     * ignoring the forwarding bit.  @p addr need not be aligned; the
+     * containing word is read.
+     */
+    Word rawReadWord(Addr addr) const;
+
+    /** Write the raw 64-bit payload of the word containing @p addr. */
+    void rawWriteWord(Addr addr, Word value);
+
+    /** Forwarding bit of the word containing @p addr. */
+    bool fbit(Addr addr) const;
+
+    /** Set or clear the forwarding bit of the word containing @p addr. */
+    void setFBit(Addr addr, bool value);
+
+    /**
+     * Atomically write @p value and @p fbit_value to the word containing
+     * @p addr — the Unforwarded_Write instruction of Figure 3.
+     */
+    void unforwardedWrite(Addr addr, Word value, bool fbit_value);
+
+    /**
+     * Read @p size bytes starting at @p addr.  The access must not cross
+     * a word boundary (size in {1,2,4,8}); the forwarding bit is NOT
+     * consulted — callers resolve forwarding first.
+     */
+    std::uint64_t readBytes(Addr addr, unsigned size) const;
+
+    /** Write @p size bytes at @p addr; same restrictions as readBytes. */
+    void writeBytes(Addr addr, unsigned size, std::uint64_t value);
+
+    /**
+     * Clear data and forwarding bits over [addr, addr+bytes) — the OS
+     * initialization sweep (Section 3.3).  Both ends must be
+     * word-aligned.
+     */
+    void initializeRegion(Addr addr, Addr bytes);
+
+    /** Number of forwarding bits currently set across all of memory. */
+    std::uint64_t fbitCount() const;
+
+    /** Number of pages currently materialized (for space accounting). */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Bytes of simulated memory currently materialized. */
+    std::uint64_t bytesAllocated() const
+    {
+        return static_cast<std::uint64_t>(pages_.size()) * pageBytes;
+    }
+
+  private:
+    struct Page
+    {
+        std::array<Word, pageWords> data{};
+        std::bitset<pageWords> fbits{};
+    };
+
+    Page &page(Addr addr);
+    const Page *pageIfPresent(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_MEM_TAGGED_MEMORY_HH

@@ -1,0 +1,45 @@
+#include "mem/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+Tlb::Tlb(const TlbConfig &cfg) : cfg_(cfg)
+{
+    memfwd_assert(cfg_.entries > 0, "TLB needs at least one entry");
+    memfwd_assert(cfg_.page_bytes > 0 &&
+                      (cfg_.page_bytes & (cfg_.page_bytes - 1)) == 0,
+                  "TLB page size must be a power of two");
+}
+
+Cycles
+Tlb::access(Addr addr, Cycles now)
+{
+    const Addr page = addr / cfg_.page_bytes;
+    auto it = entries_.find(page);
+    if (it != entries_.end()) {
+        ++hits_;
+        lru_.erase(it->second);
+        lru_.push_front(page);
+        it->second = lru_.begin();
+        return now;
+    }
+    ++misses_;
+    if (entries_.size() >= cfg_.entries) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    entries_.emplace(page, lru_.begin());
+    return now + cfg_.miss_penalty;
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    entries_.clear();
+}
+
+} // namespace memfwd

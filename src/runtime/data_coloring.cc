@@ -1,0 +1,75 @@
+#include "runtime/data_coloring.hh"
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+
+ColoringResult
+colorRelocate(Machine &machine, const std::vector<Addr> &items,
+              unsigned item_bytes, RelocationPool &pool,
+              unsigned cache_bytes, unsigned line_bytes,
+              unsigned n_colors)
+{
+    memfwd_assert(n_colors >= 1, "need at least one color");
+    item_bytes = roundUpToWord(item_bytes);
+
+    // One "way" of the cache, split into n_colors contiguous bands.
+    // Placing item i at band (i % n_colors) guarantees that any
+    // n_colors consecutively-accessed items occupy disjoint set ranges.
+    // Bands are rounded down to whole lines so every home address is
+    // line- (and therefore word-) aligned.
+    const Addr band_bytes =
+        (cache_bytes / n_colors) & ~Addr(line_bytes - 1);
+    memfwd_assert(band_bytes >= item_bytes,
+                  "color bands smaller than an item "
+                  "(%u colors over %u bytes)",
+                  n_colors, cache_bytes);
+
+    // The pool must start cache-aligned so bands line up with sets.
+    const Addr region = pool.take(
+        // Worst case: every item in one band, each rounded to a line.
+        Addr(cache_bytes) *
+            ((items.size() + n_colors - 1) / n_colors + 1),
+        cache_bytes);
+
+    // Per-band bump cursors; a band that fills up spills to the next
+    // cache-sized super-block, preserving its set range.
+    std::vector<Addr> cursor(n_colors, 0);
+    ColoringResult result;
+    result.colors_used = n_colors;
+    result.pool_bytes = 0;
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const unsigned color = static_cast<unsigned>(i % n_colors);
+        const Addr offset_in_band = cursor[color];
+        // Which cache-sized super-block this allocation lands in.
+        const Addr superblock = offset_in_band / band_bytes;
+        const Addr within = offset_in_band % band_bytes;
+        const Addr home = region + superblock * cache_bytes +
+                          Addr(color) * band_bytes + within;
+        cursor[color] += item_bytes;
+        relocate(machine, items[i], home, item_bytes / wordBytes);
+        result.new_addrs.push_back(home);
+        result.pool_bytes += item_bytes;
+    }
+    return result;
+}
+
+Addr
+copyTile(Machine &machine, Addr tile_base, unsigned rows,
+         unsigned row_bytes, Addr row_stride, RelocationPool &pool)
+{
+    const unsigned rb = roundUpToWord(row_bytes);
+    const Addr buffer = pool.take(Addr(rows) * rb, 64);
+    for (unsigned r = 0; r < rows; ++r) {
+        relocate(machine, tile_base + Addr(r) * row_stride,
+                 buffer + Addr(r) * rb, rb / wordBytes);
+    }
+    return buffer;
+}
+
+} // namespace memfwd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Data coloring (Section 2.2, "Reducing Cache Conflicts", after
+ * Chilimbi & Larus [11]): partition the cache into logical regions
+ * (colors) and relocate data items that are accessed close together in
+ * time into *different* colors, so they cannot conflict-miss against
+ * each other.  Memory forwarding makes the relocation safe even when
+ * stray pointers to the items exist.
+ *
+ * Also provides the related *data copying* helper [23]: relocate a
+ * strided tile into one contiguous, conflict-free buffer before a
+ * compute phase reuses it heavily.
+ */
+
+#ifndef MEMFWD_RUNTIME_DATA_COLORING_HH
+#define MEMFWD_RUNTIME_DATA_COLORING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+class RelocationPool;
+
+/** Result of a coloring pass. */
+struct ColoringResult
+{
+    std::vector<Addr> new_addrs; ///< new home of each item, in order
+    unsigned colors_used;
+    Addr pool_bytes;
+};
+
+/**
+ * Relocate @p items (each @p item_bytes long, word-aligned) so that
+ * consecutive items land in distinct cache colors of a cache with
+ * @p cache_bytes / @p assoc geometry and @p line_bytes lines.  A color
+ * is a contiguous band of sets; items are dealt round-robin across
+ * @p n_colors bands drawn from @p pool.  All work is timed on
+ * @p machine.
+ */
+ColoringResult colorRelocate(Machine &machine,
+                             const std::vector<Addr> &items,
+                             unsigned item_bytes, RelocationPool &pool,
+                             unsigned cache_bytes, unsigned line_bytes,
+                             unsigned n_colors);
+
+/**
+ * Data copying for tiles: relocate @p rows rows of @p row_bytes, each
+ * starting @p row_stride apart at @p tile_base, into one contiguous
+ * buffer from @p pool.  Returns the buffer base.  After this, the tile
+ * occupies rows*row_bytes consecutive bytes and cannot conflict with
+ * itself.
+ */
+Addr copyTile(Machine &machine, Addr tile_base, unsigned rows,
+              unsigned row_bytes, Addr row_stride, RelocationPool &pool);
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_DATA_COLORING_HH

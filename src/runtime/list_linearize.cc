@@ -1,0 +1,64 @@
+#include "runtime/list_linearize.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+
+LinearizeResult
+listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
+              RelocationPool &pool, unsigned max_nodes)
+{
+    const unsigned node_bytes = roundUpToWord(desc.node_bytes);
+    const unsigned node_words = node_bytes / wordBytes;
+
+    // Pass 1: walk the list and collect the old node addresses.  These
+    // are ordinary (forwardable) loads — the list may already have been
+    // linearized before, in which case the head points at current
+    // locations and no forwarding occurs.
+    std::vector<Addr> old_nodes;
+    LoadResult cur = machine.load(head_handle, wordBytes);
+    while (cur.value != desc.list_end) {
+        old_nodes.push_back(static_cast<Addr>(cur.value));
+        memfwd_assert(old_nodes.size() <= max_nodes,
+                      "listLinearize: list longer than max_nodes "
+                      "(corrupt list or cycle?)");
+        cur = machine.load(static_cast<Addr>(cur.value) + desc.next_offset,
+                           wordBytes, cur.ready);
+    }
+
+    if (old_nodes.empty())
+        return {desc.list_end, 0, 0};
+
+    // Pass 2: take one contiguous chunk and relocate every node into
+    // it, in list order — creating the spatial locality.
+    const Addr chunk = pool.take(static_cast<Addr>(node_bytes) *
+                                 old_nodes.size());
+    for (std::size_t i = 0; i < old_nodes.size(); ++i) {
+        const Addr tgt = chunk + static_cast<Addr>(i) * node_bytes;
+        relocate(machine, old_nodes[i], tgt, node_words);
+    }
+
+    // Pass 3: rewrite the internal next pointers at the *new* locations
+    // so future traversals never touch the old nodes.  The last node
+    // keeps its copied next value (the original terminator or an
+    // external continuation).
+    for (std::size_t i = 0; i + 1 < old_nodes.size(); ++i) {
+        const Addr me = chunk + static_cast<Addr>(i) * node_bytes;
+        const Addr next = chunk + static_cast<Addr>(i + 1) * node_bytes;
+        machine.store(me + desc.next_offset, wordBytes, next);
+    }
+
+    // Update the head through its handle, as Figure 4(b) requires.
+    machine.store(head_handle, wordBytes, chunk);
+
+    return {chunk, static_cast<unsigned>(old_nodes.size()),
+            static_cast<Addr>(node_bytes) * old_nodes.size()};
+}
+
+} // namespace memfwd

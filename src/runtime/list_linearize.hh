@@ -1,0 +1,61 @@
+/**
+ * @file
+ * List linearization (Figure 4(b) and Section 2.2).
+ *
+ * Relocates the nodes of a singly-linked list into contiguous memory
+ * drawn from a RelocationPool, rewrites the internal next pointers and
+ * the list-head pointer to the new locations, and leaves forwarding
+ * addresses behind so any stray pointer into the old nodes still works.
+ *
+ * The head is passed by *handle* (the address of the head pointer), as
+ * the paper stresses, so the caller's head is updated in place and the
+ * next traversal runs entirely at the new addresses.
+ */
+
+#ifndef MEMFWD_RUNTIME_LIST_LINEARIZE_HH
+#define MEMFWD_RUNTIME_LIST_LINEARIZE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+class RelocationPool;
+
+/** Shape of a linked-list node. */
+struct ListDesc
+{
+    /** Node size in bytes (rounded up to words internally). */
+    unsigned node_bytes;
+
+    /** Byte offset of the next pointer within the node. */
+    unsigned next_offset;
+
+    /** Next-pointer value terminating the list (usually 0). */
+    Addr list_end = 0;
+};
+
+/** Result of one linearization pass. */
+struct LinearizeResult
+{
+    Addr new_head;       ///< first node's new address (or list_end)
+    unsigned nodes;      ///< nodes relocated
+    Addr pool_bytes;     ///< pool space consumed
+};
+
+/**
+ * Linearize the list whose head pointer lives at @p head_handle.
+ * New nodes are packed contiguously from @p pool.  All work is issued
+ * as timed operations on @p machine, so the full relocation overhead is
+ * charged.  @p max_nodes bounds runaway walks on corrupted lists.
+ */
+LinearizeResult listLinearize(Machine &machine, Addr head_handle,
+                              const ListDesc &desc, RelocationPool &pool,
+                              unsigned max_nodes = 1u << 22);
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_LIST_LINEARIZE_HH

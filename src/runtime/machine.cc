@@ -1,0 +1,200 @@
+#include "runtime/machine.hh"
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg)
+{
+    hierarchy_ = std::make_unique<MemoryHierarchy>(cfg_.hierarchy);
+    cpu_ = std::make_unique<OooCpu>(cfg_.cpu);
+    fwd_ = std::make_unique<ForwardingEngine>(mem_, *hierarchy_,
+                                              cfg_.forwarding);
+    prefetcher_ = std::make_unique<Prefetcher>(*hierarchy_);
+    tlb_ = std::make_unique<Tlb>(cfg_.tlb);
+}
+
+Cycles
+Machine::translate(Addr addr, Cycles now)
+{
+    if (!cfg_.tlb.enabled)
+        return now;
+    return tlb_->access(addr, now);
+}
+
+LoadResult
+Machine::load(Addr addr, unsigned size, Cycles addr_ready, SiteId site,
+              Addr pointer_slot)
+{
+    const MemIssue mi = cpu_->issueMem(addr_ready, true);
+    const WalkResult w =
+        fwd_->resolve(addr, AccessType::load, mi.issue, site, pointer_slot);
+    const Cycles translated = translate(w.final_addr, w.ready);
+    const HierarchyResult r =
+        hierarchy_->access(w.final_addr, AccessType::load, translated);
+    const std::uint64_t value = mem_.readBytes(w.final_addr, size);
+
+    ++loads_;
+    if (w.hops > 0)
+        ++loads_forwarded_;
+    if (trace_hook_)
+        trace_hook_(w.final_addr, size, AccessType::load);
+
+    const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
+    const Cycles done =
+        cpu_->finishLoad(mi, r.ready, w.forward_cycles, missed,
+                         wordAlign(addr), wordAlign(w.final_addr), 1);
+    return {value, done, w.hops, w.final_addr};
+}
+
+StoreResult
+Machine::store(Addr addr, unsigned size, std::uint64_t value,
+               Cycles addr_ready, SiteId site, Addr pointer_slot)
+{
+    const MemIssue mi = cpu_->issueMem(addr_ready, false);
+    const WalkResult w = fwd_->resolve(addr, AccessType::store, mi.issue,
+                                       site, pointer_slot);
+    const Cycles translated = translate(w.final_addr, w.ready);
+    const HierarchyResult r =
+        hierarchy_->access(w.final_addr, AccessType::store, translated);
+    mem_.writeBytes(w.final_addr, size, value);
+
+    ++stores_;
+    if (w.hops > 0)
+        ++stores_forwarded_;
+    if (trace_hook_)
+        trace_hook_(w.final_addr, size, AccessType::store);
+
+    const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
+    const Cycles done =
+        cpu_->finishStore(mi, r.ready, w.forward_cycles, missed,
+                          wordAlign(addr), wordAlign(w.final_addr), 1);
+    return {done, w.hops, w.final_addr};
+}
+
+bool
+Machine::readFBit(Addr addr, Cycles addr_ready)
+{
+    // The forwarding bit cannot be tested until the word is in the
+    // primary cache (Section 3.2), so Read_FBit is a timed load-class
+    // access — just one that does not follow forwarding.
+    const MemIssue mi = cpu_->issueMem(addr_ready, true);
+    const HierarchyResult r =
+        hierarchy_->access(wordAlign(addr), AccessType::load, mi.issue);
+    const bool bit = mem_.fbit(addr);
+    cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
+                     wordAlign(addr), wordAlign(addr), 1);
+    return bit;
+}
+
+std::uint64_t
+Machine::unforwardedRead(Addr addr, Cycles addr_ready)
+{
+    const MemIssue mi = cpu_->issueMem(addr_ready, true);
+    const HierarchyResult r =
+        hierarchy_->access(wordAlign(addr), AccessType::load, mi.issue);
+    const std::uint64_t value = mem_.rawReadWord(addr);
+    cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
+                     wordAlign(addr), wordAlign(addr), 1);
+    return value;
+}
+
+void
+Machine::unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
+                          Cycles addr_ready)
+{
+    const MemIssue mi = cpu_->issueMem(addr_ready, false);
+    const HierarchyResult r =
+        hierarchy_->access(wordAlign(addr), AccessType::store, mi.issue);
+    mem_.unforwardedWrite(addr, value, fbit);
+    cpu_->finishStore(mi, r.ready, 0, r.l1 != MissKind::hit,
+                      wordAlign(addr), wordAlign(addr), 1);
+}
+
+void
+Machine::prefetch(Addr addr, unsigned lines, Cycles addr_ready)
+{
+    const MemIssue mi = cpu_->issueMem(addr_ready, true);
+    // Prefetches are non-binding: they do not follow forwarding (a
+    // prefetch of a forwarded word harmlessly pulls in the forwarding
+    // word itself) and never block graduation.
+    prefetcher_->issue(addr, lines, mi.issue);
+    cpu_->finishNonBlocking(mi);
+}
+
+void
+Machine::compute(std::uint64_t n)
+{
+    cpu_->alu(n);
+}
+
+std::uint64_t
+Machine::peek(Addr addr, unsigned size) const
+{
+    Addr word = wordAlign(addr);
+    const unsigned offset = wordOffset(addr);
+    unsigned guard = 0;
+    while (mem_.fbit(word)) {
+        word = wordAlign(mem_.rawReadWord(word));
+        memfwd_assert(++guard < 1u << 20, "peek: runaway forwarding chain");
+    }
+    return mem_.readBytes(word + offset, size);
+}
+
+void
+Machine::poke(Addr addr, unsigned size, std::uint64_t value)
+{
+    Addr word = wordAlign(addr);
+    const unsigned offset = wordOffset(addr);
+    unsigned guard = 0;
+    while (mem_.fbit(word)) {
+        word = wordAlign(mem_.rawReadWord(word));
+        memfwd_assert(++guard < 1u << 20, "poke: runaway forwarding chain");
+    }
+    mem_.writeBytes(word + offset, size, value);
+}
+
+void
+Machine::collectStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    const auto &st = cpu_->stalls();
+    reg.set(prefix + "cycles", cpu_->cycles());
+    reg.set(prefix + "instructions", cpu_->instructions());
+    reg.set(prefix + "slots.busy", st.busy);
+    reg.set(prefix + "slots.load_stall", st.load_stall);
+    reg.set(prefix + "slots.store_stall", st.store_stall);
+    reg.set(prefix + "slots.inst_stall", st.inst_stall);
+
+    const auto &l1 = hierarchy_->l1d().stats();
+    reg.set(prefix + "l1d.load_hits", l1.load_hits);
+    reg.set(prefix + "l1d.load_partial_misses", l1.load_partial_misses);
+    reg.set(prefix + "l1d.load_full_misses", l1.load_full_misses);
+    reg.set(prefix + "l1d.store_hits", l1.store_hits);
+    reg.set(prefix + "l1d.store_partial_misses", l1.store_partial_misses);
+    reg.set(prefix + "l1d.store_full_misses", l1.store_full_misses);
+    reg.set(prefix + "l1d.writebacks", l1.writebacks);
+    reg.set(prefix + "traffic.l1_l2_bytes", hierarchy_->l1L2Bytes());
+    reg.set(prefix + "traffic.l2_mem_bytes", hierarchy_->l2MemBytes());
+
+    const auto &f = fwd_->stats();
+    reg.set(prefix + "fwd.walks", f.walks);
+    reg.set(prefix + "fwd.hops", f.hops);
+    reg.set(prefix + "fwd.false_alarms", f.false_alarms);
+    reg.set(prefix + "fwd.cycles_detected", f.cycles_detected);
+    reg.set(prefix + "refs.loads", loads_);
+    reg.set(prefix + "refs.stores", stores_);
+    reg.set(prefix + "refs.loads_forwarded", loads_forwarded_);
+    reg.set(prefix + "refs.stores_forwarded", stores_forwarded_);
+
+    reg.set(prefix + "lsq.speculations", cpu_->lsq().speculations());
+    reg.set(prefix + "lsq.violations", cpu_->lsq().violations());
+
+    if (cfg_.tlb.enabled) {
+        reg.set(prefix + "tlb.hits", tlb_->hits());
+        reg.set(prefix + "tlb.misses", tlb_->misses());
+    }
+}
+
+} // namespace memfwd

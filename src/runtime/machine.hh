@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The Machine: the public simulation facade.
+ *
+ * A Machine is one simulated processor + memory system with memory
+ * forwarding support.  Workloads execute by issuing *timed operations*
+ * against it, in program order:
+ *
+ *  - load/store      — ordinary references, subject to forwarding;
+ *  - readFBit, unforwardedRead, unforwardedWrite
+ *                    — the three ISA extensions of Figure 3;
+ *  - prefetch        — block prefetch of N consecutive lines;
+ *  - compute         — N single-cycle ALU instructions.
+ *
+ * Loads return both the value and the cycle it becomes available; a
+ * workload threads that cycle into the next access's `addr_ready` when
+ * the address depends on the loaded value.  This is how the
+ * pointer-chasing serialization the paper discusses (Section 2.2) is
+ * expressed: `b = load(a.next)` then `load(b.data, addr_ready=b.ready)`.
+ */
+
+#ifndef MEMFWD_RUNTIME_MACHINE_HH
+#define MEMFWD_RUNTIME_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "cache/prefetcher.hh"
+#include "common/stats_registry.hh"
+#include "common/types.hh"
+#include "core/forwarding_engine.hh"
+#include "cpu/ooo_cpu.hh"
+#include "mem/tagged_memory.hh"
+#include "mem/tlb.hh"
+
+namespace memfwd
+{
+
+/** Whole-machine configuration. */
+struct MachineConfig
+{
+    HierarchyConfig hierarchy{};
+    OooParams cpu{};
+    ForwardingConfig forwarding{};
+
+    /** TLB reach model; disabled by default (see mem/tlb.hh). */
+    TlbConfig tlb{};
+
+    /** Base of the simulated heap handed to SimAllocator. */
+    Addr heap_base = 0x0000000010000000ULL;
+
+    /** Size of the simulated heap region. */
+    Addr heap_span = 1ULL << 32;
+};
+
+/** Result of a timed load. */
+struct LoadResult
+{
+    std::uint64_t value; ///< bytes read (zero-extended)
+    Cycles ready;        ///< cycle the value is available
+    unsigned hops;       ///< forwarding hops this reference took
+    Addr final_addr;     ///< address the data was actually found at
+};
+
+/** Result of a timed store. */
+struct StoreResult
+{
+    Cycles done;     ///< completion cycle
+    unsigned hops;   ///< forwarding hops
+    Addr final_addr; ///< address the data actually landed at
+};
+
+/** One simulated CPU + forwarding memory system. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg = {});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // ----- ordinary (forwardable) references --------------------------
+
+    /**
+     * Timed load of @p size bytes at @p addr.  @p addr_ready is the
+     * cycle the address operand becomes available (loads feeding
+     * loads); @p site and @p pointer_slot feed user-level traps.
+     */
+    LoadResult load(Addr addr, unsigned size, Cycles addr_ready = 0,
+                    SiteId site = no_site, Addr pointer_slot = 0);
+
+    /** Timed store of @p size bytes; mirrors load(). */
+    StoreResult store(Addr addr, unsigned size, std::uint64_t value,
+                      Cycles addr_ready = 0, SiteId site = no_site,
+                      Addr pointer_slot = 0);
+
+    // ----- ISA extensions (Figure 3) ----------------------------------
+
+    /** Read_FBit: forwarding bit of the word containing @p addr. */
+    bool readFBit(Addr addr, Cycles addr_ready = 0);
+
+    /** Unforwarded_Read: raw word payload, forwarding disabled. */
+    std::uint64_t unforwardedRead(Addr addr, Cycles addr_ready = 0);
+
+    /** Unforwarded_Write: atomic word + forwarding-bit write. */
+    void unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
+                          Cycles addr_ready = 0);
+
+    // ----- other instructions ------------------------------------------
+
+    /** Block prefetch of @p lines consecutive lines (non-binding). */
+    void prefetch(Addr addr, unsigned lines, Cycles addr_ready = 0);
+
+    /** Execute @p n single-cycle ALU instructions. */
+    void compute(std::uint64_t n);
+
+    // ----- untimed (debug/test) access ---------------------------------
+
+    /** Functional read following forwarding, no timing, no stats. */
+    std::uint64_t peek(Addr addr, unsigned size) const;
+
+    /** Functional write following forwarding, no timing, no stats. */
+    void poke(Addr addr, unsigned size, std::uint64_t value);
+
+    // ----- component access --------------------------------------------
+
+    TaggedMemory &mem() { return mem_; }
+    const TaggedMemory &mem() const { return mem_; }
+    MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const MemoryHierarchy &hierarchy() const { return *hierarchy_; }
+    OooCpu &cpu() { return *cpu_; }
+    const OooCpu &cpu() const { return *cpu_; }
+    ForwardingEngine &forwarding() { return *fwd_; }
+    const ForwardingEngine &forwarding() const { return *fwd_; }
+    Prefetcher &prefetcher() { return *prefetcher_; }
+    Tlb &tlb() { return *tlb_; }
+    const Tlb &tlb() const { return *tlb_; }
+
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Execution time so far, in cycles. */
+    Cycles cycles() const { return cpu_->cycles(); }
+
+    /**
+     * Observer called for every demand reference with its *final*
+     * (post-forwarding) address — the hook external tools (page-fault
+     * models, trace collectors) use to watch the reference stream.
+     */
+    using TraceHook =
+        std::function<void(Addr final_addr, unsigned size, AccessType)>;
+
+    /** Install (or clear, with nullptr) the trace hook. */
+    void setTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+    // ----- reference-level forwarding stats (Figure 10(c)) -------------
+
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t loadsForwarded() const { return loads_forwarded_; }
+    std::uint64_t storesForwarded() const { return stores_forwarded_; }
+
+    /** Dump every statistic into @p reg under @p prefix. */
+    void collectStats(StatsRegistry &reg, const std::string &prefix) const;
+
+  private:
+    /** TLB lookup applied to a reference's final address. */
+    Cycles translate(Addr addr, Cycles now);
+
+    MachineConfig cfg_;
+    TaggedMemory mem_;
+    std::unique_ptr<MemoryHierarchy> hierarchy_;
+    std::unique_ptr<OooCpu> cpu_;
+    std::unique_ptr<ForwardingEngine> fwd_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::unique_ptr<Tlb> tlb_;
+
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t loads_forwarded_ = 0;
+    std::uint64_t stores_forwarded_ = 0;
+
+    TraceHook trace_hook_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_MACHINE_HH

@@ -1,0 +1,38 @@
+#include "runtime/pointer_compare.hh"
+
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+
+namespace memfwd
+{
+
+bool
+pointersEqual(Machine &machine, Addr a, Addr b)
+{
+    // Fast path mirrors what compiled code would do: equal initial
+    // addresses are always equal finally (a chain is deterministic),
+    // and the full lookup is only needed on mismatch.
+    if (a == b) {
+        machine.compute(1);
+        return true;
+    }
+    const Addr fa = chaseChain(machine, a);
+    const Addr fb = chaseChain(machine, b);
+    machine.compute(1);
+    return fa == fb;
+}
+
+int
+pointerCompare(Machine &machine, Addr a, Addr b)
+{
+    const Addr fa = chaseChain(machine, a);
+    const Addr fb = chaseChain(machine, b);
+    machine.compute(1);
+    if (fa < fb)
+        return -1;
+    if (fa > fb)
+        return 1;
+    return 0;
+}
+
+} // namespace memfwd

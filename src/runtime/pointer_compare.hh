@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Final-address pointer comparison (Section 2.1).
+ *
+ * After relocation, two pointers with distinct initial addresses may
+ * designate the same object, so explicit pointer comparisons that could
+ * involve relocated objects must compare *final* addresses.  The paper's
+ * compiler pass replaces such comparisons with a software lookup using
+ * the ISA extensions; these helpers are that lookup, and their cost is
+ * charged to the instruction stream exactly as the paper's results
+ * include it.
+ */
+
+#ifndef MEMFWD_RUNTIME_POINTER_COMPARE_HH
+#define MEMFWD_RUNTIME_POINTER_COMPARE_HH
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+
+/** True if @p a and @p b designate the same final location. */
+bool pointersEqual(Machine &machine, Addr a, Addr b);
+
+/**
+ * Three-way comparison of final addresses: negative, zero, or positive
+ * as finalAddr(a) <, ==, > finalAddr(b).
+ */
+int pointerCompare(Machine &machine, Addr a, Addr b);
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_POINTER_COMPARE_HH

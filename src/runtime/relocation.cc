@@ -1,0 +1,43 @@
+#include "runtime/relocation.hh"
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+
+namespace memfwd
+{
+
+Addr
+chaseChain(Machine &machine, Addr addr)
+{
+    Addr word = wordAlign(addr);
+    const unsigned offset = wordOffset(addr);
+    unsigned guard = 0;
+    while (machine.readFBit(word)) {
+        word = wordAlign(machine.unforwardedRead(word));
+        memfwd_assert(++guard < 1u << 20, "chaseChain: runaway chain");
+    }
+    return word + offset;
+}
+
+void
+relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
+{
+    memfwd_assert(isWordAligned(src) && isWordAligned(tgt),
+                  "relocate: endpoints must be word-aligned");
+    for (unsigned i = 0; i < n_words; ++i) {
+        const Addr s = src + static_cast<Addr>(i) * wordBytes;
+        const Addr t = tgt + static_cast<Addr>(i) * wordBytes;
+
+        // Loop until a clear forwarding bit is read, so the target is
+        // appended at the end of any existing chain (Figure 4(a)).
+        const Addr tail = chaseChain(machine, s);
+
+        // Copy the payload to its new home, then atomically turn the
+        // chain tail into a forwarding address.
+        const std::uint64_t value = machine.unforwardedRead(tail);
+        machine.store(t, wordBytes, value);
+        machine.unforwardedWrite(tail, t, true);
+    }
+}
+
+} // namespace memfwd

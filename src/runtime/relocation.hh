@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Relocate() procedure of Figure 4(a).
+ *
+ * Relocates an object of n words from src to tgt: for every word, the
+ * forwarding chain starting at the source word is first chased to its
+ * end (so that tgt is *appended* to any existing chain), the payload is
+ * copied to the target, and the chain tail is atomically turned into a
+ * forwarding address pointing at the target word.
+ *
+ * Every step is issued through the Machine's timed operations, so the
+ * full relocation overhead the paper accounts for (Section 2.3) appears
+ * in the results.
+ */
+
+#ifndef MEMFWD_RUNTIME_RELOCATION_HH
+#define MEMFWD_RUNTIME_RELOCATION_HH
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+
+/**
+ * Relocate @p n_words words from @p src to @p tgt on @p machine, then
+ * forward @p src (or the tail of its existing chain) to @p tgt.
+ * Both addresses must be word-aligned.
+ */
+void relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words);
+
+/**
+ * Chase the forwarding chain of the word containing @p addr using the
+ * ISA extensions (Read_FBit + Unforwarded_Read) and return the final
+ * address, preserving the byte offset.  This is the software
+ * final-address lookup used for pointer comparisons and by Relocate().
+ */
+Addr chaseChain(Machine &machine, Addr addr);
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_RELOCATION_HH

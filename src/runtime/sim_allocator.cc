@@ -1,0 +1,177 @@
+#include "runtime/sim_allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+
+namespace memfwd
+{
+
+namespace
+{
+
+/** Approximate instruction cost of one malloc/free call. */
+constexpr std::uint64_t alloc_compute_cost = 40;
+
+} // namespace
+
+SimAllocator::SimAllocator(Machine &machine, Addr base, Addr span,
+                           std::uint64_t seed)
+    : machine_(machine), base_(base), span_(span), rng_(seed)
+{
+    memfwd_assert(isWordAligned(base_), "heap base must be word-aligned");
+    memfwd_assert(span_ >= TaggedMemory::pageBytes, "heap span too small");
+}
+
+SimAllocator::SimAllocator(Machine &machine, std::uint64_t seed)
+    : SimAllocator(machine, machine.config().heap_base,
+                   machine.config().heap_span, seed)
+{
+}
+
+bool
+SimAllocator::rangeFree(Addr start, Addr bytes) const
+{
+    if (start < base_ || start + bytes > base_ + span_)
+        return false;
+    // Check the first block starting at or after `start`, and the block
+    // preceding it, for overlap.
+    auto it = blocks_.lower_bound(start);
+    if (it != blocks_.end() && it->first < start + bytes)
+        return false;
+    if (it != blocks_.begin()) {
+        --it;
+        if (it->second > start)
+            return false;
+    }
+    return true;
+}
+
+Addr
+SimAllocator::place(Addr bytes, Placement placement, Addr align)
+{
+    if (placement == Placement::scattered) {
+        // Pseudo-random placement across the arena: this stands in for
+        // the allocation interleaving and heap churn that scatter real
+        // applications' nodes.  With span >> live bytes the first
+        // probes almost always succeed.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            Addr candidate =
+                base_ + (rng_.below(span_ - bytes) & ~(align - 1));
+            if (candidate < base_)
+                candidate = base_;
+            if (rangeFree(candidate, bytes))
+                return candidate;
+        }
+        memfwd_warn("scattered placement degraded to sequential "
+                    "(heap too full)");
+    }
+    // Sequential bump with a free-range check (the scattered blocks
+    // share the arena).
+    Addr candidate = base_ + bump_;
+    for (;;) {
+        candidate = (candidate + align - 1) & ~(align - 1);
+        if (candidate + bytes > base_ + span_)
+            memfwd_fatal("simulated heap exhausted: need %llu bytes",
+                         static_cast<unsigned long long>(bytes));
+        if (rangeFree(candidate, bytes))
+            break;
+        // Skip past the colliding block.
+        auto it = blocks_.upper_bound(candidate);
+        if (it != blocks_.begin())
+            --it;
+        candidate = std::max(candidate + align, it->second);
+    }
+    bump_ = candidate + bytes - base_;
+    return candidate;
+}
+
+Addr
+SimAllocator::alloc(Addr bytes, Placement placement, Addr align)
+{
+    memfwd_assert(bytes > 0, "zero-byte allocation");
+    memfwd_assert(align >= wordBytes && (align & (align - 1)) == 0,
+                  "alignment must be a power of two >= %u", wordBytes);
+    bytes = roundUpToWord(bytes);
+
+    const Addr addr = place(bytes, placement, align);
+    blocks_.emplace(addr, addr + bytes);
+
+    // The OS guarantees clear forwarding bits on fresh memory
+    // (Section 3.3); the sweep is functional, the allocator's own work
+    // is charged as compute.
+    machine_.mem().initializeRegion(addr, bytes);
+    machine_.compute(alloc_compute_cost);
+
+    ++alloc_calls_;
+    bytes_live_ += bytes;
+    bytes_total_ += bytes;
+    bytes_peak_ = std::max(bytes_peak_, bytes_live_);
+    return addr;
+}
+
+bool
+SimAllocator::isAllocated(Addr addr) const
+{
+    return blocks_.count(addr) != 0;
+}
+
+Addr
+SimAllocator::allocationSize(Addr addr) const
+{
+    auto it = blocks_.find(addr);
+    return it == blocks_.end() ? 0 : it->second - it->first;
+}
+
+void
+SimAllocator::free(Addr addr)
+{
+    // Section 3.3: the wrapper walks the forwarding chain first and
+    // deallocates every relocated copy of the object, then the block
+    // itself.  The walk is performed with the ISA extensions so its
+    // cost appears in the timing.
+    Addr cur = wordAlign(addr);
+    unsigned guard = 0;
+    while (machine_.readFBit(cur)) {
+        cur = wordAlign(machine_.unforwardedRead(cur));
+        if (auto it = blocks_.find(cur); it != blocks_.end()) {
+            bytes_live_ -= it->second - it->first;
+            blocks_.erase(it);
+        }
+        memfwd_assert(++guard < 1u << 20, "free(): runaway chain");
+    }
+
+    auto it = blocks_.find(addr);
+    memfwd_assert(it != blocks_.end(),
+                  "free() of unallocated address %#llx",
+                  static_cast<unsigned long long>(addr));
+    bytes_live_ -= it->second - it->first;
+    blocks_.erase(it);
+
+    machine_.compute(alloc_compute_cost);
+    ++free_calls_;
+}
+
+RelocationPool::RelocationPool(SimAllocator &alloc, Addr bytes)
+    : bytes_(roundUpToWord(bytes))
+{
+    base_ = alloc.alloc(bytes_, Placement::sequential);
+    cursor_ = base_;
+}
+
+Addr
+RelocationPool::take(Addr bytes, Addr align)
+{
+    memfwd_assert(align >= wordBytes && (align & (align - 1)) == 0,
+                  "bad pool alignment");
+    Addr a = (cursor_ + align - 1) & ~(align - 1);
+    bytes = roundUpToWord(bytes);
+    memfwd_assert(a + bytes <= base_ + bytes_,
+                  "relocation pool exhausted (capacity %llu)",
+                  static_cast<unsigned long long>(bytes_));
+    cursor_ = a + bytes;
+    return a;
+}
+
+} // namespace memfwd

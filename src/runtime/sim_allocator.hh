@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Memory allocation on the simulated heap.
+ *
+ * Two placement policies:
+ *
+ *  - *sequential* — a bump allocator, giving the tight, ordered layout
+ *    a fresh heap would give;
+ *  - *scattered*  — blocks are placed at pseudo-random positions across
+ *    the arena.  This is our documented substitution for the heap aging
+ *    / allocation interleaving that scatters the paper's real
+ *    applications' nodes across the address space (DESIGN.md Section 2):
+ *    the paper's premise is data "scattered sparsely throughout the
+ *    address space", which fresh bump allocation would not reproduce.
+ *
+ * free() is the forwarding-chain-aware wrapper of Section 3.3: when a
+ * block whose first word carries a forwarding address is freed, every
+ * relocated copy reachable through the chain is freed as well (if it is
+ * a known allocation — relocation-pool space is reclaimed by resetting
+ * the pool).
+ *
+ * All words handed out are word-aligned (Section 3.3, "Memory
+ * Alignment") and their forwarding bits are cleared before reuse
+ * (Section 3.3, "Initialization of Forwarding Bits").
+ */
+
+#ifndef MEMFWD_RUNTIME_SIM_ALLOCATOR_HH
+#define MEMFWD_RUNTIME_SIM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+
+/** Placement policy for new blocks. */
+enum class Placement
+{
+    sequential,
+    scattered
+};
+
+/** Word-aligned allocator over a Machine's simulated heap. */
+class SimAllocator
+{
+  public:
+    /**
+     * Manage [base, base+span) of @p machine's address space.  @p seed
+     * drives scattered placement deterministically.
+     */
+    SimAllocator(Machine &machine, Addr base, Addr span,
+                 std::uint64_t seed = 1);
+
+    /** Convenience: manage the machine's configured heap region. */
+    explicit SimAllocator(Machine &machine, std::uint64_t seed = 1);
+
+    SimAllocator(const SimAllocator &) = delete;
+    SimAllocator &operator=(const SimAllocator &) = delete;
+
+    /**
+     * Allocate @p bytes (rounded up to whole words) with the given
+     * placement.  Alignment is at least a word; pass a larger
+     * power-of-two @p align to line-align blocks.
+     */
+    Addr alloc(Addr bytes, Placement placement = Placement::sequential,
+               Addr align = wordBytes);
+
+    /**
+     * Free the block at @p addr, first freeing every relocated copy
+     * reachable through the forwarding chain of its first word.
+     * Unknown chain targets (e.g. pool space) are skipped.
+     */
+    void free(Addr addr);
+
+    /** True if @p addr is the start of a live allocation. */
+    bool isAllocated(Addr addr) const;
+
+    /** Size in bytes of the live allocation at @p addr (0 if none). */
+    Addr allocationSize(Addr addr) const;
+
+    /** Bytes currently allocated. */
+    Addr bytesLive() const { return bytes_live_; }
+
+    /** High-water mark of bytesLive(). */
+    Addr bytesPeak() const { return bytes_peak_; }
+
+    /** Total bytes ever allocated. */
+    Addr bytesTotal() const { return bytes_total_; }
+
+    std::uint64_t allocCalls() const { return alloc_calls_; }
+    std::uint64_t freeCalls() const { return free_calls_; }
+
+    Addr base() const { return base_; }
+    Addr span() const { return span_; }
+
+  private:
+    Addr place(Addr bytes, Placement placement, Addr align);
+    bool rangeFree(Addr start, Addr bytes) const;
+
+    Machine &machine_;
+    Addr base_;
+    Addr span_;
+    Rng rng_;
+
+    /** start -> end of every live block, ordered by start. */
+    std::map<Addr, Addr> blocks_;
+
+    Addr bump_ = 0;
+    Addr bytes_live_ = 0;
+    Addr bytes_peak_ = 0;
+    Addr bytes_total_ = 0;
+    std::uint64_t alloc_calls_ = 0;
+    std::uint64_t free_calls_ = 0;
+};
+
+/**
+ * A contiguous arena for relocation targets — the "pool of contiguous
+ * memory" ListLinearize() draws from (Figure 4(b)).  Its footprint is
+ * the "Space Overhead" column of Table 1.
+ */
+class RelocationPool
+{
+  public:
+    /** Carve @p bytes out of @p alloc as one contiguous arena. */
+    RelocationPool(SimAllocator &alloc, Addr bytes);
+
+    /** Bump-allocate @p bytes (word-aligned), optionally @p align-ed. */
+    Addr take(Addr bytes, Addr align = wordBytes);
+
+    /** Bytes handed out so far (the space overhead actually used). */
+    Addr used() const { return cursor_ - base_; }
+
+    /** Total arena size. */
+    Addr capacity() const { return bytes_; }
+
+    Addr base() const { return base_; }
+
+    /** Remaining capacity. */
+    Addr remaining() const { return base_ + bytes_ - cursor_; }
+
+  private:
+    Addr base_;
+    Addr bytes_;
+    Addr cursor_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_SIM_ALLOCATOR_HH

@@ -1,0 +1,141 @@
+#include "runtime/subtree_cluster.hh"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+
+namespace
+{
+
+struct PlanNode
+{
+    Addr old_addr;
+    Cycles ready;                 ///< when its address was known
+    std::vector<Addr> children;   ///< old child addresses (may be leaves)
+};
+
+} // namespace
+
+ClusterResult
+subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
+               RelocationPool &pool, unsigned cluster_bytes)
+{
+    const unsigned node_bytes = roundUpToWord(desc.node_bytes);
+    const unsigned node_words = node_bytes / wordBytes;
+    unsigned capacity = cluster_bytes / node_bytes;
+    if (capacity == 0)
+        capacity = 1;
+
+    const LoadResult root = machine.load(root_handle, wordBytes);
+    if (root.value == desc.null_child)
+        return {desc.null_child, 0, 0, 0};
+
+    // Is the node at `addr` a leaf that must stay in place?
+    auto isLeaf = [&](Addr addr, Cycles dep) {
+        if (desc.leaf_tag_offset == ~0u)
+            return false;
+        const LoadResult tag =
+            machine.load(addr + desc.leaf_tag_offset, wordBytes, dep);
+        return tag.value == desc.leaf_tag_value;
+    };
+
+    if (isLeaf(static_cast<Addr>(root.value), root.ready))
+        return {static_cast<Addr>(root.value), 0, 0, 0};
+
+    // ----- plan: walk the tree, form clusters in balanced BFS order ----
+    std::vector<PlanNode> nodes;
+    std::unordered_map<Addr, std::size_t> index; // old addr -> nodes idx
+    std::unordered_map<Addr, Addr> new_addr;     // old addr -> new addr
+    unsigned clusters = 0;
+    Addr pool_used = 0;
+
+    std::deque<std::pair<Addr, Cycles>> cluster_roots;
+    cluster_roots.emplace_back(static_cast<Addr>(root.value), root.ready);
+
+    while (!cluster_roots.empty()) {
+        auto [cr, cr_ready] = cluster_roots.front();
+        cluster_roots.pop_front();
+        if (index.count(cr))
+            continue; // already packed (shared subtree)
+
+        // Collect up to `capacity` nodes of this subtree breadth-first.
+        std::vector<std::size_t> members;
+        std::deque<std::pair<Addr, Cycles>> bfs;
+        bfs.emplace_back(cr, cr_ready);
+        while (!bfs.empty() && members.size() < capacity) {
+            auto [addr, dep] = bfs.front();
+            bfs.pop_front();
+            if (index.count(addr))
+                continue;
+
+            PlanNode pn;
+            pn.old_addr = addr;
+            pn.ready = dep;
+            for (unsigned off : desc.child_offsets) {
+                const LoadResult c =
+                    machine.load(addr + off, wordBytes, dep);
+                if (c.value == desc.null_child)
+                    continue;
+                pn.children.push_back(static_cast<Addr>(c.value));
+                if (!isLeaf(static_cast<Addr>(c.value), c.ready))
+                    bfs.emplace_back(static_cast<Addr>(c.value), c.ready);
+            }
+            index.emplace(addr, nodes.size());
+            members.push_back(nodes.size());
+            nodes.push_back(std::move(pn));
+        }
+
+        // Whatever is left in the BFS frontier starts new clusters.
+        for (auto &rest : bfs) {
+            if (!index.count(rest.first))
+                cluster_roots.push_back(rest);
+        }
+
+        if (members.empty())
+            continue;
+
+        // Assign the members consecutive, cluster-aligned slots.
+        const Addr chunk =
+            pool.take(static_cast<Addr>(node_bytes) * members.size(),
+                      cluster_bytes);
+        pool_used += static_cast<Addr>(node_bytes) * members.size();
+        ++clusters;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            new_addr.emplace(nodes[members[i]].old_addr,
+                             chunk + static_cast<Addr>(i) * node_bytes);
+        }
+    }
+
+    // ----- execute: relocate, then rewrite child pointers --------------
+    for (const PlanNode &pn : nodes)
+        relocate(machine, pn.old_addr, new_addr.at(pn.old_addr),
+                 node_words);
+
+    for (const PlanNode &pn : nodes) {
+        const Addr home = new_addr.at(pn.old_addr);
+        for (unsigned off : desc.child_offsets) {
+            // Re-read the copied child value directly at the new home
+            // (an unforwarded read: home is fresh memory).
+            const std::uint64_t cur = machine.unforwardedRead(home + off);
+            if (cur == desc.null_child)
+                continue;
+            auto it = new_addr.find(static_cast<Addr>(cur));
+            if (it != new_addr.end())
+                machine.store(home + off, wordBytes, it->second);
+        }
+    }
+
+    const Addr nr = new_addr.at(static_cast<Addr>(root.value));
+    machine.store(root_handle, wordBytes, nr);
+
+    return {nr, static_cast<unsigned>(nodes.size()), clusters, pool_used};
+}
+
+} // namespace memfwd

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Subtree clustering (Section 5.3, BH; Figure 9; after Chilimbi &
+ * Larus's data coloring/clustering [11]).
+ *
+ * Packs nodes of a tree into cache-line-sized clusters "in the most
+ * balanced form": each cluster holds a subtree root plus its nearest
+ * descendants in breadth-first order, as many as fit in one line, so
+ * that whichever child a traversal visits next is likely already in the
+ * current line.  Children that do not fit start new clusters.
+ *
+ * After relocation, child pointers and the root handle are rewritten to
+ * the new locations; forwarding addresses cover any stray pointers.
+ */
+
+#ifndef MEMFWD_RUNTIME_SUBTREE_CLUSTER_HH
+#define MEMFWD_RUNTIME_SUBTREE_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+
+class Machine;
+class RelocationPool;
+
+/** Shape of a tree node. */
+struct TreeDesc
+{
+    /** Node size in bytes (rounded up to words internally). */
+    unsigned node_bytes;
+
+    /** Byte offsets of each child pointer within the node. */
+    std::vector<unsigned> child_offsets;
+
+    /** Child-pointer value meaning "no child" (usually 0). */
+    Addr null_child = 0;
+
+    /**
+     * Optional predicate data: children whose node's first
+     * `leaf_tag_offset` word equals `leaf_tag_value` are NOT relocated
+     * (BH clusters only non-leaf nodes, Section 5.3).  Disabled when
+     * leaf_tag_offset == ~0u.
+     */
+    unsigned leaf_tag_offset = ~0u;
+    std::uint64_t leaf_tag_value = 0;
+};
+
+/** Result of one clustering pass. */
+struct ClusterResult
+{
+    Addr new_root;    ///< root's new address
+    unsigned nodes;   ///< nodes relocated
+    unsigned clusters;///< line-sized clusters formed
+    Addr pool_bytes;  ///< pool space consumed
+};
+
+/**
+ * Cluster the tree rooted at the pointer stored at @p root_handle into
+ * @p cluster_bytes-sized chunks drawn line-aligned from @p pool.
+ * All traversal, relocation, and pointer-rewrite work is issued as
+ * timed operations on @p machine.
+ */
+ClusterResult subtreeCluster(Machine &machine, Addr root_handle,
+                             const TreeDesc &desc, RelocationPool &pool,
+                             unsigned cluster_bytes);
+
+} // namespace memfwd
+
+#endif // MEMFWD_RUNTIME_SUBTREE_CLUSTER_HH

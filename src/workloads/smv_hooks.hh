@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SMV-specific user-level trap hooks (Section 3.2's second trap use
+ * case: updating stray pointers on the fly, which "requires
+ * application-specific knowledge").
+ */
+
+#ifndef MEMFWD_WORKLOADS_SMV_HOOKS_HH
+#define MEMFWD_WORKLOADS_SMV_HOOKS_HH
+
+#include <cstdint>
+
+namespace memfwd
+{
+
+class Machine;
+
+/**
+ * Install a forwarding-trap handler that rewrites the stale BDD
+ * pointer that caused each trap.  The application knowledge used: BDD
+ * nodes relocate as rigid blocks, so the stale pointer can be advanced
+ * by the same displacement the accessed word moved.  Returns the trap
+ * token.
+ */
+std::uint64_t installSmvPointerFixup(Machine &machine);
+
+} // namespace memfwd
+
+#endif // MEMFWD_WORKLOADS_SMV_HOOKS_HH

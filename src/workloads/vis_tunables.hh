@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Tunable knobs of the VIS workload exposed for ablation studies.
+ */
+
+#ifndef MEMFWD_WORKLOADS_VIS_TUNABLES_HH
+#define MEMFWD_WORKLOADS_VIS_TUNABLES_HH
+
+namespace memfwd
+{
+
+/**
+ * Override the list library's linearization trigger (operations per
+ * list between linearizations).  The paper's default is 50.
+ */
+void setVisLinearizeThreshold(unsigned threshold);
+
+/** Current trigger value. */
+unsigned visLinearizeThreshold();
+
+} // namespace memfwd
+
+#endif // MEMFWD_WORKLOADS_VIS_TUNABLES_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small shared helpers for workload kernels.
+ */
+
+#ifndef MEMFWD_WORKLOADS_WORKLOAD_UTIL_HH
+#define MEMFWD_WORKLOADS_WORKLOAD_UTIL_HH
+
+#include <cstdint>
+
+namespace memfwd
+{
+
+/**
+ * splitmix64 finalizer: a layout-independent deterministic hash used by
+ * workloads for probabilistic decisions.  Decisions must depend only on
+ * functional state (ids, step numbers) — never on addresses — so the
+ * N and L variants take identical control paths.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Combine two values into one hash. */
+constexpr std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/** Deterministic Bernoulli: true with probability num/den. */
+constexpr bool
+hashChance(std::uint64_t key, std::uint64_t num, std::uint64_t den)
+{
+    return mix64(key) % den < num;
+}
+
+} // namespace memfwd
+
+#endif // MEMFWD_WORKLOADS_WORKLOAD_UTIL_HH

@@ -1,0 +1,84 @@
+/** @file Unit tests for the block prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetcher.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+HierarchyConfig
+cfg()
+{
+    HierarchyConfig c;
+    c.l1d.size_bytes = 2048;
+    c.l1d.line_bytes = 32;
+    c.l2.line_bytes = 32;
+    return c;
+}
+
+TEST(Prefetcher, SingleLinePrefetchFillsL1)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    p.issue(0x1000, 1, 0);
+    EXPECT_TRUE(h.l1d().contains(0x1000));
+    EXPECT_EQ(p.instructions(), 1u);
+    EXPECT_EQ(p.issued(), 1u);
+}
+
+TEST(Prefetcher, BlockPrefetchCoversConsecutiveLines)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    p.issue(0x2000, 4, 0);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(h.l1d().contains(0x2000 + i * 32));
+    EXPECT_FALSE(h.l1d().contains(0x2000 + 4 * 32));
+    EXPECT_EQ(p.instructions(), 1u);
+    EXPECT_EQ(p.issued(), 4u);
+}
+
+TEST(Prefetcher, UnalignedAddressPrefetchesContainingLines)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    p.issue(0x3010, 2, 0); // mid-line
+    EXPECT_TRUE(h.l1d().contains(0x3000));
+    EXPECT_TRUE(h.l1d().contains(0x3020));
+}
+
+TEST(Prefetcher, ReturnsLastFillCompletion)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    const Cycles done = p.issue(0x4000, 2, 100);
+    EXPECT_GT(done, 100u);
+    // A prefetch of already-resident lines completes at hit latency.
+    const Cycles again = p.issue(0x4000, 2, done + 10);
+    EXPECT_EQ(again, done + 10 + h.config().l1d.hit_latency);
+}
+
+TEST(Prefetcher, DemandHitAfterPrefetchCountsUseful)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    p.issue(0x5000, 2, 0);
+    h.access(0x5020, AccessType::load, 500);
+    EXPECT_EQ(h.l1d().stats().useful_prefetches, 1u);
+}
+
+TEST(Prefetcher, ClearStats)
+{
+    MemoryHierarchy h(cfg());
+    Prefetcher p(h);
+    p.issue(0x6000, 3, 0);
+    p.clearStats();
+    EXPECT_EQ(p.instructions(), 0u);
+    EXPECT_EQ(p.issued(), 0u);
+}
+
+} // namespace
+} // namespace memfwd

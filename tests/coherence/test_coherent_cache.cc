@@ -1,0 +1,131 @@
+/** @file Unit tests for the MSI coherent cache and snoop bus. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/coherent_cache.hh"
+#include "coherence/snoop_bus.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+struct Duo
+{
+    SnoopBus bus;
+    CoherentCache a{16 * 1024, 2, 64, bus};
+    CoherentCache b{16 * 1024, 2, 64, bus};
+};
+
+TEST(CoherentCache, LoadMissInstallsShared)
+{
+    Duo d;
+    d.a.load(0x1000, 0);
+    EXPECT_EQ(d.a.state(0x1000), CoherenceState::shared);
+    EXPECT_EQ(d.b.state(0x1000), CoherenceState::invalid);
+}
+
+TEST(CoherentCache, StoreMissInstallsModified)
+{
+    Duo d;
+    d.a.store(0x1000, 0);
+    EXPECT_EQ(d.a.state(0x1000), CoherenceState::modified);
+}
+
+TEST(CoherentCache, StoreInvalidatesPeerCopies)
+{
+    Duo d;
+    d.a.load(0x1000, 0);
+    d.b.load(0x1000, 0);
+    EXPECT_EQ(d.b.state(0x1000), CoherenceState::shared);
+
+    d.a.store(0x1000, 10); // S -> M upgrade
+    EXPECT_EQ(d.a.state(0x1000), CoherenceState::modified);
+    EXPECT_EQ(d.b.state(0x1000), CoherenceState::invalid);
+    EXPECT_EQ(d.bus.stats().upgrades, 1u);
+    EXPECT_EQ(d.bus.stats().invalidations, 1u);
+    EXPECT_EQ(d.b.stats().invalidations_taken, 1u);
+}
+
+TEST(CoherentCache, PeerReadDowngradesModified)
+{
+    Duo d;
+    d.a.store(0x1000, 0);
+    d.b.load(0x1000, 50);
+    EXPECT_EQ(d.a.state(0x1000), CoherenceState::shared);
+    EXPECT_EQ(d.b.state(0x1000), CoherenceState::shared);
+    EXPECT_EQ(d.bus.stats().transfers, 1u); // cache-to-cache supply
+}
+
+TEST(CoherentCache, PeerSupplyFasterThanMemory)
+{
+    Duo d;
+    d.a.store(0x1000, 0);
+    const Cycles supplied = d.b.load(0x1000, 100) - 100;
+    const Cycles from_mem = d.b.load(0x9000, 200) - 200;
+    EXPECT_LT(supplied, from_mem);
+}
+
+TEST(CoherentCache, WriteMissInvalidatesEveryPeer)
+{
+    SnoopBus bus;
+    CoherentCache a(16 * 1024, 2, 64, bus);
+    CoherentCache b(16 * 1024, 2, 64, bus);
+    CoherentCache c(16 * 1024, 2, 64, bus);
+    a.load(0x2000, 0);
+    b.load(0x2000, 0);
+    c.store(0x2000, 0);
+    EXPECT_EQ(a.state(0x2000), CoherenceState::invalid);
+    EXPECT_EQ(b.state(0x2000), CoherenceState::invalid);
+    EXPECT_EQ(c.state(0x2000), CoherenceState::modified);
+    EXPECT_EQ(bus.stats().invalidations, 2u);
+}
+
+TEST(CoherentCache, SingleWriterInvariant)
+{
+    // At most one Modified copy at any time, across any op sequence.
+    Duo d;
+    const Addr addrs[] = {0x1000, 0x1040, 0x2000};
+    unsigned step = 0;
+    for (Addr x : addrs) {
+        for (int i = 0; i < 4; ++i) {
+            (i % 2 ? d.a : d.b).store(x, step++);
+            (i % 2 ? d.b : d.a).load(x, step++);
+            unsigned modified = 0;
+            modified += d.a.state(x) == CoherenceState::modified;
+            modified += d.b.state(x) == CoherenceState::modified;
+            EXPECT_LE(modified, 1u);
+        }
+    }
+}
+
+TEST(CoherentCache, FalseSharingPingPong)
+{
+    // Two processors writing DIFFERENT words of the SAME line must
+    // ping-pong; different lines must not.
+    Duo d;
+    for (int i = 0; i < 100; ++i) {
+        d.a.store(0x1000, i);      // word 0 of the line
+        d.b.store(0x1008, i);      // word 1 of the same line
+    }
+    const std::uint64_t same_line = d.bus.stats().invalidations;
+
+    Duo e;
+    for (int i = 0; i < 100; ++i) {
+        e.a.store(0x1000, i);
+        e.b.store(0x2000, i);      // different line
+    }
+    const std::uint64_t diff_line = e.bus.stats().invalidations;
+
+    EXPECT_GE(same_line, 150u); // nearly every write invalidates
+    EXPECT_LE(diff_line, 2u);
+}
+
+TEST(CoherentCacheDeathTest, BadGeometry)
+{
+    SnoopBus bus;
+    EXPECT_DEATH(CoherentCache(1000, 3, 64, bus), "power of two");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,129 @@
+/** @file
+ * Property tests for the multiprocessor: random interleavings of
+ * loads, stores, and relocations from multiple processors checked
+ * against a flat reference model (sequential-consistency functional
+ * semantics — our cores interleave one operation at a time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "coherence/mp_system.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+class MpRandomOps : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MpRandomOps, MatchesReferenceModel)
+{
+    Rng rng(GetParam());
+    MpConfig cfg;
+    cfg.processors = 4;
+    MpSystem sys(cfg);
+
+    constexpr unsigned n_objects = 10;
+    std::vector<std::vector<Addr>> history(n_objects);
+    std::vector<std::uint64_t> reference(n_objects, 0);
+    Addr next_fresh = 0x800000;
+
+    for (unsigned k = 0; k < n_objects; ++k) {
+        const Addr a = 0x10000 + k * 0x1000;
+        history[k].push_back(a);
+        sys.store(0, a, 8, 0);
+    }
+
+    for (unsigned op = 0; op < 400; ++op) {
+        const unsigned cpu = static_cast<unsigned>(rng.below(4));
+        const unsigned k = static_cast<unsigned>(rng.below(n_objects));
+        auto &hist = history[k];
+        const Addr via = hist[rng.below(hist.size())];
+
+        switch (rng.below(4)) {
+          case 0: {
+            const std::uint64_t v = rng.next();
+            sys.store(cpu, via, 8, v);
+            reference[k] = v;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(sys.load(cpu, via, 8), reference[k])
+                << "cpu " << cpu << " object " << k;
+            break;
+          case 2: { // relocate from the current location
+            sys.relocate(cpu, hist.back(), next_fresh, 1);
+            hist.push_back(next_fresh);
+            next_fresh += 0x1000;
+            break;
+          }
+          case 3: // pure compute progress on one core
+            sys.compute(cpu, rng.below(20));
+            break;
+        }
+    }
+
+    // Every processor sees every object's current value through every
+    // historical pointer.
+    for (unsigned k = 0; k < n_objects; ++k) {
+        for (Addr via : history[k]) {
+            for (unsigned cpu = 0; cpu < 4; ++cpu)
+                EXPECT_EQ(sys.load(cpu, via, 8), reference[k]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpRandomOps,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(MpInvariants, AtMostOneModifiedCopyEver)
+{
+    Rng rng(99);
+    MpConfig cfg;
+    cfg.processors = 3;
+    MpSystem sys(cfg);
+
+    const Addr addrs[] = {0x10000, 0x10040, 0x20000};
+    for (unsigned op = 0; op < 300; ++op) {
+        const unsigned cpu = static_cast<unsigned>(rng.below(3));
+        const Addr a = addrs[rng.below(3)];
+        if (rng.chance(0.5))
+            sys.store(cpu, a, 8, op);
+        else
+            sys.load(cpu, a, 8);
+
+        for (Addr check : addrs) {
+            unsigned modified = 0;
+            for (unsigned p = 0; p < 3; ++p) {
+                modified += sys.cache(p).state(check) ==
+                            CoherenceState::modified;
+            }
+            EXPECT_LE(modified, 1u);
+        }
+    }
+}
+
+TEST(MpInvariants, ClocksMonotonePerCpu)
+{
+    Rng rng(7);
+    MpSystem sys;
+    std::vector<Cycles> last(sys.config().processors, 0);
+    for (unsigned op = 0; op < 500; ++op) {
+        const unsigned cpu = static_cast<unsigned>(
+            rng.below(sys.config().processors));
+        if (rng.chance(0.5))
+            sys.load(cpu, 0x10000 + rng.below(64) * 64, 8);
+        else
+            sys.store(cpu, 0x10000 + rng.below(64) * 64, 8, op);
+        EXPECT_GE(sys.clock(cpu), last[cpu]);
+        last[cpu] = sys.clock(cpu);
+    }
+}
+
+} // namespace
+} // namespace memfwd

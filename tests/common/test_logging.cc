@@ -1,0 +1,51 @@
+/** @file Unit tests for the logging/format helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("plain"), "plain");
+    EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strfmt("%#llx", 0xbeefULL), "0xbeef");
+}
+
+TEST(Logging, StrfmtEmpty)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Logging, VerboseToggle)
+{
+    const bool was = verbose();
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(was);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(memfwd_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(memfwd_assert(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(memfwd_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,60 @@
+/** @file Unit tests for the stats registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats_registry.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(StatsRegistry, StartsEmpty)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.get("anything"), 0u);
+    EXPECT_FALSE(reg.has("anything"));
+}
+
+TEST(StatsRegistry, AddAccumulates)
+{
+    StatsRegistry reg;
+    reg.add("c");
+    reg.add("c", 4);
+    EXPECT_EQ(reg.get("c"), 5u);
+    EXPECT_TRUE(reg.has("c"));
+}
+
+TEST(StatsRegistry, SetOverwrites)
+{
+    StatsRegistry reg;
+    reg.add("c", 10);
+    reg.set("c", 3);
+    EXPECT_EQ(reg.get("c"), 3u);
+}
+
+TEST(StatsRegistry, ClearZeroesButKeepsNames)
+{
+    StatsRegistry reg;
+    reg.add("a", 1);
+    reg.add("b", 2);
+    reg.clear();
+    EXPECT_EQ(reg.get("a"), 0u);
+    EXPECT_TRUE(reg.has("a"));
+    EXPECT_TRUE(reg.has("b"));
+}
+
+TEST(StatsRegistry, DumpSortedWithPrefix)
+{
+    StatsRegistry reg;
+    reg.set("z.last", 1);
+    reg.set("a.first", 2);
+    std::ostringstream os;
+    reg.dump(os, "p.");
+    EXPECT_EQ(os.str(), "p.a.first = 2\np.z.last = 1\n");
+}
+
+} // namespace
+} // namespace memfwd

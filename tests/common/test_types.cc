@@ -1,0 +1,55 @@
+/** @file Unit tests for the address/word helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(Types, WordAlignRoundsDown)
+{
+    EXPECT_EQ(wordAlign(0), 0u);
+    EXPECT_EQ(wordAlign(7), 0u);
+    EXPECT_EQ(wordAlign(8), 8u);
+    EXPECT_EQ(wordAlign(15), 8u);
+    EXPECT_EQ(wordAlign(0xdeadbeef), 0xdeadbee8u);
+}
+
+TEST(Types, WordOffsetWithinWord)
+{
+    EXPECT_EQ(wordOffset(0), 0u);
+    EXPECT_EQ(wordOffset(5), 5u);
+    EXPECT_EQ(wordOffset(8), 0u);
+    EXPECT_EQ(wordOffset(0xdeadbeef), 7u);
+}
+
+TEST(Types, IsWordAligned)
+{
+    EXPECT_TRUE(isWordAligned(0));
+    EXPECT_TRUE(isWordAligned(64));
+    EXPECT_FALSE(isWordAligned(4));
+    EXPECT_FALSE(isWordAligned(63));
+}
+
+TEST(Types, RoundUpToWord)
+{
+    EXPECT_EQ(roundUpToWord(0), 0u);
+    EXPECT_EQ(roundUpToWord(1), 8u);
+    EXPECT_EQ(roundUpToWord(8), 8u);
+    EXPECT_EQ(roundUpToWord(9), 16u);
+    EXPECT_EQ(roundUpToWord(78), 80u);
+}
+
+TEST(Types, AlignmentIsIdempotent)
+{
+    for (Addr a : {Addr(0), Addr(3), Addr(100), Addr(0xffffffffffull)}) {
+        EXPECT_EQ(wordAlign(wordAlign(a)), wordAlign(a));
+        EXPECT_EQ(wordAlign(a) + wordOffset(a), a);
+    }
+}
+
+} // namespace
+} // namespace memfwd

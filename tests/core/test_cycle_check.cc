@@ -1,0 +1,77 @@
+/** @file Unit tests for accurate forwarding-cycle detection. */
+
+#include <gtest/gtest.h>
+
+#include "core/cycle_check.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(CycleCheck, EmptyChainIsClean)
+{
+    TaggedMemory mem;
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    EXPECT_FALSE(r.is_cycle);
+    EXPECT_EQ(r.length, 0u);
+}
+
+TEST(CycleCheck, LinearChainIsClean)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x2000, true);
+    mem.unforwardedWrite(0x2000, 0x3000, true);
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    EXPECT_FALSE(r.is_cycle);
+    EXPECT_EQ(r.length, 2u);
+}
+
+TEST(CycleCheck, SelfLoopDetected)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x1000, true);
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    EXPECT_TRUE(r.is_cycle);
+    EXPECT_EQ(r.length, 1u);
+}
+
+TEST(CycleCheck, TwoNodeCycleDetected)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x2000, true);
+    mem.unforwardedWrite(0x2000, 0x1000, true);
+    EXPECT_TRUE(accurateCycleCheck(mem, 0x1000).is_cycle);
+}
+
+TEST(CycleCheck, RhoShapeDetected)
+{
+    // A tail leading into a loop: 0x1000 -> 0x2000 -> 0x3000 -> 0x2000.
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x2000, true);
+    mem.unforwardedWrite(0x2000, 0x3000, true);
+    mem.unforwardedWrite(0x3000, 0x2000, true);
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    EXPECT_TRUE(r.is_cycle);
+    EXPECT_EQ(r.length, 3u); // hops taken before the repeat was seen
+}
+
+TEST(CycleCheck, UnalignedStartUsesContainingWord)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x1000, true);
+    EXPECT_TRUE(accurateCycleCheck(mem, 0x1003).is_cycle);
+}
+
+TEST(CycleCheck, ErrorCarriesContext)
+{
+    const ForwardingCycleError err(0xbeef0, 7);
+    EXPECT_EQ(err.start(), 0xbeef0u);
+    EXPECT_EQ(err.length(), 7u);
+    EXPECT_NE(std::string(err.what()).find("forwarding cycle"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,261 @@
+/** @file Unit tests for the forwarding engine — the paper's mechanism. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "core/cycle_check.hh"
+#include "core/forwarding_engine.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+struct Rig
+{
+    TaggedMemory mem;
+    MemoryHierarchy hierarchy{HierarchyConfig{}};
+    ForwardingEngine engine{mem, hierarchy, ForwardingConfig{}};
+
+    explicit Rig(ForwardingConfig cfg = {})
+        : engine(mem, hierarchy, cfg)
+    {}
+};
+
+TEST(ForwardingEngine, NonForwardedIsFree)
+{
+    Rig rig;
+    const WalkResult w = rig.engine.resolve(0x1004, AccessType::load, 10);
+    EXPECT_EQ(w.final_addr, 0x1004u);
+    EXPECT_EQ(w.hops, 0u);
+    EXPECT_EQ(w.ready, 10u);
+    EXPECT_EQ(w.forward_cycles, 0u);
+    EXPECT_EQ(rig.engine.stats().walks, 0u);
+}
+
+TEST(ForwardingEngine, SingleHopPreservesByteOffset)
+{
+    // The Figure 1 example: a 32-bit subword at 0804 forwards to 5804.
+    Rig rig;
+    rig.engine.forwardWord(0x0800, 0x5800);
+    const WalkResult w = rig.engine.resolve(0x0804, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x5804u);
+    EXPECT_EQ(w.hops, 1u);
+    EXPECT_GT(w.forward_cycles, 0u);
+}
+
+TEST(ForwardingEngine, ForwardWordCopiesPayload)
+{
+    Rig rig;
+    rig.mem.rawWriteWord(0x0800, 47);
+    rig.engine.forwardWord(0x0800, 0x5800);
+    EXPECT_EQ(rig.mem.rawReadWord(0x5800), 47u);
+    EXPECT_EQ(rig.mem.rawReadWord(0x0800), 0x5800u);
+    EXPECT_TRUE(rig.mem.fbit(0x0800));
+    EXPECT_FALSE(rig.mem.fbit(0x5800));
+}
+
+TEST(ForwardingEngine, ChainOfArbitraryLength)
+{
+    Rig rig;
+    // 0x1000 -> 0x2000 -> 0x3000 -> 0x4000.
+    rig.mem.rawWriteWord(0x1000, 123);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    rig.engine.forwardWord(0x3000, 0x4000);
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x4000u);
+    EXPECT_EQ(w.hops, 3u);
+    EXPECT_EQ(rig.mem.rawReadWord(0x4000), 123u);
+}
+
+TEST(ForwardingEngine, HopsPolluteTheCache)
+{
+    // Section 5.4: dereferencing a forwarding chain touches the old
+    // locations, keeping them live in the cache.
+    Rig rig;
+    rig.engine.forwardWord(0x1000, 0x9000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_TRUE(rig.hierarchy.l1d().contains(0x1000));
+    // The final location is NOT accessed by the walk itself.
+    EXPECT_FALSE(rig.hierarchy.l1d().contains(0x9000));
+}
+
+TEST(ForwardingEngine, TimingChargesEachHop)
+{
+    Rig rig;
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    const WalkResult one_hop_warm = [&] {
+        rig.engine.resolve(0x1000, AccessType::load, 0); // warm caches
+        return rig.engine.resolve(0x1000, AccessType::load, 1000);
+    }();
+    // Two hops, warm: 2 x (hit latency + hop cost).
+    const auto &cfg = rig.engine.config();
+    const Cycles per_hop =
+        rig.hierarchy.config().l1d.hit_latency + cfg.hop_cost;
+    EXPECT_EQ(one_hop_warm.forward_cycles, 2 * per_hop);
+}
+
+TEST(ForwardingEngine, ExceptionModeAddsDispatchCost)
+{
+    ForwardingConfig cfg;
+    cfg.mode = ForwardingConfig::Mode::exception;
+    cfg.exception_cost = 30;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.resolve(0x1000, AccessType::load, 0); // warm
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 500);
+    EXPECT_GE(w.forward_cycles, 30u);
+}
+
+TEST(ForwardingEngine, PerfectModeIsFreeAndClean)
+{
+    ForwardingConfig cfg;
+    cfg.mode = ForwardingConfig::Mode::perfect;
+    Rig rig(cfg);
+    rig.mem.rawWriteWord(0x1000, 55);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    const WalkResult w = rig.engine.resolve(0x1004, AccessType::load, 77);
+    EXPECT_EQ(w.final_addr, 0x2004u);
+    EXPECT_EQ(w.ready, 77u);
+    EXPECT_EQ(w.forward_cycles, 0u);
+    // No pollution: the old location was never pulled into the cache.
+    EXPECT_FALSE(rig.hierarchy.l1d().contains(0x1000));
+    // Perfect mode reports no walks (nothing was "forwarded").
+    EXPECT_EQ(rig.engine.stats().walks, 0u);
+}
+
+TEST(ForwardingEngine, HopHistogramRecorded)
+{
+    Rig rig;
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    rig.engine.resolve(0x3000, AccessType::load, 0);
+    const auto &h = rig.engine.stats().hop_histogram;
+    ASSERT_GE(h.size(), 2u);
+    EXPECT_EQ(h[0], 1u);
+    EXPECT_EQ(h[1], 1u);
+}
+
+TEST(ForwardingEngine, LongAcyclicChainIsFalseAlarm)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    // Build a 10-hop chain: longer than the limit but acyclic.
+    for (unsigned i = 0; i < 10; ++i)
+        rig.engine.forwardWord(0x1000 + i * 0x100, 0x1000 + (i + 1) * 0x100);
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x1000u + 10 * 0x100);
+    EXPECT_EQ(w.hops, 10u);
+    EXPECT_GE(rig.engine.stats().false_alarms, 1u);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 0u);
+    // The accurate check's software cost was charged.
+    EXPECT_GE(w.forward_cycles, cfg.cycle_check_cost);
+}
+
+TEST(ForwardingEngine, TrueCycleThrows)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    // 0x1000 -> 0x2000 -> 0x1000 (software bug).
+    rig.mem.unforwardedWrite(0x1000, 0x2000, true);
+    rig.mem.unforwardedWrite(0x2000, 0x1000, true);
+    EXPECT_THROW(rig.engine.resolve(0x1000, AccessType::load, 0),
+                 ForwardingCycleError);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 1u);
+}
+
+TEST(ForwardingEngine, PerfectModeStillDetectsCycles)
+{
+    ForwardingConfig cfg;
+    cfg.mode = ForwardingConfig::Mode::perfect;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    rig.mem.unforwardedWrite(0x1000, 0x1000, true);
+    EXPECT_THROW(rig.engine.resolve(0x1000, AccessType::load, 0),
+                 ForwardingCycleError);
+}
+
+TEST(ForwardingEngine, TrapsDeliveredOnForwarding)
+{
+    Rig rig;
+    rig.engine.forwardWord(0x1000, 0x2000);
+    unsigned fired = 0;
+    TrapInfo seen{};
+    rig.engine.traps().install([&](const TrapInfo &info) {
+        ++fired;
+        seen = info;
+        return TrapAction::resume;
+    });
+    rig.engine.resolve(0x1004, AccessType::load, 0, /*site=*/42,
+                       /*pointer_slot=*/0x7000);
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(seen.site, 42u);
+    EXPECT_EQ(seen.initial_addr, 0x1004u);
+    EXPECT_EQ(seen.final_addr, 0x2004u);
+    EXPECT_EQ(seen.hops, 1u);
+    EXPECT_EQ(seen.pointer_slot, 0x7000u);
+}
+
+TEST(ForwardingEngine, NoTrapWithoutForwarding)
+{
+    Rig rig;
+    unsigned fired = 0;
+    rig.engine.traps().install([&](const TrapInfo &) {
+        ++fired;
+        return TrapAction::resume;
+    });
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(fired, 0u);
+}
+
+TEST(ForwardingEngine, NoTrapForPrefetches)
+{
+    Rig rig;
+    rig.engine.forwardWord(0x1000, 0x2000);
+    unsigned fired = 0;
+    rig.engine.traps().install([&](const TrapInfo &) {
+        ++fired;
+        return TrapAction::resume;
+    });
+    rig.engine.resolve(0x1000, AccessType::prefetch, 0);
+    EXPECT_EQ(fired, 0u);
+}
+
+TEST(ForwardingEngineDeathTest, MisalignedRelocationRejected)
+{
+    Rig rig;
+    EXPECT_DEATH(rig.engine.forwardWord(0x1001, 0x2000), "word-aligned");
+    EXPECT_DEATH(rig.engine.forwardWord(0x1000, 0x2004), "word-aligned");
+}
+
+// Property sweep: for any chain length below the hop limit, resolve()
+// terminates at the chain end with one hop per link.
+class ChainLengthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ChainLengthSweep, ResolvesFullChain)
+{
+    const unsigned len = GetParam();
+    Rig rig;
+    rig.mem.rawWriteWord(0x10000, 0xabcd);
+    for (unsigned i = 0; i < len; ++i) {
+        rig.engine.forwardWord(0x10000 + Addr(i) * 0x40,
+                               0x10000 + Addr(i + 1) * 0x40);
+    }
+    const WalkResult w = rig.engine.resolve(0x10000, AccessType::load, 0);
+    EXPECT_EQ(w.hops, len);
+    EXPECT_EQ(w.final_addr, 0x10000 + Addr(len) * 0x40);
+    EXPECT_EQ(rig.mem.rawReadWord(w.final_addr), 0xabcdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLengthSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u, 15u));
+
+} // namespace
+} // namespace memfwd

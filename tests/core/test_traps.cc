@@ -1,0 +1,97 @@
+/** @file Unit tests for user-level forwarding traps. */
+
+#include <gtest/gtest.h>
+
+#include "core/traps.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(TrapRegistry, UnarmedByDefault)
+{
+    TrapRegistry reg;
+    EXPECT_FALSE(reg.armed());
+    EXPECT_EQ(reg.delivered(), 0u);
+}
+
+TEST(TrapRegistry, InstallRemove)
+{
+    TrapRegistry reg;
+    const auto token =
+        reg.install([](const TrapInfo &) { return TrapAction::resume; });
+    EXPECT_TRUE(reg.armed());
+    reg.remove(token);
+    EXPECT_FALSE(reg.armed());
+}
+
+TEST(TrapRegistry, DeliverReachesAllHandlers)
+{
+    TrapRegistry reg;
+    int a = 0, b = 0;
+    reg.install([&](const TrapInfo &) { ++a; return TrapAction::resume; });
+    reg.install([&](const TrapInfo &) { ++b; return TrapAction::resume; });
+    reg.deliver({1, 0x100, 0x200, 1, 0});
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(reg.delivered(), 1u);
+}
+
+TEST(TrapRegistry, PointerFixReported)
+{
+    TrapRegistry reg;
+    reg.install(
+        [](const TrapInfo &) { return TrapAction::pointer_fixed; });
+    EXPECT_TRUE(reg.deliver({1, 0x100, 0x200, 1, 0x300}));
+    EXPECT_EQ(reg.pointersFixed(), 1u);
+}
+
+TEST(TrapRegistry, ResumeOnlyIsNotAFix)
+{
+    TrapRegistry reg;
+    reg.install([](const TrapInfo &) { return TrapAction::resume; });
+    EXPECT_FALSE(reg.deliver({1, 0x100, 0x200, 1, 0}));
+    EXPECT_EQ(reg.pointersFixed(), 0u);
+}
+
+TEST(ForwardingProfiler, CountsPerSite)
+{
+    TrapRegistry reg;
+    ForwardingProfiler prof(reg);
+    reg.deliver({7, 0x100, 0x200, 1, 0});
+    reg.deliver({7, 0x108, 0x208, 2, 0});
+    reg.deliver({9, 0x300, 0x400, 1, 0});
+    EXPECT_EQ(prof.count(7), 2u);
+    EXPECT_EQ(prof.hops(7), 3u);
+    EXPECT_EQ(prof.count(9), 1u);
+    EXPECT_EQ(prof.count(12345), 0u);
+}
+
+TEST(ForwardingProfiler, HottestSortsDescending)
+{
+    TrapRegistry reg;
+    ForwardingProfiler prof(reg);
+    for (int i = 0; i < 5; ++i)
+        reg.deliver({1, 0, 0, 1, 0});
+    for (int i = 0; i < 9; ++i)
+        reg.deliver({2, 0, 0, 1, 0});
+    const auto hot = prof.hottest();
+    ASSERT_EQ(hot.size(), 2u);
+    EXPECT_EQ(hot[0].first, 2u);
+    EXPECT_EQ(hot[0].second, 9u);
+    EXPECT_EQ(hot[1].first, 1u);
+}
+
+TEST(ForwardingProfiler, DetachesOnDestruction)
+{
+    TrapRegistry reg;
+    {
+        ForwardingProfiler prof(reg);
+        EXPECT_TRUE(reg.armed());
+    }
+    EXPECT_FALSE(reg.armed());
+}
+
+} // namespace
+} // namespace memfwd

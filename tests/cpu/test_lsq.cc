@@ -1,0 +1,138 @@
+/** @file Unit tests for data-dependence speculation. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/lsq.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+OooParams
+specOn()
+{
+    OooParams p;
+    p.dep_speculation = true;
+    p.misspec_penalty = 12;
+    return p;
+}
+
+OooParams
+specOff()
+{
+    OooParams p;
+    p.dep_speculation = false;
+    return p;
+}
+
+TEST(Lsq, NoStoresNoSpeculation)
+{
+    Lsq lsq(specOn());
+    EXPECT_EQ(lsq.checkLoad(5, 10, 0x100, 0x100, 1), 0u);
+    EXPECT_EQ(lsq.speculations(), 0u);
+}
+
+TEST(Lsq, ResolvedStoreIsNotSpeculation)
+{
+    Lsq lsq(specOn());
+    lsq.recordStore(1, 0x100, 0x100, 1, /*resolved=*/5);
+    // Load issues at 10, after the store resolved: no speculation.
+    EXPECT_EQ(lsq.checkLoad(2, 10, 0x200, 0x200, 1), 0u);
+    EXPECT_EQ(lsq.speculations(), 0u);
+}
+
+TEST(Lsq, UnresolvedStoreCountsSpeculation)
+{
+    Lsq lsq(specOn());
+    lsq.recordStore(1, 0x100, 0x100, 1, /*resolved=*/50);
+    // Load issued at 10, before the store's final address was known.
+    EXPECT_EQ(lsq.checkLoad(2, 10, 0x200, 0x200, 1), 0u);
+    EXPECT_EQ(lsq.speculations(), 1u);
+    EXPECT_EQ(lsq.violations(), 0u);
+}
+
+TEST(Lsq, ForwardedAliasIsViolation)
+{
+    Lsq lsq(specOn());
+    // Store to initial 0x100 that was forwarded to final 0x900.
+    lsq.recordStore(1, 0x100, 0x900, 1, /*resolved=*/50);
+    // Load with a different initial address but the same final word:
+    // the speculation "final == initial" was wrong.
+    EXPECT_EQ(lsq.checkLoad(2, 10, 0x300, 0x900, 1), 12u);
+    EXPECT_EQ(lsq.violations(), 1u);
+}
+
+TEST(Lsq, SameInitialAddressIsNotViolation)
+{
+    Lsq lsq(specOn());
+    // Same initial word: classic store-to-load ordering handles it, no
+    // forwarding surprise.
+    lsq.recordStore(1, 0x100, 0x900, 1, 50);
+    EXPECT_EQ(lsq.checkLoad(2, 10, 0x100, 0x900, 1), 0u);
+    EXPECT_EQ(lsq.violations(), 0u);
+}
+
+TEST(Lsq, DisjointFinalsNotViolation)
+{
+    Lsq lsq(specOn());
+    lsq.recordStore(1, 0x100, 0x900, 1, 50);
+    EXPECT_EQ(lsq.checkLoad(2, 10, 0x300, 0x700, 1), 0u);
+    EXPECT_EQ(lsq.violations(), 0u);
+}
+
+TEST(Lsq, MultiWordRangesOverlap)
+{
+    Lsq lsq(specOn());
+    // Store covers final words [0x900, 0x910).
+    lsq.recordStore(1, 0x100, 0x900, 2, 50);
+    // Load of word 0x908 overlaps the store's final range.
+    EXPECT_GT(lsq.checkLoad(2, 10, 0x300, 0x908, 1), 0u);
+}
+
+TEST(Lsq, OldStoresPrunedByWindow)
+{
+    OooParams p = specOn();
+    p.window = 8;
+    Lsq lsq(p);
+    lsq.recordStore(1, 0x100, 0x900, 1, 1000);
+    // Instruction 100 is far outside the window of store 1.
+    EXPECT_EQ(lsq.checkLoad(100, 10, 0x300, 0x900, 1), 0u);
+    EXPECT_EQ(lsq.speculations(), 0u);
+}
+
+TEST(Lsq, YoungerStoresIgnored)
+{
+    Lsq lsq(specOn());
+    lsq.recordStore(10, 0x100, 0x900, 1, 50);
+    // Load is OLDER than the store (seq 5 < 10): no interaction.
+    EXPECT_EQ(lsq.checkLoad(5, 10, 0x300, 0x900, 1), 0u);
+}
+
+TEST(Lsq, ConservativeModeWaitsForResolution)
+{
+    Lsq lsq(specOff());
+    lsq.recordStore(1, 0x100, 0x100, 1, 80);
+    lsq.recordStore(2, 0x200, 0x200, 1, 120);
+    // With speculation off, the load's issue is pushed to the last
+    // older store's resolution.
+    EXPECT_EQ(lsq.loadIssueCycle(3, 10), 120u);
+}
+
+TEST(Lsq, SpeculativeModeIssuesImmediately)
+{
+    Lsq lsq(specOn());
+    lsq.recordStore(1, 0x100, 0x100, 1, 80);
+    EXPECT_EQ(lsq.loadIssueCycle(2, 10), 10u);
+}
+
+TEST(Lsq, ConservativeModeNeverPenalizes)
+{
+    Lsq lsq(specOff());
+    lsq.recordStore(1, 0x100, 0x900, 1, 80);
+    EXPECT_EQ(lsq.checkLoad(2, 100, 0x300, 0x900, 1), 0u);
+    EXPECT_EQ(lsq.violations(), 0u);
+}
+
+} // namespace
+} // namespace memfwd

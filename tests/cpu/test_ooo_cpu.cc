@@ -1,0 +1,148 @@
+/** @file Unit tests for the composed CPU timing model. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_cpu.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(OooCpu, AluThroughputIsWidthBound)
+{
+    OooCpu cpu;
+    cpu.alu(400);
+    // 400 single-cycle ops on a 4-wide machine: ~100 cycles.
+    EXPECT_NEAR(double(cpu.cycles()), 100.0, 3.0);
+    EXPECT_EQ(cpu.instructions(), 400u);
+    EXPECT_EQ(cpu.stalls().busy, 400u);
+}
+
+TEST(OooCpu, MemPortsLimitIssueRate)
+{
+    OooParams p;
+    p.mem_ports = 2;
+    OooCpu cpu(p);
+    // Six memory ops all ready at once: ports allow 2 per cycle.
+    Cycles last = 0;
+    for (int i = 0; i < 6; ++i) {
+        const MemIssue mi = cpu.issueMem(0, true);
+        last = mi.issue;
+        cpu.finishLoad(mi, mi.issue + 1, 0, false, 0x100, 0x100, 1);
+    }
+    EXPECT_GE(last, 2u); // third pair issues at cycle >= 2
+}
+
+TEST(OooCpu, AddrDependenceDelaysIssue)
+{
+    OooCpu cpu;
+    const MemIssue mi = cpu.issueMem(/*addr_ready=*/500, true);
+    EXPECT_GE(mi.issue, 500u);
+}
+
+TEST(OooCpu, LoadLatencyAccounted)
+{
+    OooCpu cpu;
+    const MemIssue mi = cpu.issueMem(0, true);
+    const Cycles done =
+        cpu.finishLoad(mi, mi.issue + 80, 0, true, 0x100, 0x100, 1);
+    EXPECT_EQ(done, mi.issue + 80);
+    EXPECT_GT(cpu.stalls().load_stall, 0u);
+    EXPECT_NEAR(cpu.refLatency().avgLoadCycles(), 80.0, 0.5);
+}
+
+TEST(OooCpu, ForwardCyclesSplitOut)
+{
+    OooCpu cpu;
+    const MemIssue mi = cpu.issueMem(0, true);
+    cpu.finishLoad(mi, mi.issue + 100, /*forward_cycles=*/30, true,
+                   0x100, 0x900, 1);
+    const auto &rl = cpu.refLatency();
+    EXPECT_EQ(rl.load_forward_cycles, 30u);
+    EXPECT_EQ(rl.load_ordinary_cycles, 70u);
+}
+
+TEST(OooCpu, StoreBufferHidesStoreMissLatency)
+{
+    OooCpu cpu;
+    // A single store miss does not stall graduation: the store buffer
+    // absorbs it.
+    const MemIssue mi = cpu.issueMem(0, false);
+    cpu.finishStore(mi, mi.issue + 100, 0, true, 0x100, 0x100, 1);
+    EXPECT_EQ(cpu.stalls().store_stall, 0u);
+    EXPECT_LT(cpu.cycles(), 50u);
+}
+
+TEST(OooCpu, SaturatedStoreBufferStalls)
+{
+    OooParams p;
+    p.store_buffer = 4;
+    OooCpu cpu(p);
+    // A long burst of store misses must eventually back-pressure.
+    for (int i = 0; i < 64; ++i) {
+        const MemIssue mi = cpu.issueMem(0, false);
+        cpu.finishStore(mi, mi.issue + 100, 0, true, 0x100, 0x100, 1);
+    }
+    EXPECT_GT(cpu.stalls().store_stall, 0u);
+    // The drain rate, not the issue rate, bounds the run: the last
+    // stores retire near the first ones' 100-cycle completions.
+    EXPECT_GT(cpu.cycles(), 100u);
+}
+
+TEST(OooCpu, NonBlockingOpsNeverStall)
+{
+    OooCpu cpu;
+    for (int i = 0; i < 40; ++i) {
+        const MemIssue mi = cpu.issueMem(0, true);
+        cpu.finishNonBlocking(mi);
+    }
+    EXPECT_EQ(cpu.stalls().load_stall, 0u);
+    EXPECT_LE(cpu.cycles(), 25u);
+}
+
+TEST(OooCpu, IndependentMissesOverlap)
+{
+    // Two independent loads missing for 100 cycles should finish at
+    // roughly the same time (MLP), not serialized.
+    OooCpu cpu;
+    const MemIssue a = cpu.issueMem(0, true);
+    const Cycles done_a =
+        cpu.finishLoad(a, a.issue + 100, 0, true, 0x100, 0x100, 1);
+    const MemIssue b = cpu.issueMem(0, true);
+    const Cycles done_b =
+        cpu.finishLoad(b, b.issue + 100, 0, true, 0x200, 0x200, 1);
+    EXPECT_LE(done_b, done_a + 5);
+}
+
+TEST(OooCpu, DependentLoadsSerialize)
+{
+    // A pointer chase: the second load's address comes from the first.
+    OooCpu cpu;
+    const MemIssue a = cpu.issueMem(0, true);
+    const Cycles done_a =
+        cpu.finishLoad(a, a.issue + 100, 0, true, 0x100, 0x100, 1);
+    const MemIssue b = cpu.issueMem(done_a, true);
+    const Cycles done_b =
+        cpu.finishLoad(b, b.issue + 100, 0, true, 0x200, 0x200, 1);
+    EXPECT_GE(done_b, done_a + 100);
+}
+
+TEST(OooCpu, MisspeculationPenaltyApplied)
+{
+    OooParams p;
+    p.misspec_penalty = 25;
+    OooCpu cpu(p);
+    // Store whose final address was forwarded...
+    const MemIssue s = cpu.issueMem(0, false);
+    cpu.finishStore(s, s.issue + 60, 40, true, 0x100, 0x900, 1);
+    // ...and a load that issued before resolution and aliases finally.
+    const MemIssue l = cpu.issueMem(0, true);
+    const Cycles base = l.issue + 5;
+    const Cycles done = cpu.finishLoad(l, base, 0, false, 0x300, 0x900, 1);
+    EXPECT_EQ(done, base + 25);
+    EXPECT_EQ(cpu.lsq().violations(), 1u);
+}
+
+} // namespace
+} // namespace memfwd

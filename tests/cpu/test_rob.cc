@@ -1,0 +1,122 @@
+/** @file Unit tests for the Rob graduation-slot model. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rob.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(Rob, FetchBandwidthFourPerCycle)
+{
+    Rob rob(4, 64);
+    EXPECT_EQ(rob.dispatch(), 0u);
+    EXPECT_EQ(rob.dispatch(), 0u);
+    EXPECT_EQ(rob.dispatch(), 0u);
+    EXPECT_EQ(rob.dispatch(), 0u);
+    EXPECT_EQ(rob.dispatch(), 1u); // fifth spills to the next cycle
+}
+
+TEST(Rob, BusySlotsCountGraduations)
+{
+    Rob rob(4, 64);
+    for (int i = 0; i < 8; ++i) {
+        const Cycles d = rob.dispatch();
+        rob.graduate(d + 1, WaitKind::none);
+    }
+    EXPECT_EQ(rob.stalls().busy, 8u);
+    EXPECT_EQ(rob.instructions(), 8u);
+}
+
+TEST(Rob, StallSlotsAttributedToLoadMiss)
+{
+    Rob rob(4, 64);
+    const Cycles d = rob.dispatch();
+    // A load completing at cycle 100 stalls graduation until then.
+    rob.graduate(100, WaitKind::load_miss);
+    EXPECT_EQ(rob.currentCycle(), 100u);
+    // All the empty slots from d+... to 100 are load-stall slots.
+    EXPECT_EQ(rob.stalls().load_stall, (100 - d - 1) * 4 + 4 - 0);
+    EXPECT_EQ(rob.stalls().busy, 1u);
+    EXPECT_EQ(rob.stalls().store_stall, 0u);
+}
+
+TEST(Rob, StallSlotsAttributedToStoreMiss)
+{
+    Rob rob(4, 64);
+    rob.dispatch();
+    rob.graduate(50, WaitKind::store_miss);
+    EXPECT_GT(rob.stalls().store_stall, 0u);
+    EXPECT_EQ(rob.stalls().load_stall, 0u);
+}
+
+TEST(Rob, InstStallForNonMemoryWaits)
+{
+    Rob rob(4, 64);
+    rob.dispatch();
+    rob.graduate(10, WaitKind::none);
+    EXPECT_GT(rob.stalls().inst_stall, 0u);
+}
+
+TEST(Rob, GraduationWidthLimit)
+{
+    Rob rob(2, 64);
+    // Six instructions all ready at cycle 0: graduate 2 per cycle.
+    for (int i = 0; i < 6; ++i) {
+        const Cycles d = rob.dispatch();
+        rob.graduate(d, WaitKind::none);
+    }
+    EXPECT_EQ(rob.currentCycle(), 2u); // cycles 0,1,2 hold 2 each
+}
+
+TEST(Rob, WindowLimitsRunahead)
+{
+    // Window of 8: instruction 8 cannot dispatch before instruction 0
+    // retires.
+    Rob rob(4, 8);
+    Cycles d0 = rob.dispatch();
+    rob.graduate(100, WaitKind::load_miss); // instr 0 retires at 100
+    EXPECT_EQ(d0, 0u);
+    for (int i = 1; i < 8; ++i) {
+        rob.dispatch();
+        rob.graduate(100, WaitKind::none);
+    }
+    // Ninth instruction: window slot frees only at cycle 100.
+    EXPECT_GE(rob.dispatch(), 100u);
+    rob.graduate(101, WaitKind::none);
+}
+
+TEST(Rob, SlotAccountingIsConsistent)
+{
+    Rob rob(4, 32);
+    // Mixed stream.
+    for (int i = 0; i < 100; ++i) {
+        const Cycles d = rob.dispatch();
+        const Cycles done = d + 1 + (i % 7 == 0 ? 25 : 0);
+        rob.graduate(done,
+                     i % 7 == 0 ? WaitKind::load_miss : WaitKind::none);
+    }
+    const StallStats &st = rob.stalls();
+    // Total attributed slots never exceed cycles*width and cover all
+    // but the unused slots of the final cycle.
+    const std::uint64_t total = (rob.currentCycle() + 1) * 4;
+    EXPECT_LE(st.totalSlots(), total);
+    EXPECT_GE(st.totalSlots(), total - 4);
+}
+
+TEST(RobDeathTest, GraduateWithoutDispatch)
+{
+    Rob rob(4, 64);
+    EXPECT_DEATH(rob.graduate(0, WaitKind::none), "matching dispatch");
+}
+
+TEST(RobDeathTest, BadGeometry)
+{
+    EXPECT_DEATH(Rob(0, 4), "geometry");
+    EXPECT_DEATH(Rob(8, 4), "geometry");
+}
+
+} // namespace
+} // namespace memfwd

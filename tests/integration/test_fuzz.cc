@@ -1,0 +1,185 @@
+/** @file
+ * Randomized structural fuzzing: layout optimizations applied to
+ * randomly shaped structures must preserve contents, order, and
+ * reachability — for any shape, repeatedly, interleaved with mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "runtime/list_linearize.hh"
+#include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
+#include "runtime/subtree_cluster.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Random trees through subtreeCluster.
+// ---------------------------------------------------------------------
+
+constexpr unsigned t_node = 32;
+constexpr unsigned t_left = 0;
+constexpr unsigned t_right = 8;
+constexpr unsigned t_key = 16;
+
+class RandomTreeFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
+{
+    setVerbose(false);
+    Rng rng(GetParam());
+    Machine m;
+    SimAllocator alloc(m, GetParam());
+    RelocationPool pool(alloc, 8 << 20);
+
+    const Addr root_handle = alloc.alloc(8);
+    m.store(root_handle, 8, 0);
+
+    // Random BST insertion of 120 keys.
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 120; ++i) {
+        const std::uint64_t key = rng.below(1 << 20);
+        const Addr node = alloc.alloc(t_node, Placement::scattered);
+        m.store(node + t_left, 8, 0);
+        m.store(node + t_right, 8, 0);
+        m.store(node + t_key, 8, key);
+        Addr slot = root_handle;
+        bool dup = false;
+        LoadResult cur = m.load(slot, 8);
+        while (cur.value != 0) {
+            const std::uint64_t k =
+                m.load(cur.value + t_key, 8, cur.ready).value;
+            if (k == key) {
+                dup = true;
+                break;
+            }
+            slot = static_cast<Addr>(cur.value) +
+                   (key < k ? t_left : t_right);
+            cur = m.load(slot, 8, cur.ready);
+        }
+        if (dup)
+            continue;
+        m.store(slot, 8, node);
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    auto inorder = [&] {
+        std::vector<std::uint64_t> out;
+        std::vector<Addr> stack;
+        Addr cur = static_cast<Addr>(m.load(root_handle, 8).value);
+        while (cur != 0 || !stack.empty()) {
+            while (cur != 0) {
+                stack.push_back(cur);
+                cur = static_cast<Addr>(m.load(cur + t_left, 8).value);
+            }
+            cur = stack.back();
+            stack.pop_back();
+            out.push_back(m.load(cur + t_key, 8).value);
+            cur = static_cast<Addr>(m.load(cur + t_right, 8).value);
+        }
+        return out;
+    };
+
+    ASSERT_EQ(inorder(), keys);
+
+    // Cluster repeatedly with random cluster sizes, mutating between.
+    TreeDesc desc;
+    desc.node_bytes = t_node;
+    desc.child_offsets = {t_left, t_right};
+    for (int round = 0; round < 3; ++round) {
+        const unsigned cluster =
+            32u << rng.below(4); // 32..256
+        subtreeCluster(m, root_handle, desc, pool, cluster);
+        EXPECT_EQ(inorder(), keys) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---------------------------------------------------------------------
+// Random lists through repeated linearization + splicing.
+// ---------------------------------------------------------------------
+
+class RandomListFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
+{
+    setVerbose(false);
+    Rng rng(GetParam());
+    Machine m;
+    SimAllocator alloc(m, GetParam() ^ 0xf00);
+    RelocationPool pool(alloc, 16 << 20);
+
+    const Addr head = alloc.alloc(8);
+    m.store(head, 8, 0);
+    std::vector<std::uint64_t> model; // front = list head
+
+    auto checkAgainstModel = [&] {
+        std::vector<std::uint64_t> got;
+        LoadResult cur = m.load(head, 8);
+        while (cur.value != 0) {
+            got.push_back(m.load(cur.value + 8, 8, cur.ready).value);
+            cur = m.load(cur.value + 0, 8, cur.ready);
+        }
+        ASSERT_EQ(got, model);
+    };
+
+    std::uint64_t next_val = 1;
+    for (unsigned op = 0; op < 300; ++op) {
+        const std::uint64_t pick = rng.below(10);
+        if (pick < 5) {
+            // Insert at a random position.
+            const std::size_t pos =
+                model.empty() ? 0 : rng.below(model.size() + 1);
+            const Addr node = alloc.alloc(16, Placement::scattered);
+            m.store(node + 8, 8, next_val);
+            Addr slot = head;
+            LoadResult cur = m.load(slot, 8);
+            for (std::size_t i = 0; i < pos; ++i) {
+                slot = static_cast<Addr>(cur.value) + 0;
+                cur = m.load(slot, 8, cur.ready);
+            }
+            m.store(node + 0, 8, cur.value);
+            m.store(slot, 8, node);
+            model.insert(model.begin() + pos, next_val);
+            ++next_val;
+        } else if (pick < 8 && !model.empty()) {
+            // Delete at a random position.
+            const std::size_t pos = rng.below(model.size());
+            Addr slot = head;
+            LoadResult cur = m.load(slot, 8);
+            for (std::size_t i = 0; i < pos; ++i) {
+                slot = static_cast<Addr>(cur.value) + 0;
+                cur = m.load(slot, 8, cur.ready);
+            }
+            const LoadResult nx =
+                m.load(static_cast<Addr>(cur.value) + 0, 8, cur.ready);
+            m.store(slot, 8, nx.value);
+            model.erase(model.begin() + pos);
+        } else {
+            listLinearize(m, head, {16, 0, 0}, pool);
+        }
+        if (op % 37 == 0)
+            checkAgainstModel();
+    }
+    checkAgainstModel();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomListFuzz,
+                         ::testing::Values(7u, 14u, 21u, 28u));
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,231 @@
+/** @file
+ * Property-based tests: randomized operation sequences checked against
+ * a reference model, plus machine-level invariants swept over
+ * configurations with parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+#include "workloads/driver.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+/**
+ * Property: under any interleaving of stores, loads, and relocations,
+ * a Machine with forwarding behaves exactly like a flat reference map
+ * keyed by *logical* object identity.
+ *
+ * We model K objects of one word each.  The reference model tracks
+ * each object's value; the machine tracks each object's address
+ * history (every relocation leaves a forwarding trail).  Reads and
+ * writes go through a RANDOM address from the object's history — i.e.
+ * arbitrary stale pointers — and must always see the reference value.
+ */
+bool
+pointersEqualViaChase(Machine &m, Addr a, Addr b)
+{
+    return chaseChain(m, a) == chaseChain(m, b);
+}
+
+class RandomOpsProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
+{
+    setVerbose(false);
+    Rng rng(GetParam());
+    Machine m;
+    SimAllocator alloc(m, GetParam());
+
+    constexpr unsigned n_objects = 12;
+    std::vector<std::vector<Addr>> history(n_objects);
+    std::vector<std::uint64_t> reference(n_objects, 0);
+
+    for (unsigned k = 0; k < n_objects; ++k) {
+        const Addr a = alloc.alloc(8, Placement::scattered);
+        history[k].push_back(a);
+        m.store(a, 8, 0);
+    }
+
+    for (unsigned op = 0; op < 600; ++op) {
+        const unsigned k =
+            static_cast<unsigned>(rng.below(n_objects));
+        auto &hist = history[k];
+        const Addr via = hist[rng.below(hist.size())];
+
+        switch (rng.below(4)) {
+          case 0: { // store through a random historical pointer
+            const std::uint64_t v = rng.next();
+            m.store(via, 8, v);
+            reference[k] = v;
+            break;
+          }
+          case 1: { // load through a random historical pointer
+            EXPECT_EQ(m.load(via, 8).value, reference[k])
+                << "object " << k << " via " << std::hex << via;
+            break;
+          }
+          case 2: { // relocate from the CURRENT location
+            const Addr tgt = alloc.alloc(8, Placement::scattered);
+            relocate(m, hist.back(), tgt, 1);
+            hist.push_back(tgt);
+            break;
+          }
+          case 3: { // relocate via a STALE location (chain append)
+            const Addr tgt = alloc.alloc(8, Placement::scattered);
+            relocate(m, via, tgt, 1);
+            hist.push_back(tgt);
+            break;
+          }
+        }
+
+        // Pointer comparisons across the history agree (Section 2.1).
+        if (op % 50 == 0 && hist.size() >= 2) {
+            EXPECT_TRUE(
+                pointersEqualViaChase(m, hist.front(), hist.back()));
+        }
+    }
+
+    // Final sweep: every historical pointer of every object reads the
+    // reference value.
+    for (unsigned k = 0; k < n_objects; ++k) {
+        for (Addr via : history[k])
+            EXPECT_EQ(m.load(via, 8).value, reference[k]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+/**
+ * Property: timing is monotone — the cycle counter never goes
+ * backwards across any operation mix.
+ */
+TEST(Properties, TimeIsMonotone)
+{
+    setVerbose(false);
+    Machine m;
+    Rng rng(7);
+    Cycles last = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+        const Addr a = 0x1000 + rng.below(1 << 16) * 8;
+        if (rng.chance(0.5))
+            m.load(a, 8);
+        else
+            m.store(a, 8, i);
+        EXPECT_GE(m.cycles(), last);
+        last = m.cycles();
+    }
+}
+
+/**
+ * Property: the graduation-slot identity. busy slots == graduated
+ * instructions, and total attributed slots fit in cycles * width.
+ */
+class SlotIdentitySweep
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(SlotIdentitySweep, SlotsAddUp)
+{
+    setVerbose(false);
+    const auto &[wl, line] = GetParam();
+    RunConfig cfg;
+    cfg.workload = wl;
+    cfg.params.scale = 0.05;
+    cfg.machine.hierarchy.setLineBytes(line);
+    cfg.variant.layout_opt = true;
+    const RunResult r = runWorkload(cfg);
+
+    EXPECT_EQ(r.stalls.busy, r.instructions);
+    const std::uint64_t width = cfg.machine.cpu.width;
+    EXPECT_LE(r.stalls.totalSlots(), (r.cycles + 1) * width);
+    // The machine was actually exercised.
+    EXPECT_GT(r.stalls.totalSlots(), r.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlotIdentitySweep,
+    ::testing::Combine(::testing::Values("vis", "smv", "compress"),
+                       ::testing::Values(32u, 128u)));
+
+/**
+ * Property: cache-content agreement.  After any run, the functional
+ * contents of simulated memory are independent of cache geometry.
+ */
+class GeometryIndependence : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GeometryIndependence, ChecksumUnaffectedByCaches)
+{
+    setVerbose(false);
+    RunConfig cfg;
+    cfg.workload = "radiosity";
+    cfg.params.scale = 0.05;
+    cfg.variant.layout_opt = true;
+
+    RunConfig alt = cfg;
+    alt.machine.hierarchy.setLineBytes(GetParam());
+    alt.machine.hierarchy.l1d.size_bytes = 8 * 1024;
+    alt.machine.hierarchy.l1d.assoc = 1;
+
+    EXPECT_EQ(runWorkload(cfg).checksum, runWorkload(alt).checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, GeometryIndependence,
+                         ::testing::Values(32u, 64u, 128u, 256u));
+
+/**
+ * Property: hop accounting. total hops == sum over histogram of
+ * (hops x count), and walks == count of nonzero-hop references.
+ */
+TEST(Properties, HopHistogramConsistent)
+{
+    setVerbose(false);
+    Machine m;
+    SimAllocator alloc(m, 3);
+    Rng rng(3);
+
+    std::vector<Addr> heads;
+    for (int i = 0; i < 20; ++i) {
+        Addr a = alloc.alloc(8, Placement::scattered);
+        m.store(a, 8, i);
+        // Build chains of random length.
+        const unsigned len = static_cast<unsigned>(rng.below(5));
+        for (unsigned h = 0; h < len; ++h) {
+            const Addr t = alloc.alloc(8, Placement::scattered);
+            relocate(m, a, t, 1);
+            a = t;
+        }
+        heads.push_back(a);
+    }
+    // heads are final locations; reload through originals is covered by
+    // RandomOpsProperty, here we just validate the stats identities.
+    const auto &st = m.forwarding().stats();
+    std::uint64_t hist_hops = 0, hist_walks = 0;
+    for (std::size_t h = 0; h < st.hop_histogram.size(); ++h) {
+        hist_hops += h * st.hop_histogram[h];
+        if (h > 0)
+            hist_walks += st.hop_histogram[h];
+    }
+    EXPECT_EQ(st.hops, hist_hops);
+    EXPECT_EQ(st.walks, hist_walks);
+}
+
+} // namespace
+} // namespace memfwd

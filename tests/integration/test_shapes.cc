@@ -1,0 +1,154 @@
+/** @file
+ * Shape-regression tests: the paper's qualitative results, asserted at
+ * reduced scale so refactoring cannot silently break the reproduction.
+ * (The full-scale numbers live in the bench binaries / EXPERIMENTS.md;
+ * these tests pin the *directions* that define the paper.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/driver.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+RunResult
+shapeRun(const std::string &wl, unsigned line, bool opt,
+         ForwardingConfig::Mode mode = ForwardingConfig::Mode::hardware)
+{
+    setVerbose(false);
+    RunConfig cfg;
+    cfg.workload = wl;
+    cfg.params.scale = 0.4;
+    cfg.machine.hierarchy.setLineBytes(line);
+    cfg.machine.forwarding.mode = mode;
+    cfg.variant.layout_opt = opt;
+    return runWorkload(cfg);
+}
+
+// Paper, Figure 5: "performance generally degrades when line size
+// increases ... for the unoptimized cases" (no spatial locality).
+TEST(Shapes, UnoptimizedDegradesWithLineSize)
+{
+    for (const std::string wl : {"vis", "mst"}) {
+        const RunResult n32 = shapeRun(wl, 32, false);
+        const RunResult n128 = shapeRun(wl, 128, false);
+        EXPECT_GT(n128.cycles, n32.cycles) << wl;
+    }
+}
+
+// Paper, Figure 5: the list workloads' optimized cases win clearly at
+// long lines.
+class OptimizedWinsAt128 : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(OptimizedWinsAt128, SpeedupAbove1_2)
+{
+    const RunResult n = shapeRun(GetParam(), 128, false);
+    const RunResult l = shapeRun(GetParam(), 128, true);
+    EXPECT_EQ(n.checksum, l.checksum);
+    EXPECT_GT(double(n.cycles) / double(l.cycles), 1.2) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ListApps, OptimizedWinsAt128,
+                         ::testing::Values("health", "mst", "radiosity",
+                                           "vis", "eqntott"));
+
+// Paper, Figure 5: speedups increase along with line size.
+TEST(Shapes, SpeedupGrowsWithLineSize)
+{
+    for (const std::string wl : {"vis", "health"}) {
+        const double s32 =
+            double(shapeRun(wl, 32, false).cycles) /
+            double(shapeRun(wl, 32, true).cycles);
+        const double s128 =
+            double(shapeRun(wl, 128, false).cycles) /
+            double(shapeRun(wl, 128, true).cycles);
+        EXPECT_GT(s128, s32) << wl;
+    }
+}
+
+// Paper, Section 5.3: Compress is the exception — the merged layout is
+// relatively WORSE at short lines than at long ones.
+TEST(Shapes, CompressCrossoverDirection)
+{
+    const double ratio32 =
+        double(shapeRun("compress", 32, true).cycles) /
+        double(shapeRun("compress", 32, false).cycles);
+    const double ratio128 =
+        double(shapeRun("compress", 128, true).cycles) /
+        double(shapeRun("compress", 128, false).cycles);
+    EXPECT_GT(ratio32, ratio128);
+    EXPECT_GT(ratio32, 1.0); // actually loses at 32B
+}
+
+// Paper, Section 5.3: BH's 80B cells make clustering meaningful only
+// at 256B lines.
+TEST(Shapes, BhNeedsLongLines)
+{
+    const double s64 = double(shapeRun("bh", 64, false).cycles) /
+                       double(shapeRun("bh", 64, true).cycles);
+    const double s256 = double(shapeRun("bh", 256, false).cycles) /
+                        double(shapeRun("bh", 256, true).cycles);
+    EXPECT_GT(s256, s64);
+    EXPECT_GT(s256, 1.1);
+}
+
+// Paper, Section 5.4 / Figure 10: SMV is the workload where forwarding
+// fires; the L scheme pays for it and Perf bounds the loss.
+TEST(Shapes, SmvForwardingStory)
+{
+    const RunResult n = shapeRun("smv", 32, false);
+    const RunResult l = shapeRun("smv", 32, true);
+    const RunResult perf =
+        shapeRun("smv", 32, true, ForwardingConfig::Mode::perfect);
+
+    EXPECT_EQ(n.checksum, l.checksum);
+    EXPECT_EQ(l.checksum, perf.checksum);
+
+    // Forwarding actually occurs, at a plausible rate.
+    EXPECT_GT(l.loadForwardedFraction(), 0.01);
+    EXPECT_LT(l.loadForwardedFraction(), 0.40);
+    // One hop each (the optimization linearizes once).
+    EXPECT_EQ(perf.loads_forwarded, 0u);
+    // The overhead ordering of Figure 10(a).
+    EXPECT_GT(l.cycles, perf.cycles);
+}
+
+// Paper, Figure 6(a): misses drop for the list apps at long lines.
+TEST(Shapes, MissReductionAt128)
+{
+    for (const std::string wl : {"vis", "health", "mst"}) {
+        const RunResult n = shapeRun(wl, 128, false);
+        const RunResult l = shapeRun(wl, 128, true);
+        EXPECT_LT(l.load_partial_misses + l.load_full_misses,
+                  n.load_partial_misses + n.load_full_misses)
+            << wl;
+    }
+}
+
+// Paper, Section 3.2: dependence-speculation violations "almost never"
+// happen, even where forwarding is frequent.
+TEST(Shapes, SpeculationViolationsNegligible)
+{
+    const RunResult l = shapeRun("smv", 32, true);
+    EXPECT_GT(l.lsq_speculations, 0u);
+    EXPECT_LE(l.lsq_violations, l.lsq_speculations / 100);
+}
+
+// Paper, Table 1: relocation's space overhead is bounded and modest.
+TEST(Shapes, SpaceOverheadModest)
+{
+    for (const std::string wl : {"vis", "health", "smv"}) {
+        const RunResult l = shapeRun(wl, 32, true);
+        EXPECT_GT(l.space_overhead_bytes, 0u) << wl;
+        EXPECT_LT(l.space_overhead_bytes, Addr(64) << 20) << wl;
+    }
+}
+
+} // namespace
+} // namespace memfwd

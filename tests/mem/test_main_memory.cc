@@ -1,0 +1,63 @@
+/** @file Unit tests for the DRAM timing/traffic model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(MainMemory, LatencyPlusBurst)
+{
+    MainMemory mem({.latency = 70, .bytesPerCycle = 8});
+    // 32B transfer = 4 cycles of burst.
+    EXPECT_EQ(mem.access(100, 32), 100 + 70 + 4);
+}
+
+TEST(MainMemory, CountsBytesAndAccesses)
+{
+    MainMemory mem;
+    mem.access(0, 32);
+    mem.access(0, 64);
+    EXPECT_EQ(mem.bytesTransferred(), 96u);
+    EXPECT_EQ(mem.accesses(), 2u);
+}
+
+TEST(MainMemory, ChannelSerializesBackToBackTransfers)
+{
+    MainMemory mem({.latency = 10, .bytesPerCycle = 8});
+    const Cycles first = mem.access(0, 64);  // burst 8: channel busy 0-8
+    const Cycles second = mem.access(0, 64); // starts at 8
+    EXPECT_EQ(first, 0 + 10 + 8);
+    EXPECT_EQ(second, 8 + 10 + 8);
+}
+
+TEST(MainMemory, IdleChannelStartsImmediately)
+{
+    MainMemory mem({.latency = 10, .bytesPerCycle = 8});
+    mem.access(0, 32);
+    // Long after the burst finished: no queueing delay.
+    EXPECT_EQ(mem.access(1000, 32), 1000 + 10 + 4);
+}
+
+TEST(MainMemory, ClearStatsKeepsChannelState)
+{
+    MainMemory mem;
+    mem.access(0, 128);
+    mem.clearStats();
+    EXPECT_EQ(mem.bytesTransferred(), 0u);
+    EXPECT_EQ(mem.accesses(), 0u);
+}
+
+TEST(MainMemory, WiderChannelShortensBurst)
+{
+    MainMemory narrow({.latency = 0, .bytesPerCycle = 4});
+    MainMemory wide({.latency = 0, .bytesPerCycle = 32});
+    EXPECT_EQ(narrow.access(0, 128), 32u);
+    EXPECT_EQ(wide.access(0, 128), 4u);
+}
+
+} // namespace
+} // namespace memfwd

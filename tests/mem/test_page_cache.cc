@@ -1,0 +1,89 @@
+/** @file Unit tests for the out-of-core page-cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_cache.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(PageCache, FirstTouchFaults)
+{
+    PageCache pc(4096, 4);
+    EXPECT_TRUE(pc.access(0));
+    EXPECT_FALSE(pc.access(8));     // same page
+    EXPECT_FALSE(pc.access(4095));  // same page
+    EXPECT_TRUE(pc.access(4096));   // next page
+    EXPECT_EQ(pc.faults(), 2u);
+    EXPECT_EQ(pc.accesses(), 4u);
+}
+
+TEST(PageCache, LruEviction)
+{
+    PageCache pc(4096, 2);
+    pc.access(0 * 4096);
+    pc.access(1 * 4096);
+    pc.access(0 * 4096);     // page 0 now MRU
+    pc.access(2 * 4096);     // evicts page 1 (LRU)
+    EXPECT_FALSE(pc.access(0 * 4096));
+    EXPECT_TRUE(pc.access(1 * 4096)); // was evicted
+    EXPECT_EQ(pc.faults(), 4u);
+}
+
+TEST(PageCache, WorkingSetCount)
+{
+    PageCache pc(4096, 2);
+    for (Addr p = 0; p < 10; ++p)
+        pc.access(p * 4096);
+    EXPECT_EQ(pc.pagesTouched(), 10u);
+}
+
+TEST(PageCache, SequentialStreamFaultsOncePerPage)
+{
+    PageCache pc(4096, 8);
+    for (Addr a = 0; a < 64 * 1024; a += 32)
+        pc.access(a);
+    EXPECT_EQ(pc.faults(), 16u); // 64KB / 4KB
+}
+
+TEST(PageCache, ThrashingWhenSetTooSmall)
+{
+    // Cyclic sweep over N+1 pages with capacity N: every access faults
+    // under LRU.
+    PageCache pc(4096, 4);
+    for (int round = 0; round < 3; ++round)
+        for (Addr p = 0; p < 5; ++p)
+            pc.access(p * 4096);
+    EXPECT_EQ(pc.faults(), 15u);
+}
+
+TEST(PageCache, FaultCyclesScale)
+{
+    PageCache pc(4096, 2, 777);
+    pc.access(0);
+    pc.access(4096);
+    EXPECT_EQ(pc.faultCycles(), 2u * 777);
+}
+
+TEST(PageCache, ClearStats)
+{
+    PageCache pc(4096, 2);
+    pc.access(0);
+    pc.clearStats();
+    EXPECT_EQ(pc.faults(), 0u);
+    EXPECT_EQ(pc.accesses(), 0u);
+    EXPECT_EQ(pc.pagesTouched(), 0u);
+    // Residency survives clearStats: page 0 still resident.
+    EXPECT_FALSE(pc.access(0));
+}
+
+TEST(PageCacheDeathTest, BadConfig)
+{
+    EXPECT_DEATH(PageCache(1000, 4), "power of two");
+    EXPECT_DEATH(PageCache(4096, 0), "nonempty");
+}
+
+} // namespace
+} // namespace memfwd

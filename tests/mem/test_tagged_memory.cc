@@ -1,0 +1,151 @@
+/** @file Unit tests for the tagged-memory substrate. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(TaggedMemory, FreshMemoryReadsZeroWithClearBits)
+{
+    TaggedMemory mem;
+    EXPECT_EQ(mem.rawReadWord(0), 0u);
+    EXPECT_EQ(mem.rawReadWord(0x123456780), 0u);
+    EXPECT_FALSE(mem.fbit(0));
+    EXPECT_FALSE(mem.fbit(0xffffffff0ull));
+    EXPECT_EQ(mem.pagesAllocated(), 0u);
+}
+
+TEST(TaggedMemory, WriteReadRoundTrip)
+{
+    TaggedMemory mem;
+    mem.rawWriteWord(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.rawReadWord(0x1000), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.rawReadWord(0x1008), 0u);
+}
+
+TEST(TaggedMemory, UnalignedAccessesHitContainingWord)
+{
+    TaggedMemory mem;
+    mem.rawWriteWord(0x1000, 42);
+    // Any address within the word reads the same payload.
+    for (unsigned off = 0; off < 8; ++off)
+        EXPECT_EQ(mem.rawReadWord(0x1000 + off), 42u);
+}
+
+TEST(TaggedMemory, ForwardingBitPerWord)
+{
+    TaggedMemory mem;
+    mem.setFBit(0x2000, true);
+    EXPECT_TRUE(mem.fbit(0x2000));
+    EXPECT_TRUE(mem.fbit(0x2007)); // same word
+    EXPECT_FALSE(mem.fbit(0x2008));
+    mem.setFBit(0x2000, false);
+    EXPECT_FALSE(mem.fbit(0x2000));
+}
+
+TEST(TaggedMemory, UnforwardedWriteAtomicPair)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x3000, 0x5800, true);
+    EXPECT_EQ(mem.rawReadWord(0x3000), 0x5800u);
+    EXPECT_TRUE(mem.fbit(0x3000));
+    mem.unforwardedWrite(0x3000, 7, false);
+    EXPECT_EQ(mem.rawReadWord(0x3000), 7u);
+    EXPECT_FALSE(mem.fbit(0x3000));
+}
+
+TEST(TaggedMemory, SubwordReadsAndWrites)
+{
+    TaggedMemory mem;
+    mem.rawWriteWord(0x4000, 0x1122334455667788ull);
+    EXPECT_EQ(mem.readBytes(0x4000, 1), 0x88u);
+    EXPECT_EQ(mem.readBytes(0x4001, 1), 0x77u);
+    EXPECT_EQ(mem.readBytes(0x4000, 2), 0x7788u);
+    EXPECT_EQ(mem.readBytes(0x4002, 2), 0x5566u);
+    EXPECT_EQ(mem.readBytes(0x4000, 4), 0x55667788u);
+    EXPECT_EQ(mem.readBytes(0x4004, 4), 0x11223344u);
+    EXPECT_EQ(mem.readBytes(0x4000, 8), 0x1122334455667788ull);
+
+    mem.writeBytes(0x4001, 1, 0xaa);
+    EXPECT_EQ(mem.rawReadWord(0x4000), 0x112233445566aa88ull);
+    mem.writeBytes(0x4004, 4, 0xddccbbaa);
+    EXPECT_EQ(mem.rawReadWord(0x4000), 0xddccbbaa5566aa88ull);
+}
+
+TEST(TaggedMemory, SubwordWriteDoesNotTouchNeighbours)
+{
+    TaggedMemory mem;
+    mem.rawWriteWord(0x5000, ~0ull);
+    mem.writeBytes(0x5002, 2, 0);
+    EXPECT_EQ(mem.rawReadWord(0x5000), 0xffffffff0000ffffull);
+}
+
+TEST(TaggedMemoryDeathTest, CrossWordAccessRejected)
+{
+    TaggedMemory mem;
+    EXPECT_DEATH(mem.readBytes(0x1006, 4), "crosses word boundary");
+    EXPECT_DEATH(mem.writeBytes(0x1007, 2, 0), "crosses word boundary");
+}
+
+TEST(TaggedMemoryDeathTest, BadSizeRejected)
+{
+    TaggedMemory mem;
+    EXPECT_DEATH(mem.readBytes(0x1000, 3), "bad access size");
+    EXPECT_DEATH(mem.readBytes(0x1000, 16), "bad access size");
+}
+
+TEST(TaggedMemory, InitializeRegionClearsTouchedPages)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x6000, 99, true);
+    mem.unforwardedWrite(0x6100, 98, true);
+    mem.initializeRegion(0x6000, 0x200);
+    EXPECT_EQ(mem.rawReadWord(0x6000), 0u);
+    EXPECT_FALSE(mem.fbit(0x6000));
+    EXPECT_FALSE(mem.fbit(0x6100));
+}
+
+TEST(TaggedMemory, InitializeRegionLazyOnColdPages)
+{
+    TaggedMemory mem;
+    // A huge init over untouched space must not materialize pages.
+    mem.initializeRegion(0x100000000ull, Addr(1) << 30);
+    EXPECT_EQ(mem.pagesAllocated(), 0u);
+}
+
+TEST(TaggedMemory, InitializeRegionPartialPage)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x7000, 1, true);
+    mem.unforwardedWrite(0x7008, 2, true);
+    mem.initializeRegion(0x7008, 8); // only the second word
+    EXPECT_EQ(mem.rawReadWord(0x7000), 1u);
+    EXPECT_TRUE(mem.fbit(0x7000));
+    EXPECT_EQ(mem.rawReadWord(0x7008), 0u);
+    EXPECT_FALSE(mem.fbit(0x7008));
+}
+
+TEST(TaggedMemory, SparsePagesAccounting)
+{
+    TaggedMemory mem;
+    mem.rawWriteWord(0, 1);
+    mem.rawWriteWord(TaggedMemory::pageBytes, 1);
+    mem.rawWriteWord(100 * TaggedMemory::pageBytes, 1);
+    EXPECT_EQ(mem.pagesAllocated(), 3u);
+    EXPECT_EQ(mem.bytesAllocated(), 3u * TaggedMemory::pageBytes);
+}
+
+// Space overhead sanity: the forwarding bits cost 1 bit per 64-bit
+// word, the paper's 1.5% figure.
+TEST(TaggedMemory, TagOverheadMatchesPaper)
+{
+    const double overhead = 1.0 / 64.0;
+    EXPECT_NEAR(overhead, 0.015, 0.002);
+}
+
+} // namespace
+} // namespace memfwd

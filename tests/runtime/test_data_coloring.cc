@@ -1,0 +1,158 @@
+/** @file Unit tests for data coloring and tile copying. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/data_coloring.hh"
+#include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+MachineConfig
+directMapped()
+{
+    MachineConfig mc;
+    mc.hierarchy.l1d.size_bytes = 4096;
+    mc.hierarchy.l1d.assoc = 1;
+    mc.hierarchy.setLineBytes(64);
+    return mc;
+}
+
+struct ColorRig
+{
+    Machine m{directMapped()};
+    SimAllocator alloc{m};
+    RelocationPool pool{alloc, 4 << 20};
+
+    /** Allocate n items of `bytes`, all mapping to cache set 0. */
+    std::vector<Addr>
+    conflictItems(unsigned n, unsigned bytes)
+    {
+        const unsigned cache = m.config().hierarchy.l1d.size_bytes;
+        const Addr base = alloc.alloc(Addr(cache) * (n + 1));
+        std::vector<Addr> items;
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr a = base + Addr(i) * cache;
+            items.push_back(a);
+            for (unsigned off = 0; off < bytes; off += 8)
+                m.store(a + off, 8, i * 1000 + off);
+        }
+        return items;
+    }
+};
+
+TEST(DataColoring, ItemsLandInDistinctColors)
+{
+    ColorRig rig;
+    const auto items = rig.conflictItems(8, 64);
+    const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
+    const ColoringResult r =
+        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 8);
+    ASSERT_EQ(r.new_addrs.size(), 8u);
+
+    // New homes of consecutive items occupy disjoint set bands.
+    std::set<Addr> bands;
+    for (Addr a : r.new_addrs)
+        bands.insert((a % cache) / (cache / 8));
+    EXPECT_EQ(bands.size(), 8u);
+}
+
+TEST(DataColoring, ContentsPreservedThroughStalePointers)
+{
+    ColorRig rig;
+    const auto items = rig.conflictItems(6, 64);
+    const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
+    colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 6);
+    for (unsigned i = 0; i < 6; ++i) {
+        for (unsigned off = 0; off < 64; off += 8) {
+            EXPECT_EQ(rig.m.load(items[i] + off, 8).value,
+                      i * 1000 + off);
+        }
+    }
+}
+
+TEST(DataColoring, RemovesConflictMisses)
+{
+    ColorRig rig;
+    const auto items = rig.conflictItems(8, 64);
+    const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
+
+    // Count FULL misses: a re-reference combining with an in-flight
+    // fill (a partial miss) is overlap, not a conflict.
+    auto sweepMisses = [&](const std::vector<Addr> &addrs) {
+        rig.m.hierarchy().reset();
+        for (int pass = 0; pass < 30; ++pass) {
+            for (Addr a : addrs)
+                rig.m.load(a, 8);
+            // Space the passes out so fills finish; otherwise
+            // re-references combine with in-flight fills instead of
+            // exposing the conflict refetches.
+            rig.m.compute(600);
+        }
+        return rig.m.hierarchy().l1d().stats().load_full_misses;
+    };
+
+    const std::uint64_t before = sweepMisses(items);
+    const ColoringResult r =
+        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 8);
+    const std::uint64_t after = sweepMisses(r.new_addrs);
+
+    // Direct-mapped + 8 same-set items: nearly every access refetched
+    // before; after coloring only the cold fills remain.
+    EXPECT_GE(before, 8u * 20);
+    EXPECT_LE(after, 8u);
+}
+
+TEST(DataColoring, RoundRobinAcrossFewerColors)
+{
+    ColorRig rig;
+    const auto items = rig.conflictItems(8, 64);
+    const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
+    const ColoringResult r =
+        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 4);
+    // Items i and i+4 share a color; i and i+1 do not.
+    const auto band = [&](Addr a) {
+        return (a % cache) / (cache / 4);
+    };
+    EXPECT_EQ(band(r.new_addrs[0]), band(r.new_addrs[4]));
+    EXPECT_NE(band(r.new_addrs[0]), band(r.new_addrs[1]));
+}
+
+TEST(CopyTile, ContiguousAndIntact)
+{
+    ColorRig rig;
+    const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
+    const Addr matrix = rig.alloc.alloc(Addr(cache) * 9);
+    for (unsigned r = 0; r < 8; ++r)
+        for (unsigned off = 0; off < 128; off += 8)
+            rig.m.store(matrix + Addr(r) * cache + off, 8, r * 7 + off);
+
+    const Addr buf =
+        copyTile(rig.m, matrix, 8, 128, cache, rig.pool);
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned off = 0; off < 128; off += 8) {
+            EXPECT_EQ(rig.m.load(buf + Addr(r) * 128 + off, 8).value,
+                      r * 7 + off);
+            // Old address still works through forwarding.
+            EXPECT_EQ(
+                rig.m.load(matrix + Addr(r) * cache + off, 8).value,
+                r * 7 + off);
+        }
+    }
+}
+
+TEST(DataColoringDeathTest, ZeroColorsRejected)
+{
+    ColorRig rig;
+    const auto items = rig.conflictItems(2, 64);
+    EXPECT_DEATH(colorRelocate(rig.m, items, 64, rig.pool, 4096, 64, 0),
+                 "at least one color");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,266 @@
+/** @file Unit tests for ListLinearize() (Figure 4(b), Figure 2). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "runtime/list_linearize.hh"
+#include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+// Node: next at 0, payload at 8 (16 bytes).
+constexpr ListDesc desc{16, 0, 0};
+
+struct ListRig
+{
+    Machine m;
+    SimAllocator alloc{m};
+    RelocationPool pool{alloc, 1 << 20};
+    Addr head = 0;
+
+    ListRig() { head = alloc.alloc(wordBytes); }
+
+    /** Build a list of n scattered nodes with payloads 0..n-1, in order. */
+    void
+    build(unsigned n)
+    {
+        m.store(head, 8, 0);
+        Addr prev = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr node = alloc.alloc(16, Placement::scattered);
+            m.store(node + 0, 8, 0);
+            m.store(node + 8, 8, i);
+            if (prev == 0)
+                m.store(head, 8, node);
+            else
+                m.store(prev + 0, 8, node);
+            prev = node;
+        }
+    }
+
+    /** Read payloads by traversal. */
+    std::vector<std::uint64_t>
+    payloads()
+    {
+        std::vector<std::uint64_t> out;
+        LoadResult cur = m.load(head, 8);
+        while (cur.value != 0) {
+            out.push_back(m.load(cur.value + 8, 8).value);
+            cur = m.load(cur.value + 0, 8);
+        }
+        return out;
+    }
+};
+
+TEST(ListLinearize, EmptyList)
+{
+    ListRig rig;
+    rig.m.store(rig.head, 8, 0);
+    const LinearizeResult r =
+        listLinearize(rig.m, rig.head, desc, rig.pool);
+    EXPECT_EQ(r.nodes, 0u);
+    EXPECT_EQ(r.new_head, 0u);
+    EXPECT_EQ(r.pool_bytes, 0u);
+}
+
+TEST(ListLinearize, PreservesOrderAndContents)
+{
+    ListRig rig;
+    rig.build(20);
+    const auto before = rig.payloads();
+    const LinearizeResult r =
+        listLinearize(rig.m, rig.head, desc, rig.pool);
+    EXPECT_EQ(r.nodes, 20u);
+    EXPECT_EQ(rig.payloads(), before);
+}
+
+TEST(ListLinearize, NodesBecomeContiguousInListOrder)
+{
+    ListRig rig;
+    rig.build(10);
+    const LinearizeResult r =
+        listLinearize(rig.m, rig.head, desc, rig.pool);
+    // Walk the new list: node i must be at new_head + 16*i.
+    LoadResult cur = rig.m.load(rig.head, 8);
+    for (unsigned i = 0; i < 10; ++i) {
+        EXPECT_EQ(cur.value, r.new_head + Addr(i) * 16);
+        cur = rig.m.load(cur.value + 0, 8);
+    }
+    EXPECT_EQ(cur.value, 0u);
+}
+
+TEST(ListLinearize, HeadHandleUpdated)
+{
+    // Figure 4(b): the head is passed by handle so the caller's pointer
+    // is updated in place.
+    ListRig rig;
+    rig.build(5);
+    const Addr old_first =
+        static_cast<Addr>(rig.m.load(rig.head, 8).value);
+    const LinearizeResult r =
+        listLinearize(rig.m, rig.head, desc, rig.pool);
+    EXPECT_NE(rig.m.load(rig.head, 8).value, old_first);
+    EXPECT_EQ(rig.m.load(rig.head, 8).value, r.new_head);
+}
+
+TEST(ListLinearize, StalePointersStillWork)
+{
+    ListRig rig;
+    rig.build(8);
+    // Keep a stale pointer to the third node.
+    LoadResult cur = rig.m.load(rig.head, 8);
+    cur = rig.m.load(cur.value + 0, 8);
+    const Addr stale = static_cast<Addr>(
+        rig.m.load(cur.value + 0, 8).value);
+    const std::uint64_t want = rig.m.load(stale + 8, 8).value;
+
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+
+    const LoadResult via_stale = rig.m.load(stale + 8, 8);
+    EXPECT_EQ(via_stale.value, want);
+    EXPECT_EQ(via_stale.hops, 1u);
+}
+
+TEST(ListLinearize, TraversalsAfterwardsDoNotForward)
+{
+    ListRig rig;
+    rig.build(12);
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+    const std::uint64_t walks_before = rig.m.forwarding().stats().walks;
+    rig.payloads();
+    EXPECT_EQ(rig.m.forwarding().stats().walks, walks_before);
+}
+
+TEST(ListLinearize, RepeatedLinearizationChainsFromOldNodes)
+{
+    ListRig rig;
+    rig.build(4);
+    // Remember original first node.
+    const Addr orig =
+        static_cast<Addr>(rig.m.load(rig.head, 8).value);
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+    // The original node now takes two hops; traversal takes none.
+    EXPECT_EQ(rig.m.load(orig + 8, 8).hops, 2u);
+    EXPECT_EQ(rig.m.load(rig.head, 8).hops, 0u);
+}
+
+TEST(ListLinearize, SpatialLocalityActuallyImproves)
+{
+    // The paper's Figure 2 claim: 4 scattered nodes -> 2 lines instead
+    // of 4 (with 32B lines and 16B nodes).
+    ListRig rig;
+    rig.build(64);
+    const unsigned line = rig.m.config().hierarchy.l1d.line_bytes;
+
+    auto linesTouched = [&] {
+        std::set<Addr> lines;
+        LoadResult cur = rig.m.load(rig.head, 8);
+        while (cur.value != 0) {
+            lines.insert(static_cast<Addr>(cur.value) / line);
+            cur = rig.m.load(cur.value + 0, 8);
+        }
+        return lines.size();
+    };
+
+    const std::size_t before = linesTouched();
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+    const std::size_t after = linesTouched();
+    EXPECT_GE(before, 60u); // scattered: nearly every node its own line
+    EXPECT_EQ(after, 64u * 16 / line); // packed (chunk is pool-aligned)
+}
+
+TEST(ListLinearize, ExternalTailPreserved)
+{
+    // A list whose last next pointer is a sentinel other than 0.
+    ListRig rig;
+    ListDesc d{16, 0, /*list_end=*/0xdeadb000};
+    const Addr a = rig.alloc.alloc(16);
+    rig.m.store(rig.head, 8, a);
+    rig.m.store(a + 0, 8, 0xdeadb000);
+    rig.m.store(a + 8, 8, 5);
+    const LinearizeResult r = listLinearize(rig.m, rig.head, d, rig.pool);
+    EXPECT_EQ(r.nodes, 1u);
+    EXPECT_EQ(rig.m.load(r.new_head + 0, 8).value, 0xdeadb000u);
+}
+
+TEST(ListLinearize, SharedTailBetweenTwoLists)
+{
+    // The scenario that makes linearization unsafe without forwarding:
+    // two lists converge into a shared suffix.  Linearizing list A
+    // relocates the shared nodes; list B's next pointer into the
+    // suffix is now stale — and must keep working.
+    ListRig rig;
+    // Shared suffix of 4 nodes (payloads 100..103).
+    Addr suffix_head = 0;
+    Addr prev = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const Addr n = rig.alloc.alloc(16, Placement::scattered);
+        rig.m.store(n + 0, 8, 0);
+        rig.m.store(n + 8, 8, 100 + i);
+        if (prev == 0)
+            suffix_head = n;
+        else
+            rig.m.store(prev + 0, 8, n);
+        prev = n;
+    }
+    // List A: head -> a0 -> suffix.
+    const Addr a0 = rig.alloc.alloc(16, Placement::scattered);
+    rig.m.store(a0 + 0, 8, suffix_head);
+    rig.m.store(a0 + 8, 8, 1);
+    rig.m.store(rig.head, 8, a0);
+    // List B: head_b -> b0 -> suffix (same suffix!).
+    const Addr head_b = rig.alloc.alloc(8);
+    const Addr b0 = rig.alloc.alloc(16, Placement::scattered);
+    rig.m.store(b0 + 0, 8, suffix_head);
+    rig.m.store(b0 + 8, 8, 2);
+    rig.m.store(head_b, 8, b0);
+
+    auto walk = [&](Addr h) {
+        std::vector<std::uint64_t> out;
+        LoadResult cur = rig.m.load(h, 8);
+        while (cur.value != 0) {
+            out.push_back(rig.m.load(cur.value + 8, 8).value);
+            cur = rig.m.load(cur.value + 0, 8);
+        }
+        return out;
+    };
+    const std::vector<std::uint64_t> want_a{1, 100, 101, 102, 103};
+    const std::vector<std::uint64_t> want_b{2, 100, 101, 102, 103};
+    ASSERT_EQ(walk(rig.head), want_a);
+    ASSERT_EQ(walk(head_b), want_b);
+
+    // Linearize A: the suffix relocates; B's pointer goes stale.
+    listLinearize(rig.m, rig.head, desc, rig.pool);
+    EXPECT_EQ(walk(rig.head), want_a);
+    const std::uint64_t walks_before =
+        rig.m.forwarding().stats().walks;
+    EXPECT_EQ(walk(head_b), want_b); // forwarding saves B
+    EXPECT_GT(rig.m.forwarding().stats().walks, walks_before);
+
+    // Linearize B too: the already-moved suffix nodes get a second
+    // chain hop appended; both lists still read correctly.
+    listLinearize(rig.m, head_b, desc, rig.pool);
+    EXPECT_EQ(walk(rig.head), want_a);
+    EXPECT_EQ(walk(head_b), want_b);
+}
+
+TEST(ListLinearizeDeathTest, RunawayListCaught)
+{
+    ListRig rig;
+    // A self-looping list (corrupt): node->next == node.
+    const Addr a = rig.alloc.alloc(16);
+    rig.m.store(rig.head, 8, a);
+    rig.m.store(a + 0, 8, a);
+    EXPECT_DEATH(listLinearize(rig.m, rig.head, desc, rig.pool, 100),
+                 "max_nodes");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,155 @@
+/** @file Unit tests for the Machine facade. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(Machine, LoadStoreRoundTrip)
+{
+    Machine m;
+    m.store(0x1000, 8, 0x1122334455667788ull);
+    const LoadResult r = m.load(0x1000, 8);
+    EXPECT_EQ(r.value, 0x1122334455667788ull);
+    EXPECT_EQ(r.hops, 0u);
+    EXPECT_EQ(r.final_addr, 0x1000u);
+}
+
+TEST(Machine, SubwordAccess)
+{
+    Machine m;
+    m.store(0x1000, 8, 0);
+    m.store(0x1002, 2, 0xbeef);
+    EXPECT_EQ(m.load(0x1002, 2).value, 0xbeefu);
+    EXPECT_EQ(m.load(0x1000, 8).value, 0xbeef0000ull);
+}
+
+TEST(Machine, TimeAdvancesWithWork)
+{
+    Machine m;
+    const Cycles before = m.cycles();
+    m.compute(1000);
+    EXPECT_GE(m.cycles(), before + 240);
+}
+
+TEST(Machine, LoadThroughForwardingChain)
+{
+    Machine m;
+    m.store(0x1000, 8, 777);
+    m.forwarding().forwardWord(0x1000, 0x2000);
+    const LoadResult r = m.load(0x1000, 8);
+    EXPECT_EQ(r.value, 777u);
+    EXPECT_EQ(r.hops, 1u);
+    EXPECT_EQ(r.final_addr, 0x2000u);
+    EXPECT_EQ(m.loadsForwarded(), 1u);
+}
+
+TEST(Machine, StoreThroughForwardingChain)
+{
+    Machine m;
+    m.forwarding().forwardWord(0x1000, 0x2000);
+    const StoreResult s = m.store(0x1000, 8, 42);
+    EXPECT_EQ(s.hops, 1u);
+    EXPECT_EQ(s.final_addr, 0x2000u);
+    // The value landed at the new location; the old word still holds
+    // the forwarding address.
+    EXPECT_EQ(m.mem().rawReadWord(0x2000), 42u);
+    EXPECT_EQ(m.mem().rawReadWord(0x1000), 0x2000u);
+    EXPECT_EQ(m.storesForwarded(), 1u);
+}
+
+TEST(Machine, IsaExtensionsBypassForwarding)
+{
+    // The Figure 1(b)/Figure 3 contract: a normal read of a forwarded
+    // word returns the data at the final address; Unforwarded_Read
+    // returns the forwarding address itself.
+    Machine m;
+    m.store(0x0808, 8, 0);
+    m.forwarding().forwardWord(0x0808, 0x5808);
+    EXPECT_EQ(m.load(0x0808, 8).value, 0u);
+    EXPECT_EQ(m.unforwardedRead(0x0808), 0x5808u);
+    EXPECT_TRUE(m.readFBit(0x0808));
+    EXPECT_FALSE(m.readFBit(0x5808));
+}
+
+TEST(Machine, UnforwardedWriteSetsWordAndBit)
+{
+    Machine m;
+    m.unforwardedWrite(0x3000, 0x4000, true);
+    EXPECT_TRUE(m.readFBit(0x3000));
+    EXPECT_EQ(m.unforwardedRead(0x3000), 0x4000u);
+    // And a normal load now follows it.
+    m.store(0x4000, 8, 99);
+    EXPECT_EQ(m.load(0x3000, 8).value, 99u);
+}
+
+TEST(Machine, PeekPokeFollowForwardingWithoutTiming)
+{
+    Machine m;
+    m.forwarding().forwardWord(0x1000, 0x2000);
+    const Cycles before = m.cycles();
+    const std::uint64_t loads_before = m.loads();
+    m.poke(0x1000, 8, 1234);
+    EXPECT_EQ(m.peek(0x1000, 8), 1234u);
+    EXPECT_EQ(m.cycles(), before);
+    EXPECT_EQ(m.loads(), loads_before);
+    EXPECT_EQ(m.mem().rawReadWord(0x2000), 1234u);
+}
+
+TEST(Machine, PrefetchWarmsCache)
+{
+    Machine m;
+    m.prefetch(0x8000, 2);
+    EXPECT_TRUE(m.hierarchy().l1d().contains(0x8000));
+}
+
+TEST(Machine, ForwardedLoadSlowerThanDirect)
+{
+    Machine a, b;
+    a.store(0x1000, 8, 1);
+    b.store(0x1000, 8, 1);
+    b.forwarding().forwardWord(0x1000, 0x2000);
+    // Warm both, then measure a dependent chain of loads.
+    for (int i = 0; i < 4; ++i) {
+        a.load(0x1000, 8);
+        b.load(0x1000, 8);
+    }
+    Cycles ra = 0, rb = 0;
+    for (int i = 0; i < 50; ++i) {
+        ra = a.load(0x1000, 8, ra).ready;
+        rb = b.load(0x1000, 8, rb).ready;
+    }
+    EXPECT_GT(b.cycles(), a.cycles());
+}
+
+TEST(Machine, CollectStatsExportsCounters)
+{
+    Machine m;
+    m.store(0x1000, 8, 5);
+    m.load(0x1000, 8);
+    StatsRegistry reg;
+    m.collectStats(reg, "m.");
+    EXPECT_EQ(reg.get("m.refs.loads"), 1u);
+    EXPECT_EQ(reg.get("m.refs.stores"), 1u);
+    EXPECT_GT(reg.get("m.cycles"), 0u);
+    EXPECT_TRUE(reg.has("m.slots.busy"));
+    EXPECT_TRUE(reg.has("m.traffic.l2_mem_bytes"));
+}
+
+TEST(Machine, DependentAccessesRespectAddrReady)
+{
+    Machine m;
+    m.store(0x1000, 8, 0x2000);
+    m.store(0x2000, 8, 7);
+    const LoadResult p = m.load(0x1000, 8);
+    const LoadResult v = m.load(static_cast<Addr>(p.value), 8, p.ready);
+    EXPECT_EQ(v.value, 7u);
+    EXPECT_GT(v.ready, p.ready);
+}
+
+} // namespace
+} // namespace memfwd

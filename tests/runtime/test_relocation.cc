@@ -1,0 +1,115 @@
+/** @file Unit tests for Relocate() (Figure 4(a)). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(Relocate, SingleWordObject)
+{
+    Machine m;
+    m.store(0x1000, 8, 4711);
+    relocate(m, 0x1000, 0x9000, 1);
+    EXPECT_EQ(m.mem().rawReadWord(0x9000), 4711u);
+    EXPECT_TRUE(m.mem().fbit(0x1000));
+    EXPECT_EQ(m.mem().rawReadWord(0x1000), 0x9000u);
+    // A stale read still sees the data.
+    EXPECT_EQ(m.load(0x1000, 8).value, 4711u);
+}
+
+TEST(Relocate, MultiWordObjectForwardsEachWord)
+{
+    Machine m;
+    for (unsigned w = 0; w < 4; ++w)
+        m.store(0x1000 + w * 8, 8, 100 + w);
+    relocate(m, 0x1000, 0x9000, 4);
+    for (unsigned w = 0; w < 4; ++w) {
+        EXPECT_EQ(m.mem().rawReadWord(0x9000 + w * 8), 100 + w);
+        EXPECT_TRUE(m.mem().fbit(0x1000 + w * 8));
+        EXPECT_EQ(m.mem().rawReadWord(0x1000 + w * 8), 0x9000u + w * 8);
+        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 100 + w);
+    }
+}
+
+TEST(Relocate, AppendsToExistingChain)
+{
+    // Figure 4(a): Relocate loops until a clear forwarding bit so the
+    // target is appended at the END of the chain.
+    Machine m;
+    m.store(0x1000, 8, 55);
+    relocate(m, 0x1000, 0x2000, 1);
+    relocate(m, 0x1000, 0x3000, 1); // relocate again via the OLD address
+    // Chain: 0x1000 -> 0x2000 -> 0x3000.
+    EXPECT_EQ(m.mem().rawReadWord(0x1000), 0x2000u);
+    EXPECT_EQ(m.mem().rawReadWord(0x2000), 0x3000u);
+    EXPECT_TRUE(m.mem().fbit(0x2000));
+    EXPECT_EQ(m.mem().rawReadWord(0x3000), 55u);
+    EXPECT_FALSE(m.mem().fbit(0x3000));
+    const LoadResult r = m.load(0x1000, 8);
+    EXPECT_EQ(r.value, 55u);
+    EXPECT_EQ(r.hops, 2u);
+}
+
+TEST(Relocate, SecondRelocationViaCurrentAddress)
+{
+    Machine m;
+    m.store(0x1000, 8, 66);
+    relocate(m, 0x1000, 0x2000, 1);
+    // The program relocates from the CURRENT location this time.
+    relocate(m, 0x2000, 0x3000, 1);
+    EXPECT_EQ(m.load(0x1000, 8).value, 66u);
+    EXPECT_EQ(m.load(0x1000, 8).hops, 2u);
+    EXPECT_EQ(m.load(0x2000, 8).hops, 1u);
+    EXPECT_EQ(m.load(0x3000, 8).hops, 0u);
+}
+
+TEST(Relocate, SubwordsTravelWithTheirWord)
+{
+    Machine m;
+    m.store(0x1000, 2, 0x1111);
+    m.store(0x1002, 2, 0x2222);
+    m.store(0x1004, 4, 0x33334444);
+    relocate(m, 0x1000, 0x9000, 1);
+    EXPECT_EQ(m.load(0x1000, 2).value, 0x1111u);
+    EXPECT_EQ(m.load(0x1002, 2).value, 0x2222u);
+    EXPECT_EQ(m.load(0x1004, 4).value, 0x33334444u);
+    // And stale subword stores land in the new home.
+    m.store(0x1002, 2, 0xabcd);
+    EXPECT_EQ(m.mem().readBytes(0x9002, 2), 0xabcdu);
+}
+
+TEST(Relocate, ChargesTimedWork)
+{
+    Machine m;
+    const Cycles before = m.cycles();
+    const std::uint64_t instr = m.cpu().instructions();
+    relocate(m, 0x1000, 0x9000, 8);
+    EXPECT_GT(m.cycles(), before);
+    // Per word: Read_FBit + Unforwarded_Read + store + Unforwarded_Write.
+    EXPECT_EQ(m.cpu().instructions() - instr, 8u * 4);
+}
+
+TEST(ChaseChain, FollowsToFinalAddress)
+{
+    Machine m;
+    m.forwarding().forwardWord(0x1000, 0x2000);
+    m.forwarding().forwardWord(0x2000, 0x3000);
+    EXPECT_EQ(chaseChain(m, 0x1000), 0x3000u);
+    EXPECT_EQ(chaseChain(m, 0x1006), 0x3006u); // offset preserved
+    EXPECT_EQ(chaseChain(m, 0x4000), 0x4000u); // no chain
+}
+
+TEST(RelocateDeathTest, MisalignedEndpoints)
+{
+    Machine m;
+    EXPECT_DEATH(relocate(m, 0x1001, 0x2000, 1), "word-aligned");
+    EXPECT_DEATH(relocate(m, 0x1000, 0x2002, 1), "word-aligned");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,190 @@
+/** @file Unit tests for the simulated-heap allocator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(SimAllocator, AllocationsAreWordAlignedAndDisjoint)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    std::set<std::pair<Addr, Addr>> ranges;
+    for (int i = 0; i < 200; ++i) {
+        const Addr bytes = 8 + (i % 5) * 8;
+        const Addr a = alloc.alloc(bytes, i % 2 ? Placement::scattered
+                                                : Placement::sequential);
+        EXPECT_TRUE(isWordAligned(a));
+        for (const auto &[s, e] : ranges)
+            EXPECT_TRUE(a + bytes <= s || a >= e);
+        ranges.emplace(a, a + bytes);
+    }
+}
+
+TEST(SimAllocator, OddSizesRoundUpToWords)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr a = alloc.alloc(13);
+    EXPECT_EQ(alloc.allocationSize(a), 16u);
+}
+
+TEST(SimAllocator, FreshMemoryHasClearForwardingBits)
+{
+    // Section 3.3: the OS must hand out memory with clear forwarding
+    // bits.  Dirty arena space *before* it is allocated and confirm
+    // the allocation sweep cleans it.
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr a = alloc.alloc(64, Placement::sequential);
+    m.unforwardedWrite(a + 64, 0xdead, true);
+    const Addr b = alloc.alloc(64, Placement::sequential);
+    EXPECT_EQ(b, a + 64);
+    EXPECT_FALSE(m.readFBit(b));
+    EXPECT_EQ(m.unforwardedRead(b), 0u);
+}
+
+TEST(SimAllocator, ScatteredPlacementSpreadsBlocks)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    // Scattered blocks should not be contiguous in general.
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 50; ++i)
+        addrs.push_back(alloc.alloc(32, Placement::scattered));
+    unsigned adjacent = 0;
+    for (std::size_t i = 1; i < addrs.size(); ++i) {
+        if (addrs[i] == addrs[i - 1] + 32 ||
+            addrs[i - 1] == addrs[i] + 32) {
+            ++adjacent;
+        }
+    }
+    EXPECT_LT(adjacent, 3u);
+}
+
+TEST(SimAllocator, SequentialPlacementPacksTightly)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr a = alloc.alloc(32, Placement::sequential);
+    const Addr b = alloc.alloc(32, Placement::sequential);
+    EXPECT_EQ(b, a + 32);
+}
+
+TEST(SimAllocator, CustomAlignment)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    alloc.alloc(8);
+    const Addr a = alloc.alloc(64, Placement::sequential, 256);
+    EXPECT_EQ(a % 256, 0u);
+}
+
+TEST(SimAllocator, StatsTrackLifecycle)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr a = alloc.alloc(100); // rounds to 104
+    EXPECT_EQ(alloc.bytesLive(), 104u);
+    EXPECT_EQ(alloc.bytesTotal(), 104u);
+    alloc.free(a);
+    EXPECT_EQ(alloc.bytesLive(), 0u);
+    EXPECT_EQ(alloc.bytesPeak(), 104u);
+    EXPECT_EQ(alloc.allocCalls(), 1u);
+    EXPECT_EQ(alloc.freeCalls(), 1u);
+}
+
+TEST(SimAllocator, DeterministicAcrossRunsWithSameSeed)
+{
+    Machine m1, m2;
+    SimAllocator a1(m1, 77), a2(m2, 77);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a1.alloc(24, Placement::scattered),
+                  a2.alloc(24, Placement::scattered));
+    }
+}
+
+TEST(SimAllocator, ChainAwareFreeReclaimsRelocatedCopies)
+{
+    // Section 3.3: freeing an object whose words forward must free the
+    // relocated copies too.
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr obj = alloc.alloc(32);
+    const Addr copy = alloc.alloc(32);
+    relocate(m, obj, copy, 4);
+    EXPECT_TRUE(alloc.isAllocated(copy));
+    alloc.free(obj);
+    EXPECT_FALSE(alloc.isAllocated(obj));
+    EXPECT_FALSE(alloc.isAllocated(copy));
+    EXPECT_EQ(alloc.bytesLive(), 0u);
+}
+
+TEST(SimAllocator, ChainAwareFreeSkipsUnknownTargets)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr obj = alloc.alloc(16);
+    // Forward into pool-like space the allocator does not track.
+    m.unforwardedWrite(obj, 0x7f0000000ull, true);
+    alloc.free(obj); // must not crash
+    EXPECT_FALSE(alloc.isAllocated(obj));
+}
+
+TEST(SimAllocatorDeathTest, DoubleFreePanics)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    const Addr a = alloc.alloc(16);
+    alloc.free(a);
+    EXPECT_DEATH(alloc.free(a), "unallocated");
+}
+
+TEST(SimAllocatorDeathTest, ZeroBytesPanics)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    EXPECT_DEATH(alloc.alloc(0), "zero-byte");
+}
+
+TEST(RelocationPool, BumpAllocatesContiguously)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    RelocationPool pool(alloc, 4096);
+    const Addr a = pool.take(24);
+    const Addr b = pool.take(24);
+    EXPECT_EQ(b, a + 24);
+    EXPECT_EQ(pool.used(), 48u);
+    EXPECT_EQ(pool.remaining(), 4096u - 48);
+}
+
+TEST(RelocationPool, AlignedTake)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    RelocationPool pool(alloc, 4096);
+    pool.take(8);
+    const Addr a = pool.take(64, 128);
+    EXPECT_EQ(a % 128, 0u);
+}
+
+TEST(RelocationPoolDeathTest, ExhaustionPanics)
+{
+    Machine m;
+    SimAllocator alloc(m);
+    RelocationPool pool(alloc, 64);
+    pool.take(64);
+    EXPECT_DEATH(pool.take(8), "exhausted");
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,218 @@
+/** @file Unit tests for subtree clustering (Figure 9). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
+#include "runtime/subtree_cluster.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+// Binary-tree node: tag(0), left(8), right(16), payload(24) = 32B.
+constexpr unsigned node_bytes = 32;
+constexpr unsigned off_tag = 0;
+constexpr unsigned off_left = 8;
+constexpr unsigned off_right = 16;
+constexpr unsigned off_payload = 24;
+
+struct TreeRig
+{
+    Machine m;
+    SimAllocator alloc{m};
+    RelocationPool pool{alloc, 1 << 20};
+    Addr root_handle = 0;
+
+    TreeRig() { root_handle = alloc.alloc(wordBytes); }
+
+    TreeDesc
+    desc() const
+    {
+        TreeDesc d;
+        d.node_bytes = node_bytes;
+        d.child_offsets = {off_left, off_right};
+        return d;
+    }
+
+    /** Build a complete binary tree of the given depth; payload =
+     *  heap index.  Returns the root address. */
+    Addr
+    build(unsigned depth)
+    {
+        const unsigned n = (1u << depth) - 1;
+        std::vector<Addr> nodes(n);
+        for (unsigned i = 0; i < n; ++i) {
+            nodes[i] = alloc.alloc(node_bytes, Placement::scattered);
+            m.store(nodes[i] + off_tag, 8, 0);
+            m.store(nodes[i] + off_payload, 8, i);
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned l = 2 * i + 1, r = 2 * i + 2;
+            m.store(nodes[i] + off_left, 8, l < n ? nodes[l] : 0);
+            m.store(nodes[i] + off_right, 8, r < n ? nodes[r] : 0);
+        }
+        m.store(root_handle, 8, nodes[0]);
+        return nodes[0];
+    }
+
+    /** In-order payload walk through current pointers. */
+    std::vector<std::uint64_t>
+    inorder()
+    {
+        std::vector<std::uint64_t> out;
+        walk(static_cast<Addr>(m.load(root_handle, 8).value), out);
+        return out;
+    }
+
+    void
+    walk(Addr node, std::vector<std::uint64_t> &out)
+    {
+        if (node == 0)
+            return;
+        walk(static_cast<Addr>(m.load(node + off_left, 8).value), out);
+        out.push_back(m.load(node + off_payload, 8).value);
+        walk(static_cast<Addr>(m.load(node + off_right, 8).value), out);
+    }
+};
+
+TEST(SubtreeCluster, EmptyTree)
+{
+    TreeRig rig;
+    rig.m.store(rig.root_handle, 8, 0);
+    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+                                           rig.desc(), rig.pool, 128);
+    EXPECT_EQ(r.nodes, 0u);
+}
+
+TEST(SubtreeCluster, PreservesTreeContents)
+{
+    TreeRig rig;
+    rig.build(5);
+    const auto before = rig.inorder();
+    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+                                           rig.desc(), rig.pool, 128);
+    EXPECT_EQ(r.nodes, 31u);
+    EXPECT_EQ(rig.inorder(), before);
+}
+
+TEST(SubtreeCluster, RootHandleUpdated)
+{
+    TreeRig rig;
+    const Addr old_root = rig.build(3);
+    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+                                           rig.desc(), rig.pool, 128);
+    EXPECT_EQ(rig.m.load(rig.root_handle, 8).value, r.new_root);
+    EXPECT_NE(r.new_root, old_root);
+}
+
+TEST(SubtreeCluster, ParentAndChildrenShareCluster)
+{
+    // Figure 9: with 32B nodes and 128B clusters, a node and both its
+    // children (3 x 32B = 96B) fit in one cluster.
+    TreeRig rig;
+    rig.build(5);
+    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    const Addr root =
+        static_cast<Addr>(rig.m.load(rig.root_handle, 8).value);
+    const Addr left =
+        static_cast<Addr>(rig.m.load(root + off_left, 8).value);
+    const Addr right =
+        static_cast<Addr>(rig.m.load(root + off_right, 8).value);
+    EXPECT_EQ(root / 128, left / 128);
+    EXPECT_EQ(root / 128, right / 128);
+}
+
+TEST(SubtreeCluster, ClusterCountMatchesCapacity)
+{
+    TreeRig rig;
+    rig.build(5); // 31 nodes
+    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+                                           rig.desc(), rig.pool, 128);
+    // Capacity 4 nodes per 128B cluster: at least ceil(31/4) clusters.
+    EXPECT_GE(r.clusters, 8u);
+    EXPECT_EQ(r.pool_bytes, 31u * node_bytes);
+}
+
+TEST(SubtreeCluster, StalePointersForward)
+{
+    TreeRig rig;
+    const Addr old_root = rig.build(4);
+    const std::uint64_t want =
+        rig.m.load(old_root + off_payload, 8).value;
+    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    const LoadResult stale = rig.m.load(old_root + off_payload, 8);
+    EXPECT_EQ(stale.value, want);
+    EXPECT_EQ(stale.hops, 1u);
+}
+
+TEST(SubtreeCluster, TraversalAfterwardsDoesNotForward)
+{
+    TreeRig rig;
+    rig.build(4);
+    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    const std::uint64_t walks = rig.m.forwarding().stats().walks;
+    rig.inorder();
+    EXPECT_EQ(rig.m.forwarding().stats().walks, walks);
+}
+
+TEST(SubtreeCluster, LeafPredicateKeepsLeavesInPlace)
+{
+    // Mark leaves with tag 1 and tell the clusterer to skip them, as
+    // BH does for bodies.
+    TreeRig rig;
+    rig.build(4); // 15 nodes, 8 leaves
+    // Tag the leaves.
+    std::vector<std::uint64_t> pre = rig.inorder();
+    // Walk and tag: leaves are nodes with no children.
+    std::vector<Addr> stack{
+        static_cast<Addr>(rig.m.load(rig.root_handle, 8).value)};
+    std::vector<Addr> leaves;
+    while (!stack.empty()) {
+        const Addr n = stack.back();
+        stack.pop_back();
+        const Addr l =
+            static_cast<Addr>(rig.m.load(n + off_left, 8).value);
+        const Addr r =
+            static_cast<Addr>(rig.m.load(n + off_right, 8).value);
+        if (l == 0 && r == 0) {
+            rig.m.store(n + off_tag, 8, 1);
+            leaves.push_back(n);
+        } else {
+            if (l)
+                stack.push_back(l);
+            if (r)
+                stack.push_back(r);
+        }
+    }
+
+    TreeDesc d = rig.desc();
+    d.leaf_tag_offset = off_tag;
+    d.leaf_tag_value = 1;
+    const ClusterResult res = subtreeCluster(rig.m, rig.root_handle, d,
+                                             rig.pool, 128);
+    EXPECT_EQ(res.nodes, 7u); // only the internal nodes moved
+    for (Addr leaf : leaves)
+        EXPECT_FALSE(rig.m.mem().fbit(leaf));
+    EXPECT_EQ(rig.inorder(), pre);
+}
+
+TEST(SubtreeCluster, HugeNodesDegradeGracefully)
+{
+    // Node larger than the cluster: capacity clamps to 1, clustering
+    // still packs nodes contiguously and preserves the tree.
+    TreeRig rig;
+    rig.build(3);
+    const auto before = rig.inorder();
+    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+                                           rig.desc(), rig.pool, 16);
+    EXPECT_EQ(r.nodes, 7u);
+    EXPECT_EQ(rig.inorder(), before);
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,219 @@
+/** @file
+ * Native-oracle tests: the simulated workloads re-derive real
+ * algorithmic results.  For workloads with a crisp functional output,
+ * an independent native C++ implementation computes the same answer
+ * from the same deterministic inputs, and the workload checksum must
+ * embed it.  This validates that the entire stack — allocator,
+ * forwarding, relocation, subword access — executes the algorithms
+ * faithfully, not merely deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "workloads/workload.hh"
+#include "workloads/workload_util.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+std::uint64_t
+runChecksum(const std::string &name, bool layout_opt, double scale)
+{
+    setVerbose(false);
+    Machine m;
+    WorkloadParams p;
+    p.scale = scale;
+    auto w = makeWorkload(name, p);
+    WorkloadVariant v;
+    v.layout_opt = layout_opt;
+    w->run(m, v);
+    return w->checksum();
+}
+
+// ---------------------------------------------------------------------
+// MST oracle: native Prim over the identical deterministically
+// generated graph.  The workload's checksum IS the MST weight.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+nativeMstWeight(unsigned n_vertices, unsigned degree,
+                std::uint64_t seed)
+{
+    // Rebuild the same undirected weighted graph the workload builds.
+    std::vector<std::vector<std::pair<unsigned, std::uint64_t>>> adj(
+        n_vertices);
+    for (unsigned i = 1; i < n_vertices; ++i) {
+        for (unsigned d = 0; d < degree; ++d) {
+            const unsigned j = static_cast<unsigned>(
+                mix64(seed, (std::uint64_t(i) << 16) | d) % i);
+            const std::uint64_t w =
+                1 + mix64(std::uint64_t(i) * 131071 + j) % 4096;
+            adj[i].emplace_back(j, w);
+            adj[j].emplace_back(i, w);
+        }
+    }
+    // Plain Prim.  NOTE: the workload keeps only ONE edge per
+    // (vertex, neighbour) pair in its hash table — the most recently
+    // inserted — so the oracle must deduplicate the same way: later
+    // insertions shadow earlier ones (the hash chain is prepended and
+    // lookups stop at the first match).
+    std::vector<std::vector<std::pair<unsigned, std::uint64_t>>> dedup(
+        n_vertices);
+    for (unsigned v = 0; v < n_vertices; ++v) {
+        std::vector<std::int64_t> seen(n_vertices, -1);
+        // Scan in REVERSE insertion order: the last inserted wins.
+        for (auto it = adj[v].rbegin(); it != adj[v].rend(); ++it) {
+            if (seen[it->first] < 0) {
+                seen[it->first] = static_cast<std::int64_t>(it->second);
+                dedup[v].emplace_back(it->first, it->second);
+            }
+        }
+    }
+
+    constexpr std::uint64_t inf =
+        std::numeric_limits<std::uint64_t>::max();
+    std::vector<std::uint64_t> dist(n_vertices, inf);
+    std::vector<bool> in_tree(n_vertices, false);
+    in_tree[0] = true;
+    unsigned last = 0;
+    std::uint64_t total = 0;
+    for (unsigned round = 1; round < n_vertices; ++round) {
+        for (const auto &[to, w] : dedup[last]) {
+            if (!in_tree[to] && w < dist[to])
+                dist[to] = w;
+        }
+        unsigned best = 0;
+        std::uint64_t best_d = inf;
+        for (unsigned v = 0; v < n_vertices; ++v) {
+            if (!in_tree[v] && dist[v] < best_d) {
+                best_d = dist[v];
+                best = v;
+            }
+        }
+        total += best_d;
+        in_tree[best] = true;
+        last = best;
+    }
+    return total;
+}
+
+TEST(Oracles, MstWeightMatchesNativePrim)
+{
+    // scale 0.1 -> n_vertices = max(16, 102) = 102, degree 8, seed 42.
+    const std::uint64_t simulated = runChecksum("mst", false, 0.1);
+    const std::uint64_t native = nativeMstWeight(102, 8, 42);
+    EXPECT_EQ(simulated, native);
+    // And the layout-optimized run computes the same real MST.
+    EXPECT_EQ(runChecksum("mst", true, 0.1), native);
+}
+
+// ---------------------------------------------------------------------
+// Compress oracle: native LZW over the identical symbol stream.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+nativeCompressChecksum(unsigned hsize, unsigned n_symbols,
+                       unsigned reset_interval, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> htab(hsize, ~std::uint64_t(0));
+    std::vector<std::uint16_t> codetab(hsize, 0);
+    std::uint64_t free_ent = 257;
+    std::uint64_t ent = 0;
+    std::uint64_t checksum = 0;
+
+    for (unsigned s = 0; s < n_symbols; ++s) {
+        const std::uint64_t c =
+            mix64(seed, (std::uint64_t(s) >> 3)) % 61;
+        const std::uint64_t fcode = (c << 16) | ent;
+        std::uint64_t i = ((c << 8) ^ ent) % hsize;
+
+        bool found = false;
+        const std::uint64_t disp = (i == 0) ? 1 : hsize - i;
+        for (unsigned probes = 0; probes < 8; ++probes) {
+            if (htab[i] == fcode) {
+                ent = codetab[i];
+                found = true;
+                break;
+            }
+            if (htab[i] == ~std::uint64_t(0))
+                break;
+            i = (i + disp) % hsize;
+        }
+        if (!found) {
+            checksum += ent * 2654435761u + c;
+            codetab[i] = static_cast<std::uint16_t>(free_ent & 0xffff);
+            htab[i] = fcode;
+            ++free_ent;
+            ent = c;
+        }
+        if (s != 0 && s % reset_interval == 0) {
+            std::fill(htab.begin(), htab.end(), ~std::uint64_t(0));
+            free_ent = 257;
+        }
+    }
+    return checksum + free_ent;
+}
+
+TEST(Oracles, CompressMatchesNativeLzw)
+{
+    // scale 0.1: hsize = max(1024, 6900)|1 = 6901, symbols = 120000.
+    const std::uint64_t native =
+        nativeCompressChecksum(6901, 120000, 30000, 42);
+    EXPECT_EQ(runChecksum("compress", false, 0.1), native);
+    EXPECT_EQ(runChecksum("compress", true, 0.1), native);
+}
+
+// ---------------------------------------------------------------------
+// Eqntott oracle: native pairwise comparisons over the same PTERMs.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+nativeEqntottChecksum(unsigned n_pterms, unsigned n_vars,
+                      unsigned n_sweeps, std::uint64_t seed)
+{
+    std::vector<std::vector<std::uint8_t>> arrays(
+        n_pterms, std::vector<std::uint8_t>(n_vars));
+    for (unsigned i = 0; i < n_pterms; ++i) {
+        for (unsigned v = 0; v < n_vars; ++v) {
+            std::uint64_t val = mix64(seed, v) % 3;
+            if (hashChance(mix64(i, v ^ seed), 50, 1000))
+                val = (val + 1) % 3;
+            arrays[i][v] = static_cast<std::uint8_t>(val);
+        }
+    }
+    std::uint64_t checksum = 0;
+    for (unsigned sweep = 0; sweep < n_sweeps; ++sweep) {
+        for (unsigned i = 1; i < n_pterms; ++i) {
+            int cmp = 0;
+            for (unsigned v = 0; v < n_vars; ++v) {
+                if (arrays[i - 1][v] != arrays[i][v]) {
+                    cmp = arrays[i - 1][v] < arrays[i][v] ? -1 : 1;
+                    break;
+                }
+            }
+            checksum +=
+                static_cast<std::uint64_t>(cmp + 2) * 31 + sweep;
+        }
+    }
+    return checksum;
+}
+
+TEST(Oracles, EqntottMatchesNativeCmppt)
+{
+    // scale 0.1: n_pterms = max(64, 614) = 614, n_vars 24, sweeps 16.
+    const std::uint64_t native =
+        nativeEqntottChecksum(614, 24, 16, 42);
+    EXPECT_EQ(runChecksum("eqntott", false, 0.1), native);
+    EXPECT_EQ(runChecksum("eqntott", true, 0.1), native);
+}
+
+} // namespace
+} // namespace memfwd

@@ -1,0 +1,188 @@
+/** @file
+ * Workload correctness tests: the central property is the paper's own
+ * safety claim — layout optimization via memory forwarding NEVER
+ * changes program results.  Every workload's N and L variants (and the
+ * prefetch variants, which must also be semantics-preserving) compute
+ * identical checksums.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "runtime/machine.hh"
+#include "workloads/workload.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+class QuietEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setVerbose(false); }
+};
+const auto *quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.05; // keep unit tests fast
+    return p;
+}
+
+std::uint64_t
+runVariant(const std::string &name, bool layout_opt, bool prefetch,
+           unsigned line_bytes = 32)
+{
+    MachineConfig mc;
+    mc.hierarchy.setLineBytes(line_bytes);
+    Machine machine(mc);
+    auto w = makeWorkload(name, tinyParams());
+    WorkloadVariant v;
+    v.layout_opt = layout_opt;
+    v.prefetch = prefetch;
+    v.prefetch_block = 2;
+    w->run(machine, v);
+    return w->checksum();
+}
+
+TEST(Workloads, RegistryListsAllEight)
+{
+    EXPECT_EQ(workloadNames().size(), 8u);
+    for (const auto &n : workloadNames())
+        EXPECT_NE(makeWorkload(n, tinyParams()), nullptr);
+}
+
+TEST(Workloads, Figure5SetExcludesSmv)
+{
+    EXPECT_EQ(figure5Workloads().size(), 7u);
+    for (const auto &n : figure5Workloads())
+        EXPECT_NE(n, "smv");
+}
+
+TEST(Workloads, MetadataNonEmpty)
+{
+    for (const auto &n : workloadNames()) {
+        auto w = makeWorkload(n, tinyParams());
+        EXPECT_EQ(w->name(), n);
+        EXPECT_FALSE(w->description().empty());
+        EXPECT_FALSE(w->optimization().empty());
+        EXPECT_EQ(w->checksum(), 0u) << "checksum before run";
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nonesuch", tinyParams()),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+// The headline safety property, per workload and line size.
+class LayoutSafety
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(LayoutSafety, OptimizedChecksumMatchesBaseline)
+{
+    const auto &[name, line] = GetParam();
+    EXPECT_EQ(runVariant(name, false, false, line),
+              runVariant(name, true, false, line));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllLines, LayoutSafety,
+    ::testing::Combine(::testing::Values("bh", "compress", "eqntott",
+                                         "health", "mst", "radiosity",
+                                         "smv", "vis"),
+                       ::testing::Values(32u, 64u, 128u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               std::to_string(std::get<1>(info.param)) + "B";
+    });
+
+// Prefetching must also be purely a hint: no semantic effect.
+class PrefetchSafety : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PrefetchSafety, PrefetchVariantsMatch)
+{
+    const std::string name = GetParam();
+    const auto base = runVariant(name, false, false);
+    EXPECT_EQ(runVariant(name, false, true), base);
+    EXPECT_EQ(runVariant(name, true, true), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PrefetchSafety,
+                         ::testing::Values("bh", "compress", "eqntott",
+                                           "health", "mst", "radiosity",
+                                           "smv", "vis"));
+
+// Determinism: same seed, same result; different seed, different work.
+TEST(Workloads, DeterministicAcrossRuns)
+{
+    for (const auto &n : workloadNames()) {
+        EXPECT_EQ(runVariant(n, false, false),
+                  runVariant(n, false, false))
+            << n;
+    }
+}
+
+TEST(Workloads, SeedChangesResult)
+{
+    MachineConfig mc;
+    WorkloadParams p = tinyParams();
+    unsigned differs = 0;
+    for (const auto &n : workloadNames()) {
+        Machine m1(mc), m2(mc);
+        auto w1 = makeWorkload(n, p);
+        WorkloadParams p2 = p;
+        p2.seed = 999;
+        auto w2 = makeWorkload(n, p2);
+        WorkloadVariant v;
+        w1->run(m1, v);
+        w2->run(m2, v);
+        differs += (w1->checksum() != w2->checksum());
+    }
+    EXPECT_GE(differs, 7u); // virtually all workloads seed-sensitive
+}
+
+// The L variants must actually relocate something.  Health's
+// churn-triggered linearization needs enough simulated steps to fire,
+// so it runs at a larger scale than the rest.
+TEST(Workloads, OptimizedVariantsReportSpaceOverhead)
+{
+    for (const auto &n : workloadNames()) {
+        MachineConfig mc;
+        Machine machine(mc);
+        WorkloadParams p = tinyParams();
+        if (n == "health")
+            p.scale = 0.7;
+        auto w = makeWorkload(n, p);
+        WorkloadVariant v;
+        v.layout_opt = true;
+        w->run(machine, v);
+        EXPECT_GT(w->spaceOverheadBytes(), 0u) << n;
+        EXPECT_GT(machine.mem().fbitCount(), 0u) << n;
+    }
+}
+
+// And the N variants must not.
+TEST(Workloads, BaselineVariantsHaveNoOverhead)
+{
+    for (const auto &n : workloadNames()) {
+        MachineConfig mc;
+        Machine machine(mc);
+        auto w = makeWorkload(n, tinyParams());
+        w->run(machine, WorkloadVariant{});
+        EXPECT_EQ(w->spaceOverheadBytes(), 0u) << n;
+        EXPECT_EQ(machine.forwarding().stats().walks, 0u) << n;
+    }
+}
+
+} // namespace
+} // namespace memfwd

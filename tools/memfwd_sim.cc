@@ -1,0 +1,188 @@
+/**
+ * @file
+ * memfwd_sim: the command-line simulator driver.
+ *
+ * Runs any workload under any machine configuration and dumps every
+ * statistic — the binary a downstream user points scripts at.
+ *
+ *   memfwd_sim --workload vis --line 64 --opt --prefetch --block 4
+ *   memfwd_sim --workload smv --opt --forwarding perfect --stats
+ *   memfwd_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stats_registry.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+using namespace memfwd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --workload NAME   one of the eight applications (see --list)\n"
+        "  --list            list workloads and exit\n"
+        "  --scale X         workload size multiplier (default 1.0)\n"
+        "  --seed N          workload seed (default 42)\n"
+        "  --line BYTES      cache line size, both levels (default 32)\n"
+        "  --l1 BYTES        L1D capacity (default 32768)\n"
+        "  --l1-assoc N      L1D associativity (default 2)\n"
+        "  --l2 BYTES        L2 capacity (default 1048576)\n"
+        "  --mem-lat CYCLES  memory latency (default 70)\n"
+        "  --opt             apply the layout optimization (L case)\n"
+        "  --prefetch        insert software prefetches (P case)\n"
+        "  --block N         prefetch block size in lines (default 1)\n"
+        "  --forwarding M    hardware | exception | perfect\n"
+        "  --no-speculation  conservative load/store ordering\n"
+        "  --stats           dump the full statistics registry\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    RunConfig cfg;
+    cfg.workload = "";
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                memfwd_fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            cfg.workload = next();
+        } else if (arg == "--list") {
+            for (const auto &n : workloadNames()) {
+                std::printf("%-10s %s\n", n.c_str(),
+                            makeWorkload(n)->description().c_str());
+            }
+            return 0;
+        } else if (arg == "--scale") {
+            cfg.params.scale = std::atof(next());
+        } else if (arg == "--seed") {
+            cfg.params.seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--line") {
+            cfg.machine.hierarchy.setLineBytes(
+                static_cast<unsigned>(std::atoi(next())));
+        } else if (arg == "--l1") {
+            cfg.machine.hierarchy.l1d.size_bytes =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--l1-assoc") {
+            cfg.machine.hierarchy.l1d.assoc =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--l2") {
+            cfg.machine.hierarchy.l2.size_bytes =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--mem-lat") {
+            cfg.machine.hierarchy.memory.latency =
+                static_cast<Cycles>(std::atoi(next()));
+        } else if (arg == "--opt") {
+            cfg.variant.layout_opt = true;
+        } else if (arg == "--prefetch") {
+            cfg.variant.prefetch = true;
+        } else if (arg == "--block") {
+            cfg.variant.prefetch_block =
+                static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--forwarding") {
+            const std::string mode = next();
+            if (mode == "hardware") {
+                cfg.machine.forwarding.mode =
+                    ForwardingConfig::Mode::hardware;
+            } else if (mode == "exception") {
+                cfg.machine.forwarding.mode =
+                    ForwardingConfig::Mode::exception;
+            } else if (mode == "perfect") {
+                cfg.machine.forwarding.mode =
+                    ForwardingConfig::Mode::perfect;
+            } else {
+                memfwd_fatal("unknown forwarding mode '%s'",
+                             mode.c_str());
+            }
+        } else if (arg == "--no-speculation") {
+            cfg.machine.cpu.dep_speculation = false;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            memfwd_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (cfg.workload.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    // Run with a live Machine so we can dump its registry afterwards.
+    Machine machine(cfg.machine);
+    auto workload = makeWorkload(cfg.workload, cfg.params);
+    workload->run(machine, cfg.variant);
+
+    const auto &st = machine.cpu().stalls();
+    std::printf("workload       %s%s%s\n", cfg.workload.c_str(),
+                cfg.variant.layout_opt ? " +layout-opt" : "",
+                cfg.variant.prefetch ? " +prefetch" : "");
+    std::printf("cycles         %llu\n",
+                static_cast<unsigned long long>(machine.cycles()));
+    std::printf("instructions   %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(
+                    machine.cpu().instructions()),
+                double(machine.cpu().instructions()) /
+                    double(machine.cycles()));
+    std::printf("slots          busy %llu / load %llu / store %llu / "
+                "inst %llu\n",
+                static_cast<unsigned long long>(st.busy),
+                static_cast<unsigned long long>(st.load_stall),
+                static_cast<unsigned long long>(st.store_stall),
+                static_cast<unsigned long long>(st.inst_stall));
+    const auto &l1 = machine.hierarchy().l1d().stats();
+    std::printf("l1d misses     loads %llu (partial %llu) stores %llu\n",
+                static_cast<unsigned long long>(l1.loadMisses()),
+                static_cast<unsigned long long>(l1.load_partial_misses),
+                static_cast<unsigned long long>(l1.storeMisses()));
+    std::printf("traffic        l1<->l2 %llu B, l2<->mem %llu B\n",
+                static_cast<unsigned long long>(
+                    machine.hierarchy().l1L2Bytes()),
+                static_cast<unsigned long long>(
+                    machine.hierarchy().l2MemBytes()));
+    std::printf("forwarding     %llu/%llu loads, %llu/%llu stores\n",
+                static_cast<unsigned long long>(machine.loadsForwarded()),
+                static_cast<unsigned long long>(machine.loads()),
+                static_cast<unsigned long long>(
+                    machine.storesForwarded()),
+                static_cast<unsigned long long>(machine.stores()));
+    std::printf("checksum       %llu\n",
+                static_cast<unsigned long long>(workload->checksum()));
+    std::printf("space overhead %llu bytes\n",
+                static_cast<unsigned long long>(
+                    workload->spaceOverheadBytes()));
+
+    if (dump_stats) {
+        StatsRegistry reg;
+        machine.collectStats(reg, "");
+        std::printf("\n");
+        reg.dump(std::cout);
+    }
+    return 0;
+}
