@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dep_speculation.dir/ablation_dep_speculation.cc.o"
+  "CMakeFiles/ablation_dep_speculation.dir/ablation_dep_speculation.cc.o.d"
+  "CMakeFiles/ablation_dep_speculation.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_dep_speculation.dir/bench_util.cc.o.d"
+  "ablation_dep_speculation"
+  "ablation_dep_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dep_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hop_limit.dir/ablation_hop_limit.cc.o"
+  "CMakeFiles/ablation_hop_limit.dir/ablation_hop_limit.cc.o.d"
+  "CMakeFiles/ablation_hop_limit.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_hop_limit.dir/bench_util.cc.o.d"
+  "ablation_hop_limit"
+  "ablation_hop_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hop_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

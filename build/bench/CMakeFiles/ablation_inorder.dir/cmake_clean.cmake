@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inorder.dir/ablation_inorder.cc.o"
+  "CMakeFiles/ablation_inorder.dir/ablation_inorder.cc.o.d"
+  "CMakeFiles/ablation_inorder.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_inorder.dir/bench_util.cc.o.d"
+  "ablation_inorder"
+  "ablation_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linearize_threshold.dir/ablation_linearize_threshold.cc.o"
+  "CMakeFiles/ablation_linearize_threshold.dir/ablation_linearize_threshold.cc.o.d"
+  "CMakeFiles/ablation_linearize_threshold.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_linearize_threshold.dir/bench_util.cc.o.d"
+  "ablation_linearize_threshold"
+  "ablation_linearize_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linearize_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

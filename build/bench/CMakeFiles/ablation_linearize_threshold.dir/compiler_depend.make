@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_linearize_threshold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static_placement.dir/ablation_static_placement.cc.o"
+  "CMakeFiles/ablation_static_placement.dir/ablation_static_placement.cc.o.d"
+  "CMakeFiles/ablation_static_placement.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_static_placement.dir/bench_util.cc.o.d"
+  "ablation_static_placement"
+  "ablation_static_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trap_fixup.dir/ablation_trap_fixup.cc.o"
+  "CMakeFiles/ablation_trap_fixup.dir/ablation_trap_fixup.cc.o.d"
+  "CMakeFiles/ablation_trap_fixup.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_trap_fixup.dir/bench_util.cc.o.d"
+  "ablation_trap_fixup"
+  "ablation_trap_fixup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trap_fixup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

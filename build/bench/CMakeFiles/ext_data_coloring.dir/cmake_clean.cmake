@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_data_coloring.dir/bench_util.cc.o"
+  "CMakeFiles/ext_data_coloring.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_data_coloring.dir/ext_data_coloring.cc.o"
+  "CMakeFiles/ext_data_coloring.dir/ext_data_coloring.cc.o.d"
+  "ext_data_coloring"
+  "ext_data_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_data_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_false_sharing.dir/bench_util.cc.o"
+  "CMakeFiles/ext_false_sharing.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_false_sharing.dir/ext_false_sharing.cc.o"
+  "CMakeFiles/ext_false_sharing.dir/ext_false_sharing.cc.o.d"
+  "ext_false_sharing"
+  "ext_false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tlb_reach.dir/bench_util.cc.o"
+  "CMakeFiles/ext_tlb_reach.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_tlb_reach.dir/ext_tlb_reach.cc.o"
+  "CMakeFiles/ext_tlb_reach.dir/ext_tlb_reach.cc.o.d"
+  "ext_tlb_reach"
+  "ext_tlb_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tlb_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

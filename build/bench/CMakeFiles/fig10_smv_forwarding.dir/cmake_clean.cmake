@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_smv_forwarding.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_smv_forwarding.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_smv_forwarding.dir/fig10_smv_forwarding.cc.o"
+  "CMakeFiles/fig10_smv_forwarding.dir/fig10_smv_forwarding.cc.o.d"
+  "fig10_smv_forwarding"
+  "fig10_smv_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_smv_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

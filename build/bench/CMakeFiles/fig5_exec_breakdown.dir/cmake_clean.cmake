@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exec_breakdown.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_exec_breakdown.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_exec_breakdown.dir/fig5_exec_breakdown.cc.o"
+  "CMakeFiles/fig5_exec_breakdown.dir/fig5_exec_breakdown.cc.o.d"
+  "fig5_exec_breakdown"
+  "fig5_exec_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exec_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

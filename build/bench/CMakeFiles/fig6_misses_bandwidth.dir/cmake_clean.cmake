@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_misses_bandwidth.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_misses_bandwidth.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_misses_bandwidth.dir/fig6_misses_bandwidth.cc.o"
+  "CMakeFiles/fig6_misses_bandwidth.dir/fig6_misses_bandwidth.cc.o.d"
+  "fig6_misses_bandwidth"
+  "fig6_misses_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_misses_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_prefetching.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_prefetching.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_prefetching.dir/fig7_prefetching.cc.o"
+  "CMakeFiles/fig7_prefetching.dir/fig7_prefetching.cc.o.d"
+  "fig7_prefetching"
+  "fig7_prefetching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prefetching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

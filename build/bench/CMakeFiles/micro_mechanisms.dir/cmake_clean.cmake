@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mechanisms.dir/micro_mechanisms.cc.o"
+  "CMakeFiles/micro_mechanisms.dir/micro_mechanisms.cc.o.d"
+  "micro_mechanisms"
+  "micro_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

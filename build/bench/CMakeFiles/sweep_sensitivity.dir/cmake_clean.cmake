@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_sensitivity.dir/bench_util.cc.o"
+  "CMakeFiles/sweep_sensitivity.dir/bench_util.cc.o.d"
+  "CMakeFiles/sweep_sensitivity.dir/sweep_sensitivity.cc.o"
+  "CMakeFiles/sweep_sensitivity.dir/sweep_sensitivity.cc.o.d"
+  "sweep_sensitivity"
+  "sweep_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

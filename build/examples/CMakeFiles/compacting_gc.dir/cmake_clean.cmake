@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compacting_gc.dir/compacting_gc.cpp.o"
+  "CMakeFiles/compacting_gc.dir/compacting_gc.cpp.o.d"
+  "compacting_gc"
+  "compacting_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compacting_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

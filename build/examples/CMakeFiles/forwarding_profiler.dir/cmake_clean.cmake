@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_profiler.dir/forwarding_profiler.cpp.o"
+  "CMakeFiles/forwarding_profiler.dir/forwarding_profiler.cpp.o.d"
+  "forwarding_profiler"
+  "forwarding_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

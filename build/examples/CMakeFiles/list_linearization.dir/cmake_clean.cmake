@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_linearization.dir/list_linearization.cpp.o"
+  "CMakeFiles/list_linearization.dir/list_linearization.cpp.o.d"
+  "list_linearization"
+  "list_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_clustering.dir/tree_clustering.cpp.o"
+  "CMakeFiles/tree_clustering.dir/tree_clustering.cpp.o.d"
+  "tree_clustering"
+  "tree_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_api.dir/typed_api.cpp.o"
+  "CMakeFiles/typed_api.dir/typed_api.cpp.o.d"
+  "typed_api"
+  "typed_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

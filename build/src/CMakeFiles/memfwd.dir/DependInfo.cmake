@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/memfwd.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/memfwd.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/memfwd.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/CMakeFiles/memfwd.dir/cache/prefetcher.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cache/prefetcher.cc.o.d"
+  "/root/repo/src/coherence/coherent_cache.cc" "src/CMakeFiles/memfwd.dir/coherence/coherent_cache.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/coherence/coherent_cache.cc.o.d"
+  "/root/repo/src/coherence/mp_system.cc" "src/CMakeFiles/memfwd.dir/coherence/mp_system.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/coherence/mp_system.cc.o.d"
+  "/root/repo/src/coherence/snoop_bus.cc" "src/CMakeFiles/memfwd.dir/coherence/snoop_bus.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/coherence/snoop_bus.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/memfwd.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/memfwd.dir/common/random.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats_registry.cc" "src/CMakeFiles/memfwd.dir/common/stats_registry.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/common/stats_registry.cc.o.d"
+  "/root/repo/src/core/cycle_check.cc" "src/CMakeFiles/memfwd.dir/core/cycle_check.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/core/cycle_check.cc.o.d"
+  "/root/repo/src/core/forwarding_engine.cc" "src/CMakeFiles/memfwd.dir/core/forwarding_engine.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/core/forwarding_engine.cc.o.d"
+  "/root/repo/src/core/traps.cc" "src/CMakeFiles/memfwd.dir/core/traps.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/core/traps.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/memfwd.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/ooo_cpu.cc" "src/CMakeFiles/memfwd.dir/cpu/ooo_cpu.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cpu/ooo_cpu.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/memfwd.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/cpu/rob.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/memfwd.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/page_cache.cc" "src/CMakeFiles/memfwd.dir/mem/page_cache.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/mem/page_cache.cc.o.d"
+  "/root/repo/src/mem/tagged_memory.cc" "src/CMakeFiles/memfwd.dir/mem/tagged_memory.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/mem/tagged_memory.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/memfwd.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/runtime/compacting_heap.cc" "src/CMakeFiles/memfwd.dir/runtime/compacting_heap.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/compacting_heap.cc.o.d"
+  "/root/repo/src/runtime/data_coloring.cc" "src/CMakeFiles/memfwd.dir/runtime/data_coloring.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/data_coloring.cc.o.d"
+  "/root/repo/src/runtime/list_linearize.cc" "src/CMakeFiles/memfwd.dir/runtime/list_linearize.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/list_linearize.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/CMakeFiles/memfwd.dir/runtime/machine.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/machine.cc.o.d"
+  "/root/repo/src/runtime/pointer_compare.cc" "src/CMakeFiles/memfwd.dir/runtime/pointer_compare.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/pointer_compare.cc.o.d"
+  "/root/repo/src/runtime/relocation.cc" "src/CMakeFiles/memfwd.dir/runtime/relocation.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/relocation.cc.o.d"
+  "/root/repo/src/runtime/sim_allocator.cc" "src/CMakeFiles/memfwd.dir/runtime/sim_allocator.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/sim_allocator.cc.o.d"
+  "/root/repo/src/runtime/subtree_cluster.cc" "src/CMakeFiles/memfwd.dir/runtime/subtree_cluster.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/runtime/subtree_cluster.cc.o.d"
+  "/root/repo/src/workloads/bh.cc" "src/CMakeFiles/memfwd.dir/workloads/bh.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/bh.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/CMakeFiles/memfwd.dir/workloads/compress.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/compress.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/CMakeFiles/memfwd.dir/workloads/driver.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/driver.cc.o.d"
+  "/root/repo/src/workloads/eqntott.cc" "src/CMakeFiles/memfwd.dir/workloads/eqntott.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/eqntott.cc.o.d"
+  "/root/repo/src/workloads/health.cc" "src/CMakeFiles/memfwd.dir/workloads/health.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/health.cc.o.d"
+  "/root/repo/src/workloads/mst.cc" "src/CMakeFiles/memfwd.dir/workloads/mst.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/mst.cc.o.d"
+  "/root/repo/src/workloads/radiosity.cc" "src/CMakeFiles/memfwd.dir/workloads/radiosity.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/radiosity.cc.o.d"
+  "/root/repo/src/workloads/smv.cc" "src/CMakeFiles/memfwd.dir/workloads/smv.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/smv.cc.o.d"
+  "/root/repo/src/workloads/vis.cc" "src/CMakeFiles/memfwd.dir/workloads/vis.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/vis.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/memfwd.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/memfwd.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/test_cache.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cc" "tests/CMakeFiles/test_cache.dir/cache/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_mshr.cc" "tests/CMakeFiles/test_cache.dir/cache/test_mshr.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_mshr.cc.o.d"
+  "/root/repo/tests/cache/test_prefetcher.cc" "tests/CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o.d"
+  "/root/repo/tests/cache/test_replacement.cc" "tests/CMakeFiles/test_cache.dir/cache/test_replacement.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/cache/test_replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memfwd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

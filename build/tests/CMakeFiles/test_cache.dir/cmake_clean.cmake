@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_cache.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_cache.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_mshr.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_mshr.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_prefetcher.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/coherence/test_coherent_cache.cc.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_coherent_cache.cc.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_mp_properties.cc.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_mp_properties.cc.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_mp_system.cc.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_mp_system.cc.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+  "test_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cycle_check.cc.o"
+  "CMakeFiles/test_core.dir/core/test_cycle_check.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_forwarding_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_forwarding_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_traps.cc.o"
+  "CMakeFiles/test_core.dir/core/test_traps.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

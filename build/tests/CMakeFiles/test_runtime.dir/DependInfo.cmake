@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_compacting_heap.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_compacting_heap.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_compacting_heap.cc.o.d"
+  "/root/repo/tests/runtime/test_data_coloring.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_data_coloring.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_data_coloring.cc.o.d"
+  "/root/repo/tests/runtime/test_list_linearize.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_list_linearize.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_list_linearize.cc.o.d"
+  "/root/repo/tests/runtime/test_machine.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_machine.cc.o.d"
+  "/root/repo/tests/runtime/test_pointer_compare.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_pointer_compare.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_pointer_compare.cc.o.d"
+  "/root/repo/tests/runtime/test_relocation.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_relocation.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_relocation.cc.o.d"
+  "/root/repo/tests/runtime/test_sim_allocator.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_sim_allocator.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_sim_allocator.cc.o.d"
+  "/root/repo/tests/runtime/test_sim_struct.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_sim_struct.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_sim_struct.cc.o.d"
+  "/root/repo/tests/runtime/test_subtree_cluster.cc" "tests/CMakeFiles/test_runtime.dir/runtime/test_subtree_cluster.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_subtree_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memfwd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

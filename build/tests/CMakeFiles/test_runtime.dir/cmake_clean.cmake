@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_compacting_heap.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_compacting_heap.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_data_coloring.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_data_coloring.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_list_linearize.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_list_linearize.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_machine.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_machine.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_pointer_compare.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_pointer_compare.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_relocation.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_relocation.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_allocator.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_allocator.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_struct.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_struct.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_subtree_cluster.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_subtree_cluster.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memfwd_sim.dir/memfwd_sim.cc.o"
+  "CMakeFiles/memfwd_sim.dir/memfwd_sim.cc.o.d"
+  "memfwd_sim"
+  "memfwd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memfwd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
