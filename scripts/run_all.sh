@@ -5,14 +5,24 @@
 set -e
 BUILD=${BUILD:-build}
 
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+# Prefer Ninja when it is installed; otherwise let CMake pick the
+# platform default generator (typically Unix Makefiles).
+if command -v ninja >/dev/null 2>&1; then
+    GEN="-G Ninja"
+else
+    GEN=""
+fi
+
+cmake -B "$BUILD" $GEN
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 2)"
 ctest --test-dir "$BUILD" --output-on-failure
 
+# Only regular executables: the build tree also leaves CMakeFiles/
+# directories here, and directories pass a bare -x test.
 for b in "$BUILD"/bench/*; do
-    [ -x "$b" ] && "$b"
+    if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
 done
 
 for e in "$BUILD"/examples/*; do
-    [ -x "$e" ] && "$e"
+    if [ -f "$e" ] && [ -x "$e" ]; then "$e"; fi
 done

@@ -7,8 +7,12 @@
  * when the counter exceeds its limit an exception fires and this
  * software check walks the chain precisely, remembering every address
  * it visits.  Either the chain terminates (a false alarm — the counter
- * is reset and execution resumes) or an address repeats (a true cycle —
- * the execution must be aborted).
+ * is reset and execution resumes) or an address repeats (a true cycle).
+ * What happens then is the engine's cycle *policy* (abort, trap, or
+ * quarantine — see core/forwarding_engine.hh); to support the recovery
+ * policies the check also reports where the cycle was entered and the
+ * last address visited before it, the natural point to pin a
+ * quarantined reference at.
  */
 
 #ifndef MEMFWD_CORE_CYCLE_CHECK_HH
@@ -17,24 +21,37 @@
 #include <stdexcept>
 
 #include "common/types.hh"
+#include "core/traps.hh"
 
 namespace memfwd
 {
 
 class TaggedMemory;
 
-/** Thrown when software erroneously created a forwarding cycle. */
+/**
+ * Thrown when software erroneously created a forwarding cycle (or a
+ * chain the bounded-retry handler gave up on) and the active policy is
+ * to abort.  Carries the decision context the handler had: chain start,
+ * length walked, the static reference site, and the policy that chose
+ * to throw.
+ */
 class ForwardingCycleError : public std::runtime_error
 {
   public:
-    ForwardingCycleError(Addr start, unsigned length);
+    ForwardingCycleError(Addr start, unsigned length,
+                         SiteId site = no_site,
+                         const char *policy = "abort");
 
     Addr start() const { return start_; }
     unsigned length() const { return length_; }
+    SiteId site() const { return site_; }
+    const std::string &policy() const { return policy_; }
 
   private:
     Addr start_;
     unsigned length_;
+    SiteId site_;
+    std::string policy_;
 };
 
 /** Outcome of the accurate check. */
@@ -42,6 +59,20 @@ struct CycleCheckResult
 {
     bool is_cycle;    ///< true if an address repeats along the chain
     unsigned length;  ///< chain length walked (hops until repeat or end)
+
+    /**
+     * First repeated address — where the walk re-entered the loop.
+     * Meaningful only when is_cycle.
+     */
+    Addr cycle_entry = 0;
+
+    /**
+     * Last address visited before the cycle entry on the first pass
+     * (the chain start itself if the whole chain is the loop).  This is
+     * where the quarantine policy pins a reference.  Meaningful only
+     * when is_cycle.
+     */
+    Addr pre_cycle = 0;
 };
 
 /**

@@ -1,12 +1,39 @@
 #include "core/forwarding_engine.hh"
 
+#include <algorithm>
+
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
 #include "core/cycle_check.hh"
+#include "core/fault_injector.hh"
 #include "mem/tagged_memory.hh"
 
 namespace memfwd
 {
+
+const char *
+cyclePolicyName(CyclePolicy policy)
+{
+    switch (policy) {
+      case CyclePolicy::abort:
+        return "abort";
+      case CyclePolicy::trap:
+        return "trap";
+      case CyclePolicy::quarantine:
+        return "quarantine";
+    }
+    return "?";
+}
+
+ForwardingIntegrityError::ForwardingIntegrityError(Addr word, Word payload,
+                                                   SiteId site)
+    : std::runtime_error(strfmt(
+          "corrupt forwarding word: addr=%#llx payload=%#llx site=%u",
+          static_cast<unsigned long long>(word),
+          static_cast<unsigned long long>(payload), site)),
+      word_(word), payload_(payload), site_(site)
+{
+}
 
 ForwardingEngine::ForwardingEngine(TaggedMemory &mem,
                                    MemoryHierarchy &hierarchy,
@@ -14,6 +41,58 @@ ForwardingEngine::ForwardingEngine(TaggedMemory &mem,
     : mem_(mem), hierarchy_(hierarchy), cfg_(cfg)
 {
     memfwd_assert(cfg_.hop_limit >= 1, "hop limit must be at least 1");
+}
+
+Addr
+ForwardingEngine::quarantinePin(Addr word) const
+{
+    auto it = quarantined_.find(wordAlign(word));
+    return it == quarantined_.end() ? 0 : it->second;
+}
+
+Addr
+ForwardingEngine::condemnChain(Addr word, unsigned length, Addr pin,
+                               SiteId site)
+{
+    switch (cfg_.cycle_policy) {
+      case CyclePolicy::abort:
+        throw ForwardingCycleError(word, length, site, "abort");
+      case CyclePolicy::trap:
+        if (!traps_.armed())
+            throw ForwardingCycleError(word, length, site, "trap");
+        // The handler learns the cycle's context through the ordinary
+        // trap channel: initial address, the pin it will resolve to,
+        // and the chain length walked.
+        traps_.deliver({site, word, pin, length, 0});
+        [[fallthrough]];
+      case CyclePolicy::quarantine:
+        ++stats_.cycles_quarantined;
+        quarantined_[word] = pin;
+        return pin;
+    }
+    throw ForwardingCycleError(word, length, site, "abort");
+}
+
+Addr
+ForwardingEngine::condemnCorrupt(Addr word, Addr cur, Word payload,
+                                 SiteId site)
+{
+    ++stats_.corrupt_forwards;
+    switch (cfg_.cycle_policy) {
+      case CyclePolicy::abort:
+        throw ForwardingIntegrityError(cur, payload, site);
+      case CyclePolicy::trap:
+        if (!traps_.armed())
+            throw ForwardingIntegrityError(cur, payload, site);
+        traps_.deliver({site, word, cur, 0, 0});
+        [[fallthrough]];
+      case CyclePolicy::quarantine:
+        // Pin at the corrupt word itself: the last address whose
+        // contents are still trustworthy as a location.
+        quarantined_[word] = cur;
+        return cur;
+    }
+    throw ForwardingIntegrityError(cur, payload, site);
 }
 
 WalkResult
@@ -31,6 +110,18 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
         return {addr, 0, start, 0, false};
     }
 
+    // A chain already proven unresolvable serves its pin directly: the
+    // quarantine entry exists precisely so execution can continue
+    // without re-walking a poisoned chain.
+    if (auto it = quarantined_.find(word); it != quarantined_.end()) {
+        ++stats_.quarantine_hits;
+        stats_.recordHops(0);
+        return {it->second + offset, 0, start, 0, false};
+    }
+
+    if (faults_)
+        faults_->corruptChain(mem_, word, FaultSite::resolve);
+
     if (cfg_.mode == ForwardingConfig::Mode::perfect) {
         // Idealized bound: resolve functionally with no time or cache
         // effects, as if every pointer had been updated in advance.
@@ -39,12 +130,21 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
         Addr cur = word;
         unsigned hops = 0;
         while (mem_.fbit(cur)) {
-            cur = wordAlign(mem_.rawReadWord(cur));
+            const Word payload = mem_.rawReadWord(cur);
+            if (cfg_.validate_targets && !isWordAligned(payload)) {
+                const Addr pin = condemnCorrupt(word, cur, payload, site);
+                return {pin + offset, 0, start, 0, false};
+            }
+            cur = wordAlign(payload);
             ++hops;
             if (hops > cfg_.hop_limit) {
                 const CycleCheckResult r = accurateCycleCheck(mem_, word);
-                if (r.is_cycle)
-                    throw ForwardingCycleError(word, r.length);
+                if (r.is_cycle) {
+                    ++stats_.cycles_detected;
+                    const Addr pin = condemnChain(word, r.length,
+                                                  r.pre_cycle, site);
+                    return {pin + offset, 0, start, 0, false};
+                }
             }
         }
         stats_.recordHops(0);
@@ -59,6 +159,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
     Addr cur = word;
     unsigned hops = 0;
     unsigned hop_counter = 0;
+    unsigned check_attempts = 0;
     bool hop_missed = false;
 
     while (mem_.fbit(cur)) {
@@ -71,7 +172,15 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
             hop_missed = true;
         t = r.ready + cfg_.hop_cost;
 
-        cur = wordAlign(mem_.rawReadWord(cur));
+        const Word payload = mem_.rawReadWord(cur);
+        if (cfg_.validate_targets && !isWordAligned(payload)) {
+            // A legitimate forwarding word always holds a word-aligned
+            // target (relocation endpoints are asserted aligned), so a
+            // misaligned payload proves the word was corrupted.
+            const Addr pin = condemnCorrupt(word, cur, payload, site);
+            return {pin + offset, hops, t, t - start, hop_missed};
+        }
+        cur = wordAlign(payload);
         ++hops;
         ++hop_counter;
 
@@ -81,9 +190,28 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
             const CycleCheckResult chk = accurateCycleCheck(mem_, word);
             if (chk.is_cycle) {
                 ++stats_.cycles_detected;
-                throw ForwardingCycleError(word, chk.length);
+                const Addr pin = condemnChain(word, chk.length,
+                                              chk.pre_cycle, site);
+                return {pin + offset, hops, t, t - start, hop_missed};
             }
             ++stats_.false_alarms;
+            ++check_attempts;
+            if (cfg_.mode == ForwardingConfig::Mode::exception) {
+                // The software handler re-walks the chain; bound the
+                // retries and charge exponential backoff so a pathological
+                // (but acyclic) chain cannot wedge the handler.
+                ++stats_.handler_retries;
+                const Cycles backoff =
+                    cfg_.retry_backoff_base
+                    << std::min(check_attempts - 1, 16u);
+                t += backoff;
+                stats_.backoff_cycles += backoff;
+                if (check_attempts > cfg_.max_handler_retries) {
+                    const Addr pin = condemnChain(word, chk.length, cur,
+                                                  site);
+                    return {pin + offset, hops, t, t - start, hop_missed};
+                }
+            }
             hop_counter = 0; // false alarm: reset and resume
         }
     }

@@ -20,6 +20,9 @@
  *                  handler chases the chain with Unforwarded_Reads; the
  *                  timing adds a fixed exception-dispatch cost per
  *                  forwarded reference on top of the per-hop accesses.
+ *                  The handler retries a bounded number of times when
+ *                  the hop limit keeps firing, with exponential backoff
+ *                  charged to the reference and accounted in the stats.
  *  - `perfect`   — the idealized bound of Figure 10 ("Perf"): every
  *                  reference magically uses its final address with no
  *                  hop accesses and no pollution.  Not implementable;
@@ -29,14 +32,35 @@
  * Cycle handling follows the paper: a cheap hop counter with limit
  * `hop_limit`; on overflow, a software exception performs the accurate
  * check (core/cycle_check.hh) at cost `cycle_check_cost`.  A false
- * alarm resets the counter and resumes; a true cycle aborts execution
- * by throwing ForwardingCycleError.
+ * alarm resets the counter and resumes.  What a *true* cycle does is
+ * the configurable `cycle_policy`:
+ *
+ *  - `abort`      — throw ForwardingCycleError (the paper's behavior:
+ *                   a cycle is a software bug and execution stops);
+ *  - `trap`       — deliver a user-level trap describing the cycle; if
+ *                   a handler is installed the reference then resolves
+ *                   as under quarantine, otherwise fall back to abort;
+ *  - `quarantine` — pin the reference at the pre-cycle address, bump
+ *                   `cycles_quarantined`, and keep executing.  Later
+ *                   references through the same chain resolve to the
+ *                   pin without re-walking.
+ *
+ * Independent of cycles, the walk validates each forwarding word it
+ * dereferences: a set bit over a misaligned payload can only be
+ * corruption (legitimate relocation writes aligned targets), and is
+ * handled by the same policy — abort throws ForwardingIntegrityError,
+ * trap/quarantine pin the reference at the corrupt word.
+ *
+ * A FaultInjector (core/fault_injector.hh) can be attached to corrupt
+ * chains at resolve time, exercising all of the above deterministically.
  */
 
 #ifndef MEMFWD_CORE_FORWARDING_ENGINE_HH
 #define MEMFWD_CORE_FORWARDING_ENGINE_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_config.hh"
@@ -48,6 +72,33 @@ namespace memfwd
 
 class TaggedMemory;
 class MemoryHierarchy;
+class FaultInjector;
+
+/** What resolve() does when it proves a chain cannot terminate. */
+enum class CyclePolicy
+{
+    abort,      ///< throw (the paper's semantics; default)
+    trap,       ///< user-level trap, then quarantine; abort if unhandled
+    quarantine  ///< pin at the pre-cycle address and continue
+};
+
+const char *cyclePolicyName(CyclePolicy policy);
+
+/** Thrown when a forwarding word's payload proves it was corrupted. */
+class ForwardingIntegrityError : public std::runtime_error
+{
+  public:
+    ForwardingIntegrityError(Addr word, Word payload, SiteId site);
+
+    Addr word() const { return word_; }
+    Word payload() const { return payload_; }
+    SiteId site() const { return site_; }
+
+  private:
+    Addr word_;
+    Word payload_;
+    SiteId site_;
+};
 
 /** Forwarding implementation style and costs. */
 struct ForwardingConfig
@@ -72,6 +123,22 @@ struct ForwardingConfig
 
     /** Cost of one software accurate cycle check, cycles. */
     Cycles cycle_check_cost = 200;
+
+    /** What to do when a chain provably cannot terminate. */
+    CyclePolicy cycle_policy = CyclePolicy::abort;
+
+    /** Treat misaligned forwarding payloads as corruption. */
+    bool validate_targets = true;
+
+    /**
+     * Exception-mode handler: accurate-check invocations tolerated for
+     * one reference before the handler gives up and applies the cycle
+     * policy.
+     */
+    unsigned max_handler_retries = 8;
+
+    /** Base of the exponential backoff charged per handler retry. */
+    Cycles retry_backoff_base = 16;
 };
 
 /** Statistics the engine keeps (Figure 10(c) and friends). */
@@ -82,6 +149,11 @@ struct ForwardingStats
     std::uint64_t hop_l1_misses = 0;  ///< hop accesses that missed L1
     std::uint64_t false_alarms = 0;   ///< hop-limit hits that were acyclic
     std::uint64_t cycles_detected = 0;
+    std::uint64_t cycles_quarantined = 0; ///< chains pinned by policy
+    std::uint64_t corrupt_forwards = 0;   ///< invalid payloads detected
+    std::uint64_t quarantine_hits = 0;    ///< resolves served from a pin
+    std::uint64_t handler_retries = 0;    ///< exception-mode re-walks
+    std::uint64_t backoff_cycles = 0;     ///< cycles spent backing off
     std::vector<std::uint64_t> hop_histogram; ///< [h] = refs with h hops
 
     void
@@ -116,7 +188,10 @@ class ForwardingEngine
      * are issued as loads of that type's urgency).  @p site and
      * @p pointer_slot feed the user-level trap if one is armed.
      *
-     * @throws ForwardingCycleError on a genuine forwarding cycle.
+     * @throws ForwardingCycleError on a genuine forwarding cycle under
+     *         the abort policy (or trap policy with no handler).
+     * @throws ForwardingIntegrityError on a corrupt forwarding word
+     *         under the abort policy.
      */
     WalkResult resolve(Addr addr, AccessType type, Cycles start,
                        SiteId site = no_site, Addr pointer_slot = 0);
@@ -129,6 +204,12 @@ class ForwardingEngine
      */
     void forwardWord(Addr src, Addr tgt);
 
+    /** Attach (or clear, with nullptr) a fault injector. */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /** Pin of the quarantined chain at @p word (0 = not quarantined). */
+    Addr quarantinePin(Addr word) const;
+
     const ForwardingConfig &config() const { return cfg_; }
     const ForwardingStats &stats() const { return stats_; }
     TrapRegistry &traps() { return traps_; }
@@ -136,11 +217,25 @@ class ForwardingEngine
     void clearStats() { stats_ = ForwardingStats(); }
 
   private:
+    /**
+     * Apply the cycle policy to an unresolvable chain: quarantine it
+     * (returning the pin) or throw.  @p length and @p pin come from the
+     * accurate check; @p why names the caller for the error message.
+     */
+    Addr condemnChain(Addr word, unsigned length, Addr pin, SiteId site);
+
+    /** Apply the policy to a corrupt forwarding word found at @p cur. */
+    Addr condemnCorrupt(Addr word, Addr cur, Word payload, SiteId site);
+
     TaggedMemory &mem_;
     MemoryHierarchy &hierarchy_;
     ForwardingConfig cfg_;
     ForwardingStats stats_;
     TrapRegistry traps_;
+    FaultInjector *faults_ = nullptr;
+
+    /** Chain-start word -> pinned resolution address. */
+    std::unordered_map<Addr, Addr> quarantined_;
 };
 
 } // namespace memfwd

@@ -1,5 +1,7 @@
 #include "mem/tagged_memory.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace memfwd
@@ -99,6 +101,38 @@ TaggedMemory::writeBytes(Addr addr, unsigned size, std::uint64_t value)
     Word w = rawReadWord(addr);
     w = (w & ~mask) | ((value << shift) & mask);
     rawWriteWord(addr, w);
+}
+
+bool
+TaggedMemory::isMapped(Addr addr) const
+{
+    return pageIfPresent(addr) != nullptr;
+}
+
+std::vector<Addr>
+TaggedMemory::mappedPageBases() const
+{
+    std::vector<Addr> bases;
+    bases.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        bases.push_back(key * pageBytes);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
+
+void
+TaggedMemory::forEachForwardedWord(
+    const std::function<void(Addr, Word)> &fn) const
+{
+    for (const Addr base : mappedPageBases()) {
+        const Page *p = pageIfPresent(base);
+        if (p->fbits.none())
+            continue;
+        for (unsigned i = 0; i < pageWords; ++i) {
+            if (p->fbits[i])
+                fn(base + Addr(i) * wordBytes, p->data[i]);
+        }
+    }
 }
 
 std::uint64_t

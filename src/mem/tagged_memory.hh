@@ -39,8 +39,10 @@
 #include <array>
 #include <bitset>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -100,6 +102,20 @@ class TaggedMemory
 
     /** Number of forwarding bits currently set across all of memory. */
     std::uint64_t fbitCount() const;
+
+    /** True if the page containing @p addr has been materialized. */
+    bool isMapped(Addr addr) const;
+
+    /** Base addresses of every materialized page, ascending. */
+    std::vector<Addr> mappedPageBases() const;
+
+    /**
+     * Invoke @p fn(word_addr, payload) for every word whose forwarding
+     * bit is set, in ascending address order — the sweep primitive the
+     * heap auditor (runtime/heap_verifier.hh) is built on.
+     */
+    void forEachForwardedWord(
+        const std::function<void(Addr, Word)> &fn) const;
 
     /** Number of pages currently materialized (for space accounting). */
     std::size_t pagesAllocated() const { return pages_.size(); }

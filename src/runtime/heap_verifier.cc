@@ -1,0 +1,128 @@
+#include "runtime/heap_verifier.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/stats_registry.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+
+AuditReport
+HeapVerifier::audit() const
+{
+    AuditReport report;
+
+    // Pass 1: collect every forwarding word, validate its payload, and
+    // remember which words are forwarding *targets* so chain heads can
+    // be separated from interior members.
+    std::unordered_map<Addr, Addr> forwards; // word -> aligned target
+    std::unordered_set<Addr> targeted;
+    mem_.forEachForwardedWord([&](Addr word, Word payload) {
+        ++report.fbits_set;
+        forwards.emplace(word, wordAlign(payload));
+        if (payload == 0) {
+            report.null_targets.push_back(word);
+            return;
+        }
+        if (!isWordAligned(payload))
+            report.misaligned_targets.push_back(word);
+        if (!mem_.isMapped(wordAlign(payload)))
+            report.dangling_targets.push_back(word);
+        targeted.insert(wordAlign(payload));
+    });
+    report.pages_scanned = mem_.pagesAllocated();
+    report.words_scanned =
+        report.pages_scanned * TaggedMemory::pageWords;
+
+    // Pass 2: walk every chain from its head with the accurate check's
+    // visited-set discipline, recording shape and termination.
+    std::unordered_set<Addr> visited;
+    std::vector<Addr> heads;
+    for (const auto &[word, target] : forwards) {
+        if (!targeted.count(word))
+            heads.push_back(word);
+    }
+    std::sort(heads.begin(), heads.end());
+
+    for (const Addr head : heads) {
+        std::unordered_set<Addr> on_chain;
+        Addr cur = head;
+        unsigned length = 0;
+        bool cyclic = false;
+        while (forwards.count(cur)) {
+            if (!on_chain.insert(cur).second) {
+                cyclic = true;
+                break;
+            }
+            visited.insert(cur);
+            cur = forwards[cur];
+            ++length;
+        }
+        report.chains.push_back({head, length, cyclic, cur});
+        report.total_hops += length;
+        report.max_chain_length =
+            std::max<std::uint64_t>(report.max_chain_length, length);
+        if (cyclic)
+            report.cyclic_chains.push_back(head);
+    }
+
+    // Pass 3: forwarding words no head walk reached can only sit on a
+    // closed loop (every member is someone's target), i.e. an orphan
+    // cycle with no entry point.
+    for (const auto &[word, target] : forwards) {
+        if (!visited.count(word))
+            report.orphan_cycle_words.push_back(word);
+    }
+    std::sort(report.orphan_cycle_words.begin(),
+              report.orphan_cycle_words.end());
+
+    return report;
+}
+
+void
+AuditReport::registerStats(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.set(prefix + "pages_scanned", pages_scanned);
+    reg.set(prefix + "words_scanned", words_scanned);
+    reg.set(prefix + "fbits_set", fbits_set);
+    reg.set(prefix + "chains", chains.size());
+    reg.set(prefix + "max_chain_length", max_chain_length);
+    reg.set(prefix + "total_hops", total_hops);
+    reg.set(prefix + "cyclic_chains", cyclic_chains.size());
+    reg.set(prefix + "orphan_cycle_words", orphan_cycle_words.size());
+    reg.set(prefix + "dangling_targets", dangling_targets.size());
+    reg.set(prefix + "misaligned_targets", misaligned_targets.size());
+    reg.set(prefix + "null_targets", null_targets.size());
+    reg.set(prefix + "inconsistencies", inconsistencies());
+}
+
+void
+AuditReport::dump(std::ostream &os) const
+{
+    os << "heap audit: " << pages_scanned << " pages, " << fbits_set
+       << " forwarding words, " << chains.size() << " chains (max length "
+       << max_chain_length << ", " << total_hops << " total hops)\n";
+
+    auto list = [&os](const char *label, const std::vector<Addr> &addrs) {
+        for (const Addr a : addrs)
+            os << "  " << label << ": " << strfmt("%#llx",
+                   static_cast<unsigned long long>(a)) << "\n";
+    };
+    list("cyclic chain at", cyclic_chains);
+    list("orphan cycle word", orphan_cycle_words);
+    list("dangling target from", dangling_targets);
+    list("misaligned target from", misaligned_targets);
+    list("null target from", null_targets);
+
+    if (clean())
+        os << "  no inconsistencies\n";
+    else
+        os << "  " << inconsistencies() << " inconsistencies\n";
+}
+
+} // namespace memfwd

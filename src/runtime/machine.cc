@@ -1,6 +1,7 @@
 #include "runtime/machine.hh"
 
 #include "common/logging.hh"
+#include "core/fault_injector.hh"
 
 namespace memfwd
 {
@@ -14,6 +15,13 @@ Machine::Machine(const MachineConfig &cfg)
                                               cfg_.forwarding);
     prefetcher_ = std::make_unique<Prefetcher>(*hierarchy_);
     tlb_ = std::make_unique<Tlb>(cfg_.tlb);
+}
+
+void
+Machine::setFaultInjector(FaultInjector *faults)
+{
+    faults_ = faults;
+    fwd_->setFaultInjector(faults);
 }
 
 Cycles
@@ -183,6 +191,11 @@ Machine::collectStats(StatsRegistry &reg, const std::string &prefix) const
     reg.set(prefix + "fwd.hops", f.hops);
     reg.set(prefix + "fwd.false_alarms", f.false_alarms);
     reg.set(prefix + "fwd.cycles_detected", f.cycles_detected);
+    reg.set(prefix + "fwd.cycles_quarantined", f.cycles_quarantined);
+    reg.set(prefix + "fwd.corrupt_forwards", f.corrupt_forwards);
+    reg.set(prefix + "fwd.quarantine_hits", f.quarantine_hits);
+    reg.set(prefix + "fwd.handler_retries", f.handler_retries);
+    reg.set(prefix + "fwd.backoff_cycles", f.backoff_cycles);
     reg.set(prefix + "refs.loads", loads_);
     reg.set(prefix + "refs.stores", stores_);
     reg.set(prefix + "refs.loads_forwarded", loads_forwarded_);

@@ -38,6 +38,8 @@
 namespace memfwd
 {
 
+class FaultInjector;
+
 /** Whole-machine configuration. */
 struct MachineConfig
 {
@@ -154,6 +156,15 @@ class Machine
     /** Install (or clear, with nullptr) the trace hook. */
     void setTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+    /**
+     * Attach (or clear, with nullptr) a fault injector.  The engine
+     * consults it at resolve time; the runtime (allocator, relocation)
+     * consults it through faultInjector().  Not owned.
+     */
+    void setFaultInjector(FaultInjector *faults);
+
+    FaultInjector *faultInjector() const { return faults_; }
+
     // ----- reference-level forwarding stats (Figure 10(c)) -------------
 
     std::uint64_t loads() const { return loads_; }
@@ -175,6 +186,7 @@ class Machine
     std::unique_ptr<ForwardingEngine> fwd_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<Tlb> tlb_;
+    FaultInjector *faults_ = nullptr;
 
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

@@ -1,10 +1,27 @@
 #include "runtime/relocation.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
+#include "core/cycle_check.hh"
+#include "core/fault_injector.hh"
 #include "runtime/machine.hh"
+#include "runtime/sim_allocator.hh"
 
 namespace memfwd
 {
+
+namespace
+{
+
+/**
+ * Timed Read_FBit loops run a cheap hop counter just like the
+ * hardware walk; past this many hops the software falls back to the
+ * accurate functional check rather than spinning forever on a cycle.
+ */
+constexpr unsigned chase_soft_limit = 64;
+
+} // namespace
 
 Addr
 chaseChain(Machine &machine, Addr addr)
@@ -14,7 +31,13 @@ chaseChain(Machine &machine, Addr addr)
     unsigned guard = 0;
     while (machine.readFBit(word)) {
         word = wordAlign(machine.unforwardedRead(word));
-        memfwd_assert(++guard < 1u << 20, "chaseChain: runaway chain");
+        if (++guard > chase_soft_limit) {
+            const CycleCheckResult chk =
+                accurateCycleCheck(machine.mem(), addr);
+            if (chk.is_cycle)
+                throw ForwardingCycleError(wordAlign(addr), chk.length);
+            guard = 0;
+        }
     }
     return word + offset;
 }
@@ -24,19 +47,79 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
 {
     memfwd_assert(isWordAligned(src) && isWordAligned(tgt),
                   "relocate: endpoints must be word-aligned");
-    for (unsigned i = 0; i < n_words; ++i) {
-        const Addr s = src + static_cast<Addr>(i) * wordBytes;
-        const Addr t = tgt + static_cast<Addr>(i) * wordBytes;
 
-        // Loop until a clear forwarding bit is read, so the target is
-        // appended at the end of any existing chain (Figure 4(a)).
-        const Addr tail = chaseChain(machine, s);
+    // Relocate() is transactional: every word it is about to mutate is
+    // journaled first (raw payload + forwarding bit — runtime
+    // bookkeeping, so the capture itself is untimed), and any failure
+    // rolls the journal back in reverse before rethrowing.  A
+    // half-relocated object is therefore never visible: either every
+    // chain tail forwards to the new home, or the heap is bit-identical
+    // to its pre-call state.
+    struct Step
+    {
+        Addr tail;        ///< chain tail turned into a forwarding word
+        Word tail_payload;
+        bool tail_fbit;
+        Addr dest;        ///< word the payload was copied to
+        Word dest_payload;
+        bool dest_fbit;
+    };
+    std::vector<Step> journal;
+    journal.reserve(n_words);
 
-        // Copy the payload to its new home, then atomically turn the
-        // chain tail into a forwarding address.
-        const std::uint64_t value = machine.unforwardedRead(tail);
-        machine.store(t, wordBytes, value);
-        machine.unforwardedWrite(tail, t, true);
+    FaultInjector *faults = machine.faultInjector();
+
+    try {
+        for (unsigned i = 0; i < n_words; ++i) {
+            const Addr s = src + static_cast<Addr>(i) * wordBytes;
+            const Addr t = tgt + static_cast<Addr>(i) * wordBytes;
+
+            if (faults && faults->armedAt(FaultSite::relocate)) {
+                faults->corruptChain(machine.mem(), s,
+                                     FaultSite::relocate);
+                if (faults->shouldFail(FaultSite::relocate)) {
+                    throw AllocFailure(wordBytes,
+                                       "injected mid-relocation failure");
+                }
+            }
+
+            // Loop until a clear forwarding bit is read, so the target
+            // is appended at the end of any existing chain (Figure 4(a)).
+            const Addr tail = chaseChain(machine, s);
+
+            // The copy lands wherever the target word's own chain ends
+            // (a fresh target is its own tail); journal that word, not
+            // the nominal target, so rollback restores the bytes the
+            // store actually changed.
+            Addr dest = t;
+            unsigned guard = 0;
+            while (machine.mem().fbit(dest)) {
+                dest = wordAlign(machine.mem().rawReadWord(dest));
+                memfwd_assert(++guard < chase_soft_limit,
+                              "relocate: target chain runaway");
+            }
+
+            journal.push_back({tail, machine.mem().rawReadWord(tail),
+                               machine.mem().fbit(tail), dest,
+                               machine.mem().rawReadWord(dest),
+                               machine.mem().fbit(dest)});
+
+            // Copy the payload to its new home, then atomically turn
+            // the chain tail into a forwarding address.
+            const std::uint64_t value = machine.unforwardedRead(tail);
+            machine.store(t, wordBytes, value);
+            machine.unforwardedWrite(tail, t, true);
+        }
+    } catch (...) {
+        // Undo newest-first with timed atomic writes: the rollback is
+        // real work the machine pays for, like the aborted steps were.
+        for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+            machine.unforwardedWrite(it->tail, it->tail_payload,
+                                     it->tail_fbit);
+            machine.unforwardedWrite(it->dest, it->dest_payload,
+                                     it->dest_fbit);
+        }
+        throw;
     }
 }
 

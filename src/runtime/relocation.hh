@@ -11,6 +11,13 @@
  * Every step is issued through the Machine's timed operations, so the
  * full relocation overhead the paper accounts for (Section 2.3) appears
  * in the results.
+ *
+ * Relocation is *transactional*: the words each step mutates are
+ * journaled before the mutation, and if any step throws (a forwarding
+ * cycle, an injected fault, an allocation failure raised by a fault
+ * hook) the journal is rolled back in reverse before the exception
+ * propagates.  A half-relocated object is never visible — the heap is
+ * either fully forwarded or bit-identical to its pre-call state.
  */
 
 #ifndef MEMFWD_RUNTIME_RELOCATION_HH
@@ -27,6 +34,10 @@ class Machine;
  * Relocate @p n_words words from @p src to @p tgt on @p machine, then
  * forward @p src (or the tail of its existing chain) to @p tgt.
  * Both addresses must be word-aligned.
+ *
+ * @throws ForwardingCycleError if a source chain is cyclic; AllocFailure
+ *         if a relocate-site fault injector fires.  On any throw the
+ *         heap has been rolled back to its pre-call contents.
  */
 void relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words);
 
@@ -35,6 +46,8 @@ void relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words);
  * ISA extensions (Read_FBit + Unforwarded_Read) and return the final
  * address, preserving the byte offset.  This is the software
  * final-address lookup used for pointer comparisons and by Relocate().
+ *
+ * @throws ForwardingCycleError if the chain is cyclic.
  */
 Addr chaseChain(Machine &machine, Addr addr);
 

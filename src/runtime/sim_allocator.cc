@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/fault_injector.hh"
 #include "runtime/machine.hh"
 
 namespace memfwd
@@ -73,8 +74,7 @@ SimAllocator::place(Addr bytes, Placement placement, Addr align)
     for (;;) {
         candidate = (candidate + align - 1) & ~(align - 1);
         if (candidate + bytes > base_ + span_)
-            memfwd_fatal("simulated heap exhausted: need %llu bytes",
-                         static_cast<unsigned long long>(bytes));
+            throw AllocFailure(bytes, "simulated heap exhausted");
         if (rangeFree(candidate, bytes))
             break;
         // Skip past the colliding block.
@@ -94,6 +94,13 @@ SimAllocator::alloc(Addr bytes, Placement placement, Addr align)
     memfwd_assert(align >= wordBytes && (align & (align - 1)) == 0,
                   "alignment must be a power of two >= %u", wordBytes);
     bytes = roundUpToWord(bytes);
+
+    // An armed alloc-site fault fires before any state changes, so a
+    // failed call is invisible to later ones (callers can retry).
+    if (FaultInjector *faults = machine_.faultInjector();
+        faults && faults->shouldFail(FaultSite::alloc)) {
+        throw AllocFailure(bytes, "injected allocation failure");
+    }
 
     const Addr addr = place(bytes, placement, align);
     blocks_.emplace(addr, addr + bytes);

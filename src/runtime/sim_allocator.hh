@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 
 #include "common/random.hh"
 #include "common/types.hh"
@@ -37,6 +38,29 @@ namespace memfwd
 {
 
 class Machine;
+
+/**
+ * Thrown when an allocation cannot be satisfied — the simulated heap is
+ * exhausted, or a fault injector armed at the alloc site fired.
+ * Recoverable: the allocator's bookkeeping and the heap are unchanged,
+ * so the caller may free memory and retry.
+ */
+class AllocFailure : public std::runtime_error
+{
+  public:
+    AllocFailure(Addr bytes, const std::string &why)
+        : std::runtime_error("allocation of " + std::to_string(bytes) +
+                             " bytes failed: " + why),
+          bytes_(bytes)
+    {
+    }
+
+    /** Size of the request that failed, in bytes. */
+    Addr bytes() const { return bytes_; }
+
+  private:
+    Addr bytes_;
+};
 
 /** Placement policy for new blocks. */
 enum class Placement

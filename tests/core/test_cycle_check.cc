@@ -64,6 +64,32 @@ TEST(CycleCheck, UnalignedStartUsesContainingWord)
     EXPECT_TRUE(accurateCycleCheck(mem, 0x1003).is_cycle);
 }
 
+TEST(CycleCheck, SelfLoopEntryAndPin)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x1000, true);
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    ASSERT_TRUE(r.is_cycle);
+    // The whole chain is the loop: entry and pin are the start itself.
+    EXPECT_EQ(r.cycle_entry, 0x1000u);
+    EXPECT_EQ(r.pre_cycle, 0x1000u);
+}
+
+TEST(CycleCheck, RhoShapeEntryAndPin)
+{
+    // 0x1000 -> 0x2000 -> 0x3000 -> 0x2000: the walk re-enters at
+    // 0x2000, and 0x1000 is the last address before the loop — the
+    // natural place to pin a quarantined reference.
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x2000, true);
+    mem.unforwardedWrite(0x2000, 0x3000, true);
+    mem.unforwardedWrite(0x3000, 0x2000, true);
+    const CycleCheckResult r = accurateCycleCheck(mem, 0x1000);
+    ASSERT_TRUE(r.is_cycle);
+    EXPECT_EQ(r.cycle_entry, 0x2000u);
+    EXPECT_EQ(r.pre_cycle, 0x1000u);
+}
+
 TEST(CycleCheck, ErrorCarriesContext)
 {
     const ForwardingCycleError err(0xbeef0, 7);
@@ -71,6 +97,25 @@ TEST(CycleCheck, ErrorCarriesContext)
     EXPECT_EQ(err.length(), 7u);
     EXPECT_NE(std::string(err.what()).find("forwarding cycle"),
               std::string::npos);
+}
+
+TEST(CycleCheck, ErrorCarriesQuarantineDecisionContext)
+{
+    const ForwardingCycleError err(0xbeef0, 7, /*site=*/42, "trap");
+    EXPECT_EQ(err.site(), 42u);
+    EXPECT_EQ(err.policy(), "trap");
+    const std::string what = err.what();
+    EXPECT_NE(what.find("0xbeef0"), std::string::npos);
+    EXPECT_NE(what.find("length=7"), std::string::npos);
+    EXPECT_NE(what.find("site=42"), std::string::npos);
+    EXPECT_NE(what.find("policy=trap"), std::string::npos);
+}
+
+TEST(CycleCheck, ErrorDefaultsToAbortPolicyAndNoSite)
+{
+    const ForwardingCycleError err(0x1000, 1);
+    EXPECT_EQ(err.site(), no_site);
+    EXPECT_EQ(err.policy(), "abort");
 }
 
 } // namespace

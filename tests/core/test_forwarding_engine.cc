@@ -226,6 +226,219 @@ TEST(ForwardingEngine, NoTrapForPrefetches)
     EXPECT_EQ(fired, 0u);
 }
 
+TEST(ForwardingEngine, SelfLoopChainDetected)
+{
+    // forwardWord(a, a) is the tightest possible cycle: the word
+    // forwards to itself.
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x1000);
+    EXPECT_THROW(rig.engine.resolve(0x1000, AccessType::load, 0),
+                 ForwardingCycleError);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 1u);
+    EXPECT_EQ(rig.engine.stats().false_alarms, 0u);
+}
+
+TEST(ForwardingEngine, TwoWordCycleCountsNoFalseAlarm)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    rig.mem.unforwardedWrite(0x1000, 0x2000, true);
+    rig.mem.unforwardedWrite(0x2000, 0x1000, true);
+    try {
+        rig.engine.resolve(0x1000, AccessType::load, 0);
+        FAIL() << "cycle not detected";
+    } catch (const ForwardingCycleError &e) {
+        EXPECT_EQ(e.start(), 0x1000u);
+        EXPECT_EQ(e.length(), 2u);
+        EXPECT_EQ(e.policy(), "abort");
+    }
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 1u);
+    EXPECT_EQ(rig.engine.stats().false_alarms, 0u);
+}
+
+TEST(ForwardingEngine, ChainOfExactlyHopLimitIsNotAFalseAlarm)
+{
+    // hop_limit hops never overflow the counter: the accurate check
+    // must not fire at all.
+    ForwardingConfig cfg;
+    cfg.hop_limit = 16;
+    Rig rig(cfg);
+    for (unsigned i = 0; i < cfg.hop_limit; ++i) {
+        rig.engine.forwardWord(0x10000 + Addr(i) * 0x100,
+                               0x10000 + Addr(i + 1) * 0x100);
+    }
+    const WalkResult w = rig.engine.resolve(0x10000, AccessType::load, 0);
+    EXPECT_EQ(w.hops, cfg.hop_limit);
+    EXPECT_EQ(rig.engine.stats().false_alarms, 0u);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 0u);
+}
+
+TEST(ForwardingEngine, ChainOfHopLimitPlusOneIsExactlyOneFalseAlarm)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 16;
+    Rig rig(cfg);
+    for (unsigned i = 0; i < cfg.hop_limit + 1; ++i) {
+        rig.engine.forwardWord(0x10000 + Addr(i) * 0x100,
+                               0x10000 + Addr(i + 1) * 0x100);
+    }
+    const WalkResult w = rig.engine.resolve(0x10000, AccessType::load, 0);
+    EXPECT_EQ(w.hops, cfg.hop_limit + 1);
+    EXPECT_EQ(rig.engine.stats().false_alarms, 1u);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 0u);
+}
+
+TEST(ForwardingEngine, QuarantinePolicyPinsAtPreCycleAddress)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    cfg.cycle_policy = CyclePolicy::quarantine;
+    Rig rig(cfg);
+    // Rho shape: 0x1000 -> 0x2000 -> 0x3000 -> 0x2000.  The pre-cycle
+    // address (and so the pin) is 0x1000.
+    rig.mem.unforwardedWrite(0x1000, 0x2000, true);
+    rig.mem.unforwardedWrite(0x2000, 0x3000, true);
+    rig.mem.unforwardedWrite(0x3000, 0x2000, true);
+
+    const WalkResult w = rig.engine.resolve(0x1004, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x1004u); // pinned, offset preserved
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 1u);
+    EXPECT_EQ(rig.engine.stats().cycles_quarantined, 1u);
+    EXPECT_EQ(rig.engine.quarantinePin(0x1000), 0x1000u);
+
+    // Later references resolve from the pin without re-walking.
+    const WalkResult again =
+        rig.engine.resolve(0x1004, AccessType::load, 0);
+    EXPECT_EQ(again.final_addr, 0x1004u);
+    EXPECT_EQ(again.hops, 0u);
+    EXPECT_EQ(rig.engine.stats().quarantine_hits, 1u);
+    EXPECT_EQ(rig.engine.stats().cycles_detected, 1u); // not re-detected
+}
+
+TEST(ForwardingEngine, TrapPolicyDeliversCycleContext)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    cfg.cycle_policy = CyclePolicy::trap;
+    Rig rig(cfg);
+    rig.mem.unforwardedWrite(0x1000, 0x2000, true);
+    rig.mem.unforwardedWrite(0x2000, 0x1000, true);
+
+    TrapInfo seen{};
+    unsigned fired = 0;
+    rig.engine.traps().install([&](const TrapInfo &info) {
+        ++fired;
+        seen = info;
+        return TrapAction::resume;
+    });
+    const WalkResult w =
+        rig.engine.resolve(0x1000, AccessType::load, 0, /*site=*/9);
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(seen.site, 9u);
+    EXPECT_EQ(seen.initial_addr, 0x1000u);
+    EXPECT_EQ(seen.hops, 2u); // chain length the accurate check walked
+    EXPECT_EQ(w.final_addr, seen.final_addr);
+    EXPECT_EQ(rig.engine.stats().cycles_quarantined, 1u);
+}
+
+TEST(ForwardingEngine, TrapPolicyWithoutHandlerAborts)
+{
+    ForwardingConfig cfg;
+    cfg.hop_limit = 4;
+    cfg.cycle_policy = CyclePolicy::trap;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x1000);
+    try {
+        rig.engine.resolve(0x1000, AccessType::load, 0);
+        FAIL() << "expected abort without a trap handler";
+    } catch (const ForwardingCycleError &e) {
+        EXPECT_EQ(e.policy(), "trap");
+    }
+}
+
+TEST(ForwardingEngine, MisalignedPayloadIsCorruption)
+{
+    Rig rig;
+    // A set forwarding bit over a misaligned payload can only be
+    // corruption: legitimate relocation writes aligned targets.
+    rig.mem.unforwardedWrite(0x1000, 0x2003, true);
+    EXPECT_THROW(rig.engine.resolve(0x1000, AccessType::load, 0),
+                 ForwardingIntegrityError);
+    EXPECT_EQ(rig.engine.stats().corrupt_forwards, 1u);
+}
+
+TEST(ForwardingEngine, CorruptionQuarantinesAtCorruptWord)
+{
+    ForwardingConfig cfg;
+    cfg.cycle_policy = CyclePolicy::quarantine;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.mem.unforwardedWrite(0x2000, 0x3001, true); // corrupt mid-chain
+    const WalkResult w = rig.engine.resolve(0x1004, AccessType::load, 0);
+    // Pinned at the corrupt word — the last trustworthy location.
+    EXPECT_EQ(w.final_addr, 0x2004u);
+    EXPECT_EQ(rig.engine.stats().corrupt_forwards, 1u);
+    EXPECT_EQ(rig.engine.quarantinePin(0x1000), 0x2000u);
+}
+
+TEST(ForwardingEngine, ValidationCanBeDisabled)
+{
+    ForwardingConfig cfg;
+    cfg.validate_targets = false;
+    cfg.hop_limit = 4;
+    Rig rig(cfg);
+    // With validation off the walk follows the garbage payload; the
+    // wordAlign keeps it from crashing and the chain just terminates.
+    rig.mem.unforwardedWrite(0x1000, 0x2003, true);
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x2000u);
+    EXPECT_EQ(rig.engine.stats().corrupt_forwards, 0u);
+}
+
+TEST(ForwardingEngine, ExceptionModeChargesBoundedRetryBackoff)
+{
+    ForwardingConfig cfg;
+    cfg.mode = ForwardingConfig::Mode::exception;
+    cfg.hop_limit = 2;
+    cfg.retry_backoff_base = 16;
+    Rig rig(cfg);
+    // 10 acyclic hops with limit 2: checks fire after hops 3, 6, 9.
+    for (unsigned i = 0; i < 10; ++i) {
+        rig.engine.forwardWord(0x10000 + Addr(i) * 0x100,
+                               0x10000 + Addr(i + 1) * 0x100);
+    }
+    const WalkResult w = rig.engine.resolve(0x10000, AccessType::load, 0);
+    EXPECT_EQ(w.hops, 10u);
+    EXPECT_EQ(rig.engine.stats().false_alarms, 3u);
+    EXPECT_EQ(rig.engine.stats().handler_retries, 3u);
+    // Exponential: 16 + 32 + 64.
+    EXPECT_EQ(rig.engine.stats().backoff_cycles, 112u);
+}
+
+TEST(ForwardingEngine, ExceptionModeGivesUpAfterMaxRetries)
+{
+    ForwardingConfig cfg;
+    cfg.mode = ForwardingConfig::Mode::exception;
+    cfg.hop_limit = 2;
+    cfg.max_handler_retries = 2;
+    cfg.cycle_policy = CyclePolicy::quarantine;
+    Rig rig(cfg);
+    for (unsigned i = 0; i < 12; ++i) {
+        rig.engine.forwardWord(0x10000 + Addr(i) * 0x100,
+                               0x10000 + Addr(i + 1) * 0x100);
+    }
+    // The third check (after hop 9) exceeds max_handler_retries: the
+    // handler gives up and the policy pins the reference mid-chain.
+    const WalkResult w = rig.engine.resolve(0x10000, AccessType::load, 0);
+    EXPECT_LT(w.hops, 12u);
+    EXPECT_EQ(rig.engine.stats().handler_retries, 3u);
+    EXPECT_EQ(rig.engine.stats().cycles_quarantined, 1u);
+    EXPECT_NE(rig.engine.quarantinePin(0x10000), 0u);
+}
+
 TEST(ForwardingEngineDeathTest, MisalignedRelocationRejected)
 {
     Rig rig;

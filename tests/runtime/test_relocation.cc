@@ -2,13 +2,38 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
+#include "core/cycle_check.hh"
+#include "core/fault_injector.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
 
 namespace memfwd
 {
 namespace
 {
+
+/** Sparse heap image: every word with a nonzero payload or a set fbit.
+ *  Rollback may leave freshly materialized all-zero pages behind, so
+ *  bit-identity is judged on content, not on the page set. */
+std::map<Addr, std::pair<Word, bool>>
+heapImage(const TaggedMemory &mem)
+{
+    std::map<Addr, std::pair<Word, bool>> image;
+    for (Addr base : mem.mappedPageBases()) {
+        for (Addr a = base; a < base + TaggedMemory::pageBytes;
+             a += wordBytes) {
+            const Word payload = mem.rawReadWord(a);
+            const bool fbit = mem.fbit(a);
+            if (payload != 0 || fbit)
+                image.emplace(a, std::make_pair(payload, fbit));
+        }
+    }
+    return image;
+}
 
 TEST(Relocate, SingleWordObject)
 {
@@ -102,6 +127,84 @@ TEST(ChaseChain, FollowsToFinalAddress)
     EXPECT_EQ(chaseChain(m, 0x1000), 0x3000u);
     EXPECT_EQ(chaseChain(m, 0x1006), 0x3006u); // offset preserved
     EXPECT_EQ(chaseChain(m, 0x4000), 0x4000u); // no chain
+}
+
+TEST(ChaseChain, ThrowsOnCycleInsteadOfWedging)
+{
+    Machine m;
+    m.mem().unforwardedWrite(0x1000, 0x2000, true);
+    m.mem().unforwardedWrite(0x2000, 0x1000, true);
+    try {
+        chaseChain(m, 0x1000);
+        FAIL() << "cycle not detected";
+    } catch (const ForwardingCycleError &e) {
+        EXPECT_EQ(e.start(), 0x1000u);
+        EXPECT_EQ(e.length(), 2u);
+    }
+}
+
+TEST(Relocate, MidRelocationFailureRollsBackBitIdentically)
+{
+    Machine m;
+    for (unsigned w = 0; w < 6; ++w)
+        m.store(0x1000 + w * 8, 8, 0x500 + w);
+    const auto before = heapImage(m.mem());
+
+    // The injector fails the 4th per-word step: three words have
+    // already been forwarded when the failure hits.
+    FaultInjector faults;
+    faults.armSpec("allocfail@relocate:nth=4");
+    m.setFaultInjector(&faults);
+    EXPECT_THROW(relocate(m, 0x1000, 0x9000, 6), AllocFailure);
+    EXPECT_EQ(faults.fired(), 1u);
+
+    // Every payload and forwarding bit is exactly as before the call.
+    EXPECT_EQ(heapImage(m.mem()), before);
+    for (unsigned w = 0; w < 6; ++w) {
+        EXPECT_FALSE(m.mem().fbit(0x1000 + w * 8));
+        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 0x500 + w);
+    }
+
+    // The fault is spent; the same relocation now goes through whole.
+    relocate(m, 0x1000, 0x9000, 6);
+    for (unsigned w = 0; w < 6; ++w)
+        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 0x500 + w);
+}
+
+TEST(Relocate, RollbackRestoresExistingChains)
+{
+    // Words that already forward must roll back to their OLD chain
+    // shape, not to unforwarded.
+    Machine m;
+    m.store(0x1000, 8, 11);
+    m.store(0x1008, 8, 22);
+    relocate(m, 0x1000, 0x5000, 2); // pre-existing 1-hop chains
+    const auto before = heapImage(m.mem());
+
+    FaultInjector faults;
+    faults.armSpec("allocfail@relocate:nth=2");
+    m.setFaultInjector(&faults);
+    EXPECT_THROW(relocate(m, 0x1000, 0x9000, 2), AllocFailure);
+
+    EXPECT_EQ(heapImage(m.mem()), before);
+    EXPECT_EQ(m.load(0x1000, 8).value, 11u);
+    EXPECT_EQ(m.load(0x1000, 8).hops, 1u); // chain length unchanged
+    EXPECT_EQ(m.load(0x1008, 8).value, 22u);
+}
+
+TEST(Relocate, CyclicSourceChainRollsBack)
+{
+    // Word 2's chain is a cycle: the relocation must detect it, throw,
+    // and undo the two words it already forwarded.
+    Machine m;
+    m.store(0x1000, 8, 1);
+    m.store(0x1008, 8, 2);
+    m.mem().unforwardedWrite(0x1010, 0x7000, true);
+    m.mem().unforwardedWrite(0x7000, 0x1010, true);
+    const auto before = heapImage(m.mem());
+
+    EXPECT_THROW(relocate(m, 0x1000, 0x9000, 3), ForwardingCycleError);
+    EXPECT_EQ(heapImage(m.mem()), before);
 }
 
 TEST(RelocateDeathTest, MisalignedEndpoints)

@@ -18,6 +18,10 @@
 
 #include "common/logging.hh"
 #include "common/stats_registry.hh"
+#include "core/cycle_check.hh"
+#include "core/fault_injector.hh"
+#include "runtime/heap_verifier.hh"
+#include "runtime/sim_allocator.hh"
 #include "workloads/driver.hh"
 #include "workloads/workload.hh"
 
@@ -45,7 +49,16 @@ usage(const char *argv0)
         "  --block N         prefetch block size in lines (default 1)\n"
         "  --forwarding M    hardware | exception | perfect\n"
         "  --no-speculation  conservative load/store ordering\n"
-        "  --stats           dump the full statistics registry\n",
+        "  --stats           dump the full statistics registry\n"
+        "  --faults SPEC     arm fault injection; SPEC is a ';'-separated\n"
+        "                    list of kind@site[:k=v,...] with kinds\n"
+        "                    bitflip|truncate|cycle|allocfail, sites\n"
+        "                    resolve|relocate|alloc, params nth=/count=/hop=\n"
+        "                    (e.g. 'cycle@resolve:nth=100;allocfail@alloc')\n"
+        "  --fault-seed N    fault injector RNG seed\n"
+        "  --cycle-policy P  abort | trap | quarantine (default abort)\n"
+        "  --audit           run the heap-integrity audit after the\n"
+        "                    workload and dump its report\n",
         argv0);
 }
 
@@ -59,6 +72,9 @@ main(int argc, char **argv)
     RunConfig cfg;
     cfg.workload = "";
     bool dump_stats = false;
+    bool run_audit = false;
+    std::string fault_spec;
+    std::uint64_t fault_seed = 0x5eedfa17ULL;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -120,6 +136,24 @@ main(int argc, char **argv)
             cfg.machine.cpu.dep_speculation = false;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--faults") {
+            fault_spec = next();
+        } else if (arg == "--fault-seed") {
+            fault_seed = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--cycle-policy") {
+            const std::string policy = next();
+            if (policy == "abort") {
+                cfg.machine.forwarding.cycle_policy = CyclePolicy::abort;
+            } else if (policy == "trap") {
+                cfg.machine.forwarding.cycle_policy = CyclePolicy::trap;
+            } else if (policy == "quarantine") {
+                cfg.machine.forwarding.cycle_policy =
+                    CyclePolicy::quarantine;
+            } else {
+                memfwd_fatal("unknown cycle policy '%s'", policy.c_str());
+            }
+        } else if (arg == "--audit") {
+            run_audit = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -136,8 +170,31 @@ main(int argc, char **argv)
 
     // Run with a live Machine so we can dump its registry afterwards.
     Machine machine(cfg.machine);
+
+    FaultInjector faults(fault_seed);
+    if (!fault_spec.empty()) {
+        try {
+            faults.armSpec(fault_spec);
+        } catch (const std::invalid_argument &e) {
+            memfwd_fatal("bad --faults spec: %s", e.what());
+        }
+        machine.setFaultInjector(&faults);
+    }
+
     auto workload = makeWorkload(cfg.workload, cfg.params);
-    workload->run(machine, cfg.variant);
+    int exit_code = 0;
+    try {
+        workload->run(machine, cfg.variant);
+    } catch (const ForwardingCycleError &e) {
+        std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
+        exit_code = 2;
+    } catch (const ForwardingIntegrityError &e) {
+        std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
+        exit_code = 2;
+    } catch (const AllocFailure &e) {
+        std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
+        exit_code = 2;
+    }
 
     const auto &st = machine.cpu().stalls();
     std::printf("workload       %s%s%s\n", cfg.workload.c_str(),
@@ -178,11 +235,29 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     workload->spaceOverheadBytes()));
 
+    if (!fault_spec.empty()) {
+        std::printf("faults fired   %llu\n",
+                    static_cast<unsigned long long>(faults.fired()));
+    }
+
+    if (run_audit) {
+        HeapVerifier verifier(machine.mem());
+        const AuditReport report = verifier.audit();
+        std::printf("\n");
+        report.dump(std::cout);
+        if (!report.clean())
+            exit_code = exit_code == 0 ? 3 : exit_code;
+    }
+
     if (dump_stats) {
         StatsRegistry reg;
         machine.collectStats(reg, "");
+        if (run_audit) {
+            HeapVerifier verifier(machine.mem());
+            verifier.audit().registerStats(reg);
+        }
         std::printf("\n");
         reg.dump(std::cout);
     }
-    return 0;
+    return exit_code;
 }
