@@ -22,6 +22,7 @@ using namespace memfwd::bench;
 int
 main()
 {
+    memfwd::bench::Report report("ablation_dep_speculation");
     header("Ablation: data dependence speculation on initial addresses",
            "speculative vs. conservative (loads wait for older stores' "
            "final addresses); 32B lines, L variants");
@@ -38,9 +39,9 @@ main()
         cfg.variant.layout_opt = true;
 
         cfg.machine.cpu.dep_speculation = true;
-        const RunResult spec = runWorkload(cfg);
+        const RunResult spec = runCase(name + "/spec", cfg);
         cfg.machine.cpu.dep_speculation = false;
-        const RunResult cons = runWorkload(cfg);
+        const RunResult cons = runCase(name + "/conservative", cfg);
 
         std::printf("%-10s %14s %14s %8.2fx %14s %12s\n", name.c_str(),
                     withCommas(spec.cycles).c_str(),

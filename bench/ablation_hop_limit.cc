@@ -47,7 +47,14 @@ timeChain(unsigned hop_limit, unsigned chain_len, unsigned refs)
     Cycles dep = 0;
     for (unsigned r = 0; r < refs; ++r)
         dep = m.load(origin, 8, dep).ready;
-    return m.cycles() - start;
+    const Cycles elapsed = m.cycles() - start;
+
+    if (auto *rep = Report::current()) {
+        rep->addCase("len" + std::to_string(chain_len) + "/limit" +
+                         std::to_string(hop_limit),
+                     elapsed, m.cpu().instructions(), 0, m.metrics());
+    }
+    return elapsed;
 }
 
 } // namespace
@@ -55,6 +62,7 @@ timeChain(unsigned hop_limit, unsigned chain_len, unsigned refs)
 int
 main()
 {
+    memfwd::bench::Report report("ablation_hop_limit");
     header("Ablation: forwarding hop limit vs. accurate cycle check",
            "cost of 10,000 loads through chains of each length; false "
            "alarms charge the software check");

@@ -26,7 +26,6 @@ namespace
 RunResult
 runOn(const std::string &wl, bool inorder, bool opt)
 {
-    setVerbose(false);
     RunConfig cfg;
     cfg.workload = wl;
     cfg.params.scale = benchScale() * 0.5; // in-order runs are slow
@@ -38,7 +37,9 @@ runOn(const std::string &wl, bool inorder, bool opt)
         cfg.machine.cpu.store_buffer = 1;
     }
     cfg.variant.layout_opt = opt;
-    return runWorkload(cfg);
+    return runCase(wl + "/" + (inorder ? "inorder" : "ooo") + "/" +
+                       (opt ? "L" : "N"),
+                   cfg);
 }
 
 } // namespace
@@ -46,6 +47,7 @@ runOn(const std::string &wl, bool inorder, bool opt)
 int
 main()
 {
+    memfwd::bench::Report report("ablation_inorder");
     header("Ablation: out-of-order (4-wide, 64-entry) vs. in-order "
            "(1-wide, blocking); 64B lines",
            "layout optimizations must win on both machines");

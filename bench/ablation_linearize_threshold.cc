@@ -19,6 +19,7 @@ using namespace memfwd::bench;
 int
 main()
 {
+    memfwd::bench::Report report("ablation_linearize_threshold");
     header("Ablation: linearization threshold (VIS, 64B lines)",
            "paper's arbitrary choice was 50 ops between "
            "linearizations");
@@ -31,7 +32,13 @@ main()
 
     for (unsigned threshold : {5u, 15u, 30u, 50u, 100u, 200u, 400u}) {
         setVisLinearizeThreshold(threshold);
-        const RunResult l = run("vis", 64, true);
+        RunConfig cfg;
+        cfg.workload = "vis";
+        cfg.params.scale = benchScale();
+        cfg.machine = machineAt(64);
+        cfg.variant.layout_opt = true;
+        const RunResult l = runCase(
+            "vis/64B/L/thresh" + std::to_string(threshold), cfg);
         std::printf("%-12u %14s %8.2fx %13.1fMB\n", threshold,
                     withCommas(l.cycles).c_str(),
                     double(n.cycles) / double(l.cycles),

@@ -38,7 +38,6 @@ policyName(ReplacementPolicy p)
 RunResult
 runWith(const std::string &wl, ReplacementPolicy policy, bool opt)
 {
-    setVerbose(false);
     RunConfig cfg;
     cfg.workload = wl;
     cfg.params.scale = benchScale();
@@ -46,7 +45,9 @@ runWith(const std::string &wl, ReplacementPolicy policy, bool opt)
     cfg.machine.hierarchy.l1d.replacement = policy;
     cfg.machine.hierarchy.l2.replacement = policy;
     cfg.variant.layout_opt = opt;
-    return runWorkload(cfg);
+    return runCase(wl + "/" + policyName(policy) + "/" +
+                       (opt ? "L" : "N"),
+                   cfg);
 }
 
 } // namespace
@@ -54,6 +55,7 @@ runWith(const std::string &wl, ReplacementPolicy policy, bool opt)
 int
 main()
 {
+    memfwd::bench::Report report("ablation_replacement");
     header("Ablation: replacement policy (64B lines, both levels)",
            "does the layout-optimization win depend on LRU modelling?");
 

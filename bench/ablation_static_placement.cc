@@ -144,6 +144,7 @@ run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
 int
 main()
 {
+    memfwd::bench::Report report("ablation_static_placement");
     setVerbose(false);
     header("Ablation: static placement vs. run-time relocation "
            "(64B lines)",
@@ -179,6 +180,12 @@ main()
             t += x;
         return t;
     };
+    report.addCase("scattered", total(scattered), 0, scattered.checksum,
+                   obs::MetricsNode{});
+    report.addCase("static_placement", total(fixed), 0, fixed.checksum,
+                   obs::MetricsNode{});
+    report.addCase("relocation", total(reloc), 0, reloc.checksum,
+                   obs::MetricsNode{});
     std::printf("\ntotals: scattered %s, static %s (%.2fx), relocation "
                 "%s (%.2fx)\n",
                 withCommas(total(scattered)).c_str(),

@@ -38,7 +38,8 @@ struct SmvRun
 };
 
 SmvRun
-runSmv(bool fixup, ForwardingProfiler **out_prof = nullptr)
+runSmv(const std::string &label, bool fixup,
+       ForwardingProfiler **out_prof = nullptr)
 {
     setVerbose(false);
     MachineConfig mc = machineAt(32);
@@ -60,6 +61,14 @@ runSmv(bool fixup, ForwardingProfiler **out_prof = nullptr)
     v.layout_opt = true;
     w->run(machine, v);
 
+    if (!label.empty()) {
+        if (auto *rep = Report::current()) {
+            rep->addCase(label, machine.cycles(),
+                         machine.cpu().instructions(), w->checksum(),
+                         machine.metrics());
+        }
+    }
+
     return {machine.cycles(), machine.loadsForwarded(),
             machine.forwarding().traps().delivered(),
             machine.forwarding().traps().pointersFixed(),
@@ -71,12 +80,13 @@ runSmv(bool fixup, ForwardingProfiler **out_prof = nullptr)
 int
 main()
 {
+    memfwd::bench::Report report("ablation_trap_fixup");
     header("Ablation: on-the-fly pointer fixup via user-level traps "
            "(SMV, 32B lines)",
            "the trap handler rewrites each stray pointer it catches");
 
-    const SmvRun plain = runSmv(false);
-    const SmvRun fixed = runSmv(true);
+    const SmvRun plain = runSmv("L", false);
+    const SmvRun fixed = runSmv("L+fixup", true);
 
     if (plain.checksum != fixed.checksum) {
         std::printf("CHECKSUM MISMATCH\n");
@@ -103,7 +113,7 @@ main()
 
     // Profiling-tool view (the paper's first trap use case).
     ForwardingProfiler *prof = nullptr;
-    runSmv(false, &prof);
+    runSmv("", false, &prof);
     std::printf("\nprofiling tool: forwarded references per static "
                 "site\n");
     for (const auto &[site, count] : prof->hottest()) {

@@ -1,12 +1,41 @@
 #include "bench_util.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/logging.hh"
 
 namespace memfwd::bench
 {
+
+namespace
+{
+
+Report *current_report = nullptr;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+std::string
+variantLabel(const WorkloadVariant &v)
+{
+    std::string s = v.layout_opt ? "L" : "N";
+    if (v.prefetch)
+        s += "+pf" + std::to_string(v.prefetch_block);
+    return s;
+}
+
+} // namespace
 
 double
 benchScale()
@@ -17,19 +46,150 @@ benchScale()
     return 1.0;
 }
 
+unsigned
+benchReps()
+{
+    return envUnsigned("MEMFWD_BENCH_REPS", 1);
+}
+
+unsigned
+benchWarmup()
+{
+    return envUnsigned("MEMFWD_BENCH_WARMUP", 0);
+}
+
 MachineConfig
 machineAt(unsigned line_bytes)
 {
-    MachineConfig mc;
-    mc.hierarchy.setLineBytes(line_bytes);
-    return mc;
+    return MachineConfig{}.lineBytes(line_bytes);
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+Report::Report(const std::string &name)
+    : name_(name)
+{
+    memfwd_assert(!current_report,
+                  "only one bench::Report may be alive at a time");
+    current_report = this;
+}
+
+Report::~Report()
+{
+    write();
+    current_report = nullptr;
+}
+
+Report *
+Report::current()
+{
+    return current_report;
+}
+
+void
+Report::add(const std::string &label, const RunResult &r, double wall_ms,
+            unsigned reps)
+{
+    obs::Json c = obs::Json::object();
+    c["label"] = obs::Json::string(label);
+    c["workload"] = obs::Json::string(r.workload);
+    c["variant"] = obs::Json::string(variantLabel(r.variant));
+    c["cycles"] = obs::Json::number(r.cycles);
+    c["instructions"] = obs::Json::number(r.instructions);
+    c["checksum"] = obs::Json::number(r.checksum);
+    c["wall_ms"] = obs::Json::real(wall_ms);
+    c["reps"] = obs::Json::number(reps);
+    c["metrics"] = r.metrics.toJson();
+    cases_.push_back(std::move(c));
+}
+
+void
+Report::addCase(const std::string &label, std::uint64_t cycles,
+                std::uint64_t instructions, std::uint64_t checksum,
+                const obs::MetricsNode &metrics, double wall_ms,
+                unsigned reps)
+{
+    obs::Json c = obs::Json::object();
+    c["label"] = obs::Json::string(label);
+    c["workload"] = obs::Json::string(std::string());
+    c["variant"] = obs::Json::string(std::string());
+    c["cycles"] = obs::Json::number(cycles);
+    c["instructions"] = obs::Json::number(instructions);
+    c["checksum"] = obs::Json::number(checksum);
+    c["wall_ms"] = obs::Json::real(wall_ms);
+    c["reps"] = obs::Json::number(reps);
+    c["metrics"] = metrics.toJson();
+    cases_.push_back(std::move(c));
+}
+
+obs::Json
+Report::toJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = obs::Json::string("memfwd.bench");
+    doc["version"] = obs::Json::number(1);
+    doc["bench"] = obs::Json::string(name_);
+    doc["scale"] = obs::Json::real(benchScale());
+    doc["reps"] = obs::Json::number(benchReps());
+    doc["warmup"] = obs::Json::number(benchWarmup());
+    obs::Json arr = obs::Json::array();
+    for (const auto &c : cases_)
+        arr.push(c);
+    doc["cases"] = std::move(arr);
+    return doc;
+}
+
+void
+Report::write()
+{
+    if (written_)
+        return;
+    std::string dir = ".";
+    if (const char *env = std::getenv("MEMFWD_BENCH_OUT"))
+        dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    toJson().write(os, 2);
+    os << "\n";
+    written_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Harnessed runs
+// ---------------------------------------------------------------------
+
+RunResult
+runCase(const std::string &label, const RunConfig &cfg)
+{
+    setVerbose(false);
+    for (unsigned i = 0; i < benchWarmup(); ++i)
+        runWorkload(cfg);
+
+    const unsigned reps = benchReps();
+    RunResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < reps; ++i)
+        r = runWorkload(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        double(reps);
+
+    if (Report *rep = Report::current())
+        rep->add(label, r, wall_ms, reps);
+    return r;
 }
 
 RunResult
 run(const std::string &workload, unsigned line_bytes, bool layout_opt,
     bool prefetch, unsigned prefetch_block)
 {
-    setVerbose(false);
     RunConfig cfg;
     cfg.workload = workload;
     cfg.params.scale = benchScale();
@@ -37,7 +197,10 @@ run(const std::string &workload, unsigned line_bytes, bool layout_opt,
     cfg.variant.layout_opt = layout_opt;
     cfg.variant.prefetch = prefetch;
     cfg.variant.prefetch_block = prefetch_block;
-    return runWorkload(cfg);
+
+    std::string label = workload + "/" + std::to_string(line_bytes) + "B/" +
+                        variantLabel(cfg.variant);
+    return runCase(label, cfg);
 }
 
 const std::vector<unsigned> &

@@ -1,7 +1,22 @@
 /**
  * @file
- * Shared helpers for the figure/table reproduction benches: common
- * machine configuration, run caching, and paper-style bar printing.
+ * Shared harness for the figure/table reproduction benches.
+ *
+ * Beyond the original helpers (common machine configuration and
+ * paper-style bar printing), every bench now runs through a small
+ * measurement harness:
+ *
+ *  - each case gets `benchWarmup()` untimed warmup runs and
+ *    `benchReps()` timed repetitions (MEMFWD_BENCH_WARMUP /
+ *    MEMFWD_BENCH_REPS; the simulator is deterministic, so the
+ *    defaults are 0 and 1);
+ *  - each case's full hierarchical metrics tree is captured;
+ *  - a `Report` declared in main() writes a schema-tagged
+ *    `BENCH_<name>.json` (docs/METRICS.md) into MEMFWD_BENCH_OUT (or
+ *    the working directory) when it goes out of scope.  The simulated
+ *    cycle counts in the report are deterministic, which is what makes
+ *    the committed bench/baseline/ comparable across machines —
+ *    scripts/bench_diff.py is the regression gate.
  */
 
 #ifndef MEMFWD_BENCH_BENCH_UTIL_HH
@@ -11,18 +26,83 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "workloads/driver.hh"
 
 namespace memfwd::bench
 {
 
-/** Benchmark scale: 1.0 = the sizes in DESIGN.md. */
+/** Benchmark scale: 1.0 = the sizes in DESIGN.md (MEMFWD_BENCH_SCALE). */
 double benchScale();
+
+/** Timed repetitions per case (MEMFWD_BENCH_REPS, default 1). */
+unsigned benchReps();
+
+/** Untimed warmup runs per case (MEMFWD_BENCH_WARMUP, default 0). */
+unsigned benchWarmup();
 
 /** Default machine config at the given line size. */
 MachineConfig machineAt(unsigned line_bytes);
 
-/** Run one workload case and return all metrics. */
+/**
+ * The per-binary JSON result file.  Declare one at the top of main():
+ *
+ *   bench::Report report("fig5_exec_breakdown");
+ *
+ * While it is alive, runCase()/run() record every case into it; its
+ * destructor (or an explicit write()) emits BENCH_<name>.json.
+ */
+class Report
+{
+  public:
+    explicit Report(const std::string &name);
+    ~Report();
+
+    Report(const Report &) = delete;
+    Report &operator=(const Report &) = delete;
+
+    /** Record one case measured as a full workload run. */
+    void add(const std::string &label, const RunResult &r,
+             double wall_ms = 0.0, unsigned reps = 1);
+
+    /** Record a case for benches built on custom machinery. */
+    void addCase(const std::string &label, std::uint64_t cycles,
+                 std::uint64_t instructions, std::uint64_t checksum,
+                 const obs::MetricsNode &metrics, double wall_ms = 0.0,
+                 unsigned reps = 1);
+
+    /** Cases recorded so far. */
+    std::size_t cases() const { return cases_.size(); }
+
+    /** The whole report as a schema-tagged JSON document. */
+    obs::Json toJson() const;
+
+    /**
+     * Write BENCH_<name>.json into $MEMFWD_BENCH_OUT (or the working
+     * directory).  Idempotent; the destructor calls it.
+     */
+    void write();
+
+    const std::string &name() const { return name_; }
+
+    /** The report declared in main(), or nullptr outside its lifetime. */
+    static Report *current();
+
+  private:
+    std::string name_;
+    std::vector<obs::Json> cases_;
+    bool written_ = false;
+};
+
+/**
+ * Run one configuration through the harness: warmup, timed reps, record
+ * into the current Report (if any) under @p label.  Returns the last
+ * repetition's result.
+ */
+RunResult runCase(const std::string &label, const RunConfig &cfg);
+
+/** Harnessed run of one standard workload case (legacy signature). */
 RunResult run(const std::string &workload, unsigned line_bytes,
               bool layout_opt, bool prefetch = false,
               unsigned prefetch_block = 1);

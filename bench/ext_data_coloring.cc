@@ -60,6 +60,7 @@ chase(Machine &m, Addr start, unsigned hops)
 int
 main()
 {
+    memfwd::bench::Report report("ext_data_coloring");
     setVerbose(false);
     header("Extension: conflict-miss removal via coloring and copying "
            "(16KB direct-mapped L1, 64B lines)",
@@ -98,6 +99,10 @@ main()
         for (unsigned i = 0; i < 8; ++i)
             m.store(cr.new_addrs[i], 8, cr.new_addrs[(i + 1) % 8]);
         const Cycles updated = chase(m, cr.new_addrs[0], hops);
+
+        report.addCase("coloring/original", before, 0, 0, obs::MetricsNode{});
+        report.addCase("coloring/stale", stale, 0, 0, obs::MetricsNode{});
+        report.addCase("coloring/updated", updated, 0, 0, m.metrics());
 
         std::printf("\npart 1: chasing a ring of 8 conflict-mapped "
                     "nodes, %u hops\n", hops);
@@ -151,6 +156,9 @@ main()
         const Addr buffer =
             copyTile(m, matrix, rows, row_bytes, cache, pool);
         const Cycles after = reuse(buffer, row_bytes, passes);
+
+        report.addCase("copying/strided", before, 0, 0, obs::MetricsNode{});
+        report.addCase("copying/dense", after, 0, 0, m.metrics());
 
         // Functional check through the original (now forwarded) rows.
         bool ok = true;

@@ -43,6 +43,20 @@ struct Outcome
     std::uint64_t forwarded;
 };
 
+const char *
+layoutLabel(Layout layout)
+{
+    switch (layout) {
+      case Layout::packed:
+        return "packed";
+      case Layout::split_stale:
+        return "split_stale";
+      case Layout::split_updated:
+        return "split_updated";
+    }
+    return "?";
+}
+
 Outcome
 runCounters(Layout layout, unsigned iterations)
 {
@@ -80,6 +94,10 @@ runCounters(Layout layout, unsigned iterations)
     for (unsigned p = 0; p < cfg.processors; ++p)
         sum += sys.load(0, recs[p], 8);
 
+    if (auto *rep = Report::current())
+        rep->addCase(layoutLabel(layout), sys.elapsed(), 0, sum,
+                     sys.metrics());
+
     return {sys.elapsed(), sys.bus().stats().invalidations,
             sys.bus().stats().upgrades, sum, sys.forwardedRefs()};
 }
@@ -89,6 +107,7 @@ runCounters(Layout layout, unsigned iterations)
 int
 main()
 {
+    memfwd::bench::Report report("ext_false_sharing");
     setVerbose(false);
     header("Extension: false-sharing repair via safe relocation "
            "(4 processors, 64B lines)",

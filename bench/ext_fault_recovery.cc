@@ -166,6 +166,7 @@ auditClean(const Machine &machine, std::string &note)
 int
 main()
 {
+    memfwd::bench::Report report("ext_fault_recovery");
     setVerbose(false);
     const unsigned n_nodes =
         std::max(64u, static_cast<unsigned>(2000 * benchScale()));
@@ -336,6 +337,13 @@ main()
     for (const auto &r : results) {
         all_recovered = all_recovered && r.recovered;
         total_fired += r.faults_fired;
+    }
+
+    report.addCase("clean", clean_cycles, 0, clean_checksum,
+                   obs::MetricsNode{});
+    for (const auto &r : results) {
+        report.addCase(r.name, r.cycles, 0, r.recovered ? 1 : 0,
+                       obs::MetricsNode{});
     }
 
     std::printf("\ntakeaway: %llu injected faults, %s.  Detection rides "

@@ -9,7 +9,7 @@
  * with a small resident set faults on nearly every node.  After
  * linearization the same traversal touches the minimum number of
  * pages.  The PageCache model watches the Machine's reference stream
- * through the trace hook.
+ * through a TraceSink registered with the machine's Tracer.
  */
 
 #include <cstdio>
@@ -31,6 +31,23 @@ constexpr unsigned node_bytes = 32;
 constexpr unsigned off_next = 0;
 constexpr unsigned off_payload = 8;
 
+/** Feeds each demand reference's final address to the page model. */
+class PagingSink : public obs::TraceSink
+{
+  public:
+    explicit PagingSink(PageCache &paging) : paging_(paging) {}
+
+    void
+    emit(const obs::TraceEvent &e) override
+    {
+        if (e.kind == obs::EventKind::reference)
+            paging_.access(e.addr2);
+    }
+
+  private:
+    PageCache &paging_;
+};
+
 std::uint64_t
 traverse(Machine &m, Addr head)
 {
@@ -48,6 +65,7 @@ traverse(Machine &m, Addr head)
 int
 main()
 {
+    memfwd::bench::Report report("ext_out_of_core");
     setVerbose(false);
     header("Extension: out-of-core page locality "
            "(4KB pages, 64-page resident set)",
@@ -75,29 +93,33 @@ main()
     }
 
     PageCache paging(4096, 64);
-    m.setTraceHook([&paging](Addr a, unsigned, AccessType) {
-        paging.access(a);
-    });
+    PagingSink sink(paging);
+    m.tracer().addSink(&sink);
 
     const std::uint64_t sum_before = traverse(m, head);
     const std::uint64_t faults_before = paging.faults();
     const std::uint64_t pages_before = paging.pagesTouched();
 
-    m.setTraceHook(nullptr); // the optimizer's own work is not metered
+    // The optimizer's own work is not metered.
+    m.tracer().removeSink(&sink);
     listLinearize(m, head, {node_bytes, off_next, 0}, pool);
 
     paging.clearStats();
-    m.setTraceHook([&paging](Addr a, unsigned, AccessType) {
-        paging.access(a);
-    });
+    m.tracer().addSink(&sink);
     const std::uint64_t sum_after = traverse(m, head);
     const std::uint64_t faults_after = paging.faults();
     const std::uint64_t pages_after = paging.pagesTouched();
+    m.tracer().removeSink(&sink);
 
     if (sum_before != sum_after) {
         std::printf("CHECKSUM MISMATCH\n");
         return 1;
     }
+
+    report.addCase("scattered/page_faults", faults_before, 0, sum_before,
+                   obs::MetricsNode{});
+    report.addCase("linearized/page_faults", faults_after, 0, sum_after,
+                   m.metrics());
 
     std::printf("\n%u-node list, %s bytes of payload data\n", n,
                 withCommas(std::uint64_t(n) * node_bytes).c_str());

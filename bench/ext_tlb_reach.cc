@@ -44,6 +44,12 @@ runWithTlb(const std::string &workload, bool layout_opt)
     Machine machine(cfg.machine);
     auto w = makeWorkload(cfg.workload, cfg.params);
     w->run(machine, cfg.variant);
+
+    if (auto *rep = Report::current()) {
+        rep->addCase(workload + "/tlb/" + (layout_opt ? "L" : "N"),
+                     machine.cycles(), machine.cpu().instructions(),
+                     w->checksum(), machine.metrics());
+    }
     return {machine.cycles(), machine.tlb().misses(), w->checksum()};
 }
 
@@ -52,6 +58,7 @@ runWithTlb(const std::string &workload, bool layout_opt)
 int
 main()
 {
+    memfwd::bench::Report report("ext_tlb_reach");
     header("Extension: TLB reach (64-entry TLB, 4KB pages, 30-cycle "
            "walks; 64B lines)",
            "linearization compresses the page footprint, not just the "

@@ -15,10 +15,13 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "bench_util.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 using namespace memfwd;
 using namespace memfwd::bench;
@@ -27,7 +30,8 @@ namespace
 {
 
 RunResult
-runSmv(ForwardingConfig::Mode mode, bool layout_opt)
+runSmv(const std::string &label, ForwardingConfig::Mode mode,
+       bool layout_opt, obs::TraceSink *sink = nullptr)
 {
     RunConfig cfg;
     cfg.workload = "smv";
@@ -35,8 +39,8 @@ runSmv(ForwardingConfig::Mode mode, bool layout_opt)
     cfg.machine = machineAt(32);
     cfg.machine.forwarding.mode = mode;
     cfg.variant.layout_opt = layout_opt;
-    setVerbose(false);
-    return runWorkload(cfg);
+    cfg.trace_sink = sink;
+    return runCase(label, cfg);
 }
 
 } // namespace
@@ -44,13 +48,35 @@ runSmv(ForwardingConfig::Mode mode, bool layout_opt)
 int
 main()
 {
+    memfwd::bench::Report report("fig10_smv_forwarding");
     header("Figure 10: impact of forwarding overhead (SMV, 32B lines)",
            "N = unoptimized, L = linearized hash chains (real "
            "forwarding), Perf = perfect-forwarding bound");
 
-    const RunResult n = runSmv(ForwardingConfig::Mode::hardware, false);
-    const RunResult l = runSmv(ForwardingConfig::Mode::hardware, true);
-    const RunResult perf = runSmv(ForwardingConfig::Mode::perfect, true);
+    // MEMFWD_TRACE_OUT: write a chrome-trace (about:tracing) of the L
+    // run's forwarding activity to the named file.
+    obs::RingBufferSink ring;
+    obs::TraceSink *sink = nullptr;
+    const char *trace_out = std::getenv("MEMFWD_TRACE_OUT");
+    if (trace_out)
+        sink = &ring;
+
+    const RunResult n =
+        runSmv("N", ForwardingConfig::Mode::hardware, false);
+    const RunResult l =
+        runSmv("L", ForwardingConfig::Mode::hardware, true, sink);
+    const RunResult perf =
+        runSmv("Perf", ForwardingConfig::Mode::perfect, true);
+
+    if (trace_out) {
+        std::ofstream os(trace_out);
+        obs::exportChromeTrace(ring.events(), os);
+        std::printf("wrote chrome trace (%zu events, %llu dropped) to "
+                    "%s\n",
+                    ring.size(),
+                    static_cast<unsigned long long>(ring.dropped()),
+                    trace_out);
+    }
 
     if (n.checksum != l.checksum || l.checksum != perf.checksum) {
         std::printf("CHECKSUM MISMATCH\n");

@@ -22,6 +22,7 @@ using namespace memfwd::bench;
 int
 main()
 {
+    memfwd::bench::Report report("fig5_exec_breakdown");
     header("Figure 5: execution time of locality optimizations",
            "bars normalized to N @ 32B = 100; lower is better");
 

@@ -19,6 +19,7 @@ using namespace memfwd::bench;
 int
 main()
 {
+    memfwd::bench::Report report("fig7_prefetching");
     header("Figure 7: impact on prefetching effectiveness (32B lines)",
            "bars normalized to N = 100; prefetch block size swept, "
            "best reported");
@@ -36,6 +37,8 @@ main()
         const RunResult np = runBestPrefetch(cfg, prefetchBlocks());
         cfg.variant.layout_opt = true;
         const RunResult lp = runBestPrefetch(cfg, prefetchBlocks());
+        report.add(name + "/32B/NP_best", np);
+        report.add(name + "/32B/LP_best", lp);
 
         const double norm = double(n.cycles);
         std::printf("\n%s\n", name.c_str());

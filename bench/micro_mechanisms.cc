@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
 #include "core/forwarding_engine.hh"
@@ -109,4 +111,42 @@ BM_Relocate64Words(benchmark::State &state)
 // simulated memory for the relocation target.
 BENCHMARK(BM_Relocate64Words)->Iterations(5000);
 
+/**
+ * Console output as usual, plus each run recorded into the bench
+ * Report.  Host wall time only — `cycles` stays 0, which marks these
+ * cases non-deterministic so scripts/bench_diff.py skips them.
+ */
+class ReportingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            if (auto *rep = memfwd::bench::Report::current()) {
+                rep->addCase(run.benchmark_name(), 0, 0, 0,
+                             memfwd::obs::MetricsNode{},
+                             run.GetAdjustedRealTime() / 1e6,
+                             static_cast<unsigned>(run.iterations));
+            }
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    memfwd::bench::Report report("micro_mechanisms");
+    ReportingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

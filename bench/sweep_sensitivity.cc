@@ -21,18 +21,17 @@ namespace
 {
 
 double
-speedup(const std::string &wl, MachineConfig mc)
+speedup(const std::string &wl, MachineConfig mc, const std::string &tag)
 {
-    setVerbose(false);
     RunConfig cfg;
     cfg.workload = wl;
     cfg.params.scale = benchScale() * 0.5;
     cfg.machine = mc;
 
     cfg.variant.layout_opt = false;
-    const RunResult n = runWorkload(cfg);
+    const RunResult n = runCase(wl + "/" + tag + "/N", cfg);
     cfg.variant.layout_opt = true;
-    const RunResult l = runWorkload(cfg);
+    const RunResult l = runCase(wl + "/" + tag + "/L", cfg);
     if (n.checksum != l.checksum)
         memfwd_fatal("checksum mismatch in sweep (%s)", wl.c_str());
     return double(n.cycles) / double(l.cycles);
@@ -43,6 +42,7 @@ speedup(const std::string &wl, MachineConfig mc)
 int
 main()
 {
+    memfwd::bench::Report report("sweep_sensitivity");
     header("Sensitivity: N/L speedup vs. machine parameters "
            "(64B lines)",
            "the qualitative result must survive parameter changes");
@@ -54,9 +54,9 @@ main()
     for (const std::string wl : {"health", "vis"}) {
         std::printf("%-10s", wl.c_str());
         for (unsigned kb : {8u, 16u, 32u, 64u, 128u}) {
-            MachineConfig mc = machineAt(64);
-            mc.hierarchy.l1d.size_bytes = kb * 1024;
-            std::printf("  %5.2fx", speedup(wl, mc));
+            MachineConfig mc = machineAt(64).l1Bytes(kb * 1024);
+            std::printf("  %5.2fx",
+                        speedup(wl, mc, "l1_" + std::to_string(kb) + "KB"));
         }
         std::printf("\n");
     }
@@ -68,9 +68,10 @@ main()
     for (const std::string wl : {"health", "vis"}) {
         std::printf("%-10s", wl.c_str());
         for (unsigned lat : {30u, 70u, 140u, 280u}) {
-            MachineConfig mc = machineAt(64);
-            mc.hierarchy.memory.latency = lat;
-            std::printf("  %5.2fx", speedup(wl, mc));
+            MachineConfig mc = machineAt(64).memLatency(lat);
+            std::printf("  %5.2fx",
+                        speedup(wl, mc,
+                                "lat_" + std::to_string(lat) + "cy"));
         }
         std::printf("\n");
     }
@@ -84,7 +85,8 @@ main()
         for (unsigned win : {16u, 32u, 64u, 128u}) {
             MachineConfig mc = machineAt(64);
             mc.cpu.window = win;
-            std::printf("  %5.2fx", speedup(wl, mc));
+            std::printf("  %5.2fx",
+                        speedup(wl, mc, "win_" + std::to_string(win)));
         }
         std::printf("\n");
     }

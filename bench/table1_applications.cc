@@ -16,6 +16,7 @@ using namespace memfwd::bench;
 int
 main()
 {
+    memfwd::bench::Report report("table1_applications");
     header("Table 1: Applications and optimizations",
            "Space overhead = virtual memory consumed by relocation "
            "targets in the L run");

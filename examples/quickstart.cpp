@@ -4,14 +4,17 @@
  *
  * Builds a Machine, relocates a small object, and shows that (a) a
  * stale pointer still reads the right data via forwarding, (b) an
- * updated pointer pays nothing, and (c) the forwarding statistics
- * record exactly what happened.  Then runs one small workload in its
- * unoptimized and layout-optimized forms and prints the speedup.
+ * updated pointer pays nothing, and (c) the observability layer —
+ * trace events and hierarchical metrics — records exactly what
+ * happened.  Then runs one small workload in its unoptimized and
+ * layout-optimized forms and prints the speedup.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
@@ -25,8 +28,15 @@ main()
     setVerbose(false);
 
     // ----- the mechanism ------------------------------------------------
-    Machine machine;
+    // MachineConfig setters chain, so a configuration reads as one
+    // expression.
+    Machine machine(MachineConfig{}.lineBytes(32).hopLimit(16));
     SimAllocator alloc(machine);
+
+    // Watch what the memory system does: any number of TraceSinks can
+    // listen; with none registered tracing costs nothing.
+    obs::RingBufferSink trace;
+    machine.tracer().addSink(&trace);
 
     // An "object" of four words, plus a stale pointer to its third word.
     const Addr obj = alloc.alloc(32);
@@ -46,15 +56,24 @@ main()
     std::printf("updated pointer read: value=%llu hops=%u\n",
                 static_cast<unsigned long long>(via_new.value),
                 via_new.hops);
-    std::printf("forwarding walks so far: %llu\n\n",
+
+    // The metrics tree has the same story in counter form, and the
+    // trace ring holds the individual events (exportable as JSONL or
+    // a chrome://tracing file — see docs/METRICS.md).
+    const obs::MetricsNode metrics = machine.metrics();
+    std::printf("fwd.walks=%llu  fwd.hops=%llu  trace events=%llu\n\n",
                 static_cast<unsigned long long>(
-                    machine.forwarding().stats().walks));
+                    metrics.findChild("fwd")->counterValue("walks")),
+                static_cast<unsigned long long>(
+                    metrics.findChild("fwd")->counterValue("hops")),
+                static_cast<unsigned long long>(trace.total()));
+    machine.tracer().removeSink(&trace);
 
     // ----- a layout optimization end to end ------------------------------
     RunConfig cfg;
     cfg.workload = "vis";
     cfg.params.scale = 0.1;
-    cfg.machine.hierarchy.setLineBytes(64);
+    cfg.machine = MachineConfig{}.lineBytes(64);
 
     cfg.variant.layout_opt = false;
     const RunResult n = runWorkload(cfg);

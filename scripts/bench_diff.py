@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json results and gate on regressions.
+
+Usage:
+    bench_diff.py [--threshold PCT] [--verbose] OLD NEW
+
+OLD and NEW are directories containing BENCH_<name>.json files (as
+written by the bench binaries; see docs/METRICS.md for the schema), or
+two individual result files.  Cases are matched by (bench, label) and
+their deterministic simulated cycle counts compared:
+
+  - new > old * (1 + PCT/100)  ->  regression (exit 1)
+  - cycles == 0 on either side ->  skipped (wall-time-only case, e.g.
+                                   the micro_mechanisms host benches)
+  - present on one side only   ->  reported, not fatal
+
+Exit codes: 0 no regression, 1 regression(s) past threshold,
+2 structural error (unreadable input, bad schema, nothing to compare).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "memfwd.bench"
+VERSION = 1
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+
+def fail(msg):
+    print(f"bench_diff: error: {msg}", file=sys.stderr)
+    sys.exit(EXIT_ERROR)
+
+
+def load_report(path):
+    """Load and schema-check one BENCH_*.json file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        fail(f"{path}: not a {SCHEMA} document")
+    if doc.get("version") != VERSION:
+        fail(f"{path}: schema version {doc.get('version')!r}, "
+             f"expected {VERSION}")
+    for key in ("bench", "cases"):
+        if key not in doc:
+            fail(f"{path}: missing required key '{key}'")
+    for case in doc["cases"]:
+        if "label" not in case or "cycles" not in case:
+            fail(f"{path}: case missing 'label'/'cycles': {case}")
+    return doc
+
+
+def load_side(path):
+    """Return {(bench, label): case} for a directory or single file."""
+    if os.path.isdir(path):
+        files = sorted(
+            os.path.join(path, f) for f in os.listdir(path)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+        if not files:
+            fail(f"{path}: no BENCH_*.json files")
+    elif os.path.isfile(path):
+        files = [path]
+    else:
+        fail(f"{path}: no such file or directory")
+
+    cases = {}
+    for f in files:
+        doc = load_report(f)
+        for case in doc["cases"]:
+            key = (doc["bench"], case["label"])
+            if key in cases:
+                fail(f"{f}: duplicate case {key}")
+            cases[key] = case
+    return cases
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared case, not just changes")
+    ap.add_argument("old", help="baseline results (directory or file)")
+    ap.add_argument("new", help="candidate results (directory or file)")
+    args = ap.parse_args()
+
+    old = load_side(args.old)
+    new = load_side(args.new)
+
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    if not common:
+        fail("no common (bench, label) cases between the two sides")
+
+    regressions = []
+    improvements = []
+    skipped = 0
+    checksum_changes = []
+
+    for key in common:
+        o, n = old[key], new[key]
+        oc, nc = int(o["cycles"]), int(n["cycles"])
+        if oc == 0 or nc == 0:
+            skipped += 1
+            continue
+        if ("checksum" in o and "checksum" in n
+                and o["checksum"] != n["checksum"]
+                and (o["checksum"] or n["checksum"])):
+            checksum_changes.append(key)
+        delta = 100.0 * (nc - oc) / oc
+        tag = f"{key[0]}:{key[1]}"
+        if delta > args.threshold:
+            regressions.append((tag, oc, nc, delta))
+        elif delta < -args.threshold:
+            improvements.append((tag, oc, nc, delta))
+        elif args.verbose:
+            print(f"  ok        {tag}: {oc} -> {nc} ({delta:+.2f}%)")
+
+    for tag, oc, nc, delta in improvements:
+        print(f"  improved  {tag}: {oc} -> {nc} ({delta:+.2f}%)")
+    for tag, oc, nc, delta in regressions:
+        print(f"  REGRESSED {tag}: {oc} -> {nc} ({delta:+.2f}%)")
+    for key in checksum_changes:
+        print(f"  note: checksum changed for {key[0]}:{key[1]} "
+              "(output differs, not just performance)")
+    for key in only_old:
+        print(f"  note: case gone in new results: {key[0]}:{key[1]}")
+    for key in only_new:
+        print(f"  note: new case (no baseline): {key[0]}:{key[1]}")
+
+    print(f"bench_diff: {len(common)} matched cases, "
+          f"{skipped} wall-time-only skipped, "
+          f"{len(improvements)} improved, {len(regressions)} regressed "
+          f"(threshold {args.threshold:.1f}%)")
+
+    return EXIT_REGRESSION if regressions else EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

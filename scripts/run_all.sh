@@ -13,6 +13,12 @@ else
     GEN=""
 fi
 
+# Each bench binary writes BENCH_<name>.json here (bench_util.cc);
+# scripts/bench_diff.py compares two such directories.
+MEMFWD_BENCH_OUT=${MEMFWD_BENCH_OUT:-bench-results}
+export MEMFWD_BENCH_OUT
+mkdir -p "$MEMFWD_BENCH_OUT"
+
 cmake -B "$BUILD" $GEN
 cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 2)"
 ctest --test-dir "$BUILD" --output-on-failure

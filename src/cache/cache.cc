@@ -262,4 +262,27 @@ Cache::writeback(Addr line_addr, Cycles now)
     victim.filled = victim.lru;
 }
 
+void
+Cache::fillMetrics(obs::MetricsNode &into) const
+{
+    into.counter("load_hits", stats_.load_hits);
+    into.counter("load_partial_misses", stats_.load_partial_misses);
+    into.counter("load_full_misses", stats_.load_full_misses);
+    into.counter("store_hits", stats_.store_hits);
+    into.counter("store_partial_misses", stats_.store_partial_misses);
+    into.counter("store_full_misses", stats_.store_full_misses);
+    into.counter("prefetch_hits", stats_.prefetch_hits);
+    into.counter("prefetch_misses", stats_.prefetch_misses);
+    into.counter("writebacks", stats_.writebacks);
+    into.counter("bytes_in", stats_.bytes_in);
+    into.counter("bytes_out", stats_.bytes_out);
+    into.counter("useful_prefetches", stats_.useful_prefetches);
+    const std::uint64_t demand = stats_.demandAccesses();
+    if (demand) {
+        into.gauge("miss_rate",
+                   double(stats_.loadMisses() + stats_.storeMisses()) /
+                       double(demand));
+    }
+}
+
 } // namespace memfwd

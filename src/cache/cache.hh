@@ -21,6 +21,7 @@
 #include "cache/cache_config.hh"
 #include "cache/mshr.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -119,6 +120,18 @@ class Cache : public MemLevel
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
     const MshrFile &mshrs() const { return mshrs_; }
+
+    /** Add this cache's counters/gauges to @p into (obs layer). */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+    /** This cache's metrics as a standalone tree. */
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     /** Zero the statistics (contents and LRU state are preserved). */
     void clearStats() { stats_ = CacheStats(); }

@@ -25,6 +25,16 @@ MemoryHierarchy::access(Addr addr, AccessType type, Cycles now)
 }
 
 void
+MemoryHierarchy::fillMetrics(obs::MetricsNode &into) const
+{
+    l1d_->fillMetrics(into.child("l1d"));
+    l2_->fillMetrics(into.child("l2"));
+    auto &traffic = into.child("traffic");
+    traffic.counter("l1_l2_bytes", l1L2Bytes());
+    traffic.counter("l2_mem_bytes", l2MemBytes());
+}
+
+void
 MemoryHierarchy::clearStats()
 {
     l1d_->clearStats();

@@ -81,6 +81,21 @@ class MemoryHierarchy
 
     const HierarchyConfig &config() const { return cfg_; }
 
+    /**
+     * Add the hierarchy's metrics to @p into: children "l1d" and "l2"
+     * (per-cache counters) and "traffic" (per-link bytes).  Filling the
+     * machine root keeps the legacy flat names intact.
+     */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
+
     /** Zero all statistics; cache contents are preserved. */
     void clearStats();
 

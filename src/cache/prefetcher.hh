@@ -16,6 +16,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -56,6 +57,21 @@ class Prefetcher
 
     /** Individual line prefetches issued. */
     std::uint64_t issued() const { return issued_; }
+
+    void
+    fillMetrics(obs::MetricsNode &into) const
+    {
+        into.counter("instructions", instructions_);
+        into.counter("issued", issued_);
+    }
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     void
     clearStats()

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -74,6 +75,26 @@ class CoherentCache
 
     const CoherentCacheStats &stats() const { return stats_; }
     void clearStats() { stats_ = CoherentCacheStats(); }
+
+    void
+    fillMetrics(obs::MetricsNode &into) const
+    {
+        into.counter("load_hits", stats_.load_hits);
+        into.counter("load_misses", stats_.load_misses);
+        into.counter("store_hits", stats_.store_hits);
+        into.counter("store_misses", stats_.store_misses);
+        into.counter("store_upgrades", stats_.store_upgrades);
+        into.counter("invalidations_taken", stats_.invalidations_taken);
+        into.counter("coherence_events", stats_.coherenceEvents());
+    }
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     unsigned lineBytes() const { return line_bytes_; }
     Addr lineAlign(Addr a) const { return a & ~Addr(line_bytes_ - 1); }

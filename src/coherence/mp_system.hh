@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coherence/coherent_cache.hh"
@@ -77,6 +78,28 @@ class MpSystem
 
     /** References that required at least one forwarding hop. */
     std::uint64_t forwardedRefs() const { return forwarded_refs_; }
+
+    /**
+     * Whole-system metrics: "bus" child plus one "cpu<N>" child per
+     * processor's private cache, and system-level counters at the root.
+     */
+    void
+    fillMetrics(obs::MetricsNode &into) const
+    {
+        into.counter("elapsed_cycles", elapsed());
+        into.counter("forwarded_refs", forwarded_refs_);
+        bus_.fillMetrics(into.child("bus"));
+        for (unsigned p = 0; p < caches_.size(); ++p)
+            caches_[p]->fillMetrics(into.child("cpu" + std::to_string(p)));
+    }
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
   private:
     /** Follow the forwarding chain for cpu at its local time. */

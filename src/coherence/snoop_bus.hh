@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -60,6 +61,24 @@ class SnoopBus
 
     const BusStats &stats() const { return stats_; }
     void clearStats() { stats_ = BusStats(); }
+
+    void
+    fillMetrics(obs::MetricsNode &into) const
+    {
+        into.counter("read_misses", stats_.read_misses);
+        into.counter("write_misses", stats_.write_misses);
+        into.counter("upgrades", stats_.upgrades);
+        into.counter("invalidations", stats_.invalidations);
+        into.counter("transfers", stats_.transfers);
+    }
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     unsigned ports() const { return static_cast<unsigned>(caches_.size()); }
 

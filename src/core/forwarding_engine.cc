@@ -225,9 +225,35 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
 
     if (traps_.armed() && type != AccessType::prefetch) {
         traps_.deliver({site, addr, final_addr, hops, pointer_slot});
+        if (tracer_ && tracer_->active()) {
+            tracer_->emit({obs::EventKind::trap, type, t, addr,
+                           final_addr, hops, 0});
+        }
     }
 
     return {final_addr, hops, t, t - start, hop_missed};
+}
+
+void
+ForwardingEngine::fillMetrics(obs::MetricsNode &into) const
+{
+    into.counter("walks", stats_.walks);
+    into.counter("hops", stats_.hops);
+    into.counter("hop_l1_misses", stats_.hop_l1_misses);
+    into.counter("false_alarms", stats_.false_alarms);
+    into.counter("cycles_detected", stats_.cycles_detected);
+    into.counter("cycles_quarantined", stats_.cycles_quarantined);
+    into.counter("corrupt_forwards", stats_.corrupt_forwards);
+    into.counter("quarantine_hits", stats_.quarantine_hits);
+    into.counter("handler_retries", stats_.handler_retries);
+    into.counter("backoff_cycles", stats_.backoff_cycles);
+    if (stats_.walks)
+        into.gauge("hops_per_walk",
+                   double(stats_.hops) / double(stats_.walks));
+
+    auto &hist = into.distribution("hop_hist");
+    for (std::size_t h = 0; h < stats_.hop_histogram.size(); ++h)
+        hist.record(h, stats_.hop_histogram[h]);
 }
 
 void

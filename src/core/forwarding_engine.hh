@@ -66,6 +66,8 @@
 #include "cache/cache_config.hh"
 #include "common/types.hh"
 #include "core/traps.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace memfwd
 {
@@ -207,12 +209,30 @@ class ForwardingEngine
     /** Attach (or clear, with nullptr) a fault injector. */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
 
+    /**
+     * Attach (or clear, with nullptr) the machine's tracer.  The
+     * engine emits trap events through it; the Machine emits the
+     * chain-walk and reference events itself.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     /** Pin of the quarantined chain at @p word (0 = not quarantined). */
     Addr quarantinePin(Addr word) const;
 
     const ForwardingConfig &config() const { return cfg_; }
     const ForwardingStats &stats() const { return stats_; }
     TrapRegistry &traps() { return traps_; }
+
+    /** Add the engine's counters + hop-count distribution to @p into. */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     void clearStats() { stats_ = ForwardingStats(); }
 
@@ -233,6 +253,7 @@ class ForwardingEngine
     ForwardingStats stats_;
     TrapRegistry traps_;
     FaultInjector *faults_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
 
     /** Chain-start word -> pinned resolution address. */
     std::unordered_map<Addr, Addr> quarantined_;

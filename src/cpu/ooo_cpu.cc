@@ -114,4 +114,32 @@ OooCpu::finishNonBlocking(const MemIssue &mi)
     rob_.graduate(mi.dispatch + 1, WaitKind::none);
 }
 
+void
+OooCpu::fillMetrics(obs::MetricsNode &into) const
+{
+    into.counter("cycles", cycles());
+    into.counter("instructions", instructions());
+
+    const StallStats &st = stalls();
+    auto &slots = into.child("slots");
+    slots.counter("busy", st.busy);
+    slots.counter("load_stall", st.load_stall);
+    slots.counter("store_stall", st.store_stall);
+    slots.counter("inst_stall", st.inst_stall);
+
+    auto &lsq = into.child("lsq");
+    lsq.counter("speculations", lsq_.speculations());
+    lsq.counter("violations", lsq_.violations());
+
+    auto &lat = into.child("latency");
+    lat.counter("loads", ref_stats_.loads);
+    lat.counter("stores", ref_stats_.stores);
+    lat.counter("load_ordinary_cycles", ref_stats_.load_ordinary_cycles);
+    lat.counter("load_forward_cycles", ref_stats_.load_forward_cycles);
+    lat.counter("store_ordinary_cycles", ref_stats_.store_ordinary_cycles);
+    lat.counter("store_forward_cycles", ref_stats_.store_forward_cycles);
+    lat.gauge("avg_load_cycles", ref_stats_.avgLoadCycles());
+    lat.gauge("avg_store_cycles", ref_stats_.avgStoreCycles());
+}
+
 } // namespace memfwd

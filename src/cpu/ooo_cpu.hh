@@ -21,6 +21,7 @@
 #include "cpu/ooo_params.hh"
 #include "cpu/rob.hh"
 #include "cpu/stall_stats.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -109,6 +110,21 @@ class OooCpu
     const RefLatencyStats &refLatency() const { return ref_stats_; }
     const Lsq &lsq() const { return lsq_; }
     const OooParams &params() const { return params_; }
+
+    /**
+     * Add the CPU's metrics to @p into: cycles/instructions at the node
+     * itself plus "slots", "lsq" and "latency" children.  The Machine
+     * passes its root node so the legacy flat names stay intact.
+     */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
   private:
     Cycles arbitratePort(Cycles want);

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -59,6 +60,22 @@ class Tlb
     }
 
     const TlbConfig &config() const { return cfg_; }
+
+    void
+    fillMetrics(obs::MetricsNode &into) const
+    {
+        into.counter("hits", hits_);
+        into.counter("misses", misses_);
+        into.gauge("miss_rate", missRate());
+    }
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
 
     void
     clearStats()

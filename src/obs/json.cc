@@ -1,0 +1,513 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace memfwd::obs
+{
+
+Json
+Json::boolean(bool b)
+{
+    Json j;
+    j.kind_ = Kind::boolean;
+    j.bool_ = b;
+    return j;
+}
+
+Json
+Json::number(std::uint64_t v)
+{
+    Json j;
+    j.kind_ = Kind::number;
+    j.u64_ = v;
+    return j;
+}
+
+Json
+Json::real(double v)
+{
+    Json j;
+    j.kind_ = Kind::real;
+    j.real_ = v;
+    return j;
+}
+
+Json
+Json::string(std::string s)
+{
+    Json j;
+    j.kind_ = Kind::string;
+    j.str_ = std::move(s);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    memfwd_assert(kind_ == Kind::boolean, "json: not a boolean");
+    return bool_;
+}
+
+std::uint64_t
+Json::asU64() const
+{
+    memfwd_assert(kind_ == Kind::number, "json: not an integer");
+    return u64_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::number)
+        return double(u64_);
+    memfwd_assert(kind_ == Kind::real, "json: not a number");
+    return real_;
+}
+
+const std::string &
+Json::asString() const
+{
+    memfwd_assert(kind_ == Kind::string, "json: not a string");
+    return str_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    memfwd_assert(kind_ == Kind::array, "json: not an array");
+    return items_;
+}
+
+const std::map<std::string, Json> &
+Json::fields() const
+{
+    memfwd_assert(kind_ == Kind::object, "json: not an object");
+    return fields_;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::null)
+        kind_ = Kind::object;
+    memfwd_assert(kind_ == Kind::object, "json: [] on a non-object");
+    return fields_[key];
+}
+
+void
+Json::push(Json v)
+{
+    if (kind_ == Kind::null)
+        kind_ = Kind::array;
+    memfwd_assert(kind_ == Kind::array, "json: push on a non-array");
+    items_.push_back(std::move(v));
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return kind_ == Kind::object && fields_.count(key) != 0;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    auto it = fields_.find(key);
+    return it == fields_.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeReal(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Keep reals syntactically distinct from integers so a round trip
+    // preserves the kind.
+    std::string s = buf;
+    if (s.find_first_of(".eEn") == std::string::npos)
+        s += ".0";
+    os << s;
+}
+
+} // namespace
+
+void
+Json::write(std::ostream &os, int indent, int depth) const
+{
+    const std::string pad(std::size_t(indent) * (depth + 1), ' ');
+    const std::string close_pad(std::size_t(indent) * depth, ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::null:
+        os << "null";
+        break;
+      case Kind::boolean:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::number:
+        os << u64_;
+        break;
+      case Kind::real:
+        writeReal(os, real_);
+        break;
+      case Kind::string:
+        writeEscaped(os, str_);
+        break;
+      case Kind::array: {
+        if (items_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[' << nl;
+        bool first = true;
+        for (const auto &v : items_) {
+            if (!first)
+                os << ',' << nl;
+            first = false;
+            os << pad;
+            v.write(os, indent, depth + 1);
+        }
+        os << nl << close_pad << ']';
+        break;
+      }
+      case Kind::object: {
+        if (fields_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{' << nl;
+        bool first = true;
+        for (const auto &[key, v] : fields_) {
+            if (!first)
+                os << ',' << nl;
+            first = false;
+            os << pad;
+            writeEscaped(os, key);
+            os << colon;
+            v.write(os, indent, depth + 1);
+        }
+        os << nl << close_pad << '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::str(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+// ----- parsing -------------------------------------------------------
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::invalid_argument("json parse error at offset " +
+                                    std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The emitters only escape control characters; anything
+                // in the Latin-1 range round-trips, which is all the
+                // observability formats need.
+                if (code < 0x80) {
+                    out += char(code);
+                } else {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("malformed number");
+        if (tok.find_first_of(".eE") == std::string::npos &&
+            tok[0] != '-') {
+            try {
+                return Json::number(std::stoull(tok));
+            } catch (const std::exception &) {
+                fail("integer out of range");
+            }
+        }
+        try {
+            return Json::real(std::stod(tok));
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': {
+            ++pos_;
+            Json obj = Json::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return obj;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                obj[key] = value();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+          }
+          case '[': {
+            ++pos_;
+            Json arr = Json::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return arr;
+            }
+            while (true) {
+                arr.push(value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+          }
+          case '"':
+            return Json::string(parseString());
+          case 't':
+            if (consume("true"))
+                return Json::boolean(true);
+            fail("bad literal");
+          case 'f':
+            if (consume("false"))
+                return Json::boolean(false);
+            fail("bad literal");
+          case 'n':
+            if (consume("null"))
+                return Json();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace memfwd::obs

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Hierarchical metrics: the successor to the flat StatsRegistry.
+ *
+ * Every observable component exposes `metrics()` returning a
+ * MetricsNode — a tree of named counters (64-bit, monotonic within a
+ * run), gauges (derived ratios/averages) and distributions (hop
+ * counts, chain lengths, trap latencies).  The Machine composes its
+ * components' trees into one machine tree whose *flattened* dotted
+ * names are exactly the names the legacy `Machine::collectStats`
+ * registry used ("l1d.load_hits", "fwd.walks", ...), which is what
+ * lets `collectStats` survive as a thin shim.
+ *
+ * The JSON export is versioned; docs/METRICS.md documents the schema
+ * and the name-stability policy.
+ */
+
+#ifndef MEMFWD_OBS_METRICS_HH
+#define MEMFWD_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace memfwd
+{
+class StatsRegistry;
+}
+
+namespace memfwd::obs
+{
+
+/** Schema identifier carried by every metrics export. */
+inline constexpr const char *metrics_schema = "memfwd.metrics";
+
+/** Bumped on any incompatible rename/retyping (docs/METRICS.md). */
+inline constexpr unsigned metrics_schema_version = 1;
+
+/** A value distribution: summary moments plus exact small-value buckets. */
+struct Distribution
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+
+    /** buckets[v] = number of samples with value v (grown on demand). */
+    std::vector<std::uint64_t> buckets;
+
+    /** Record @p n samples of @p value. */
+    void record(std::uint64_t value, std::uint64_t n = 1);
+
+    double
+    mean() const
+    {
+        return count ? double(sum) / double(count) : 0.0;
+    }
+
+    Json toJson() const;
+
+    bool operator==(const Distribution &) const = default;
+};
+
+/** One node of the metrics tree. */
+class MetricsNode
+{
+  public:
+    // ----- building ----------------------------------------------------
+
+    /** Child node @p name, created empty on first use. */
+    MetricsNode &child(const std::string &name);
+
+    /** Set counter @p name to @p value. */
+    void counter(const std::string &name, std::uint64_t value);
+
+    /** Add @p delta to counter @p name (created at zero). */
+    void addCounter(const std::string &name, std::uint64_t delta);
+
+    /** Set gauge @p name. */
+    void gauge(const std::string &name, double value);
+
+    /** Distribution @p name, created empty on first use. */
+    Distribution &distribution(const std::string &name);
+
+    // ----- reading -----------------------------------------------------
+
+    /** Counter value (0 if absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Child lookup without creation; nullptr if absent. */
+    const MetricsNode *findChild(const std::string &name) const;
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const { return gauges_; }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return dists_;
+    }
+    const std::map<std::string, MetricsNode> &children() const
+    {
+        return children_;
+    }
+
+    bool empty() const;
+
+    void clear();
+
+    // ----- export ------------------------------------------------------
+
+    /**
+     * Flatten into the legacy flat registry: counters keep their name,
+     * children prepend "<child>.", distributions contribute
+     * ".count/.sum/.min/.max".  Gauges are not representable in the
+     * integer registry and are skipped.
+     */
+    void flatten(StatsRegistry &reg, const std::string &prefix = "") const;
+
+    /** This node (and subtree) as a JSON object. */
+    Json toJson() const;
+
+    bool operator==(const MetricsNode &) const = default;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Distribution> dists_;
+    std::map<std::string, MetricsNode> children_;
+};
+
+/**
+ * Wrap @p root in the versioned export envelope:
+ * `{"schema": "memfwd.metrics", "version": 1, "source": ..., "metrics":
+ * {...}}`.
+ */
+Json metricsDocument(const MetricsNode &root, const std::string &source);
+
+} // namespace memfwd::obs
+
+#endif // MEMFWD_OBS_METRICS_HH

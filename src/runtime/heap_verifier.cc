@@ -84,21 +84,34 @@ HeapVerifier::audit() const
 }
 
 void
+AuditReport::fillMetrics(obs::MetricsNode &into) const
+{
+    into.counter("pages_scanned", pages_scanned);
+    into.counter("words_scanned", words_scanned);
+    into.counter("fbits_set", fbits_set);
+    into.counter("chains", chains.size());
+    into.counter("max_chain_length", max_chain_length);
+    into.counter("total_hops", total_hops);
+    into.counter("cyclic_chains", cyclic_chains.size());
+    into.counter("orphan_cycle_words", orphan_cycle_words.size());
+    into.counter("dangling_targets", dangling_targets.size());
+    into.counter("misaligned_targets", misaligned_targets.size());
+    into.counter("null_targets", null_targets.size());
+    into.counter("inconsistencies", inconsistencies());
+
+    auto &lengths = into.distribution("chain_lengths");
+    for (const AuditChain &c : chains)
+        lengths.record(c.length);
+}
+
+void
 AuditReport::registerStats(StatsRegistry &reg,
                            const std::string &prefix) const
 {
-    reg.set(prefix + "pages_scanned", pages_scanned);
-    reg.set(prefix + "words_scanned", words_scanned);
-    reg.set(prefix + "fbits_set", fbits_set);
-    reg.set(prefix + "chains", chains.size());
-    reg.set(prefix + "max_chain_length", max_chain_length);
-    reg.set(prefix + "total_hops", total_hops);
-    reg.set(prefix + "cyclic_chains", cyclic_chains.size());
-    reg.set(prefix + "orphan_cycle_words", orphan_cycle_words.size());
-    reg.set(prefix + "dangling_targets", dangling_targets.size());
-    reg.set(prefix + "misaligned_targets", misaligned_targets.size());
-    reg.set(prefix + "null_targets", null_targets.size());
-    reg.set(prefix + "inconsistencies", inconsistencies());
+    // Shim kept for one release: flatten() writes exactly the names this
+    // function used to register by hand (plus the chain_lengths
+    // distribution summary).
+    metrics().flatten(reg, prefix);
 }
 
 void

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace memfwd
 {
@@ -79,7 +80,21 @@ struct AuditReport
     /** True if the heap satisfies every forwarding invariant. */
     bool clean() const { return inconsistencies() == 0; }
 
-    /** Register every counter under @p prefix (default "audit."). */
+    /** Add the audit's counters and chain-length distribution to @p into. */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+    obs::MetricsNode
+    metrics() const
+    {
+        obs::MetricsNode n;
+        fillMetrics(n);
+        return n;
+    }
+
+    /**
+     * Register every counter under @p prefix (default "audit.").
+     * DEPRECATED: thin shim over metrics().flatten(); prefer metrics().
+     */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix = "audit.") const;
 

@@ -6,6 +6,26 @@
 namespace memfwd
 {
 
+/**
+ * Adapts a legacy TraceHook to the sink API: the hook observes every
+ * demand reference's final address, exactly as before.
+ */
+class Machine::LegacyHookSink : public obs::TraceSink
+{
+  public:
+    explicit LegacyHookSink(TraceHook hook) : hook_(std::move(hook)) {}
+
+    void
+    emit(const obs::TraceEvent &e) override
+    {
+        if (e.kind == obs::EventKind::reference)
+            hook_(e.addr2, e.size, e.access);
+    }
+
+  private:
+    TraceHook hook_;
+};
+
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg)
 {
@@ -13,8 +33,24 @@ Machine::Machine(const MachineConfig &cfg)
     cpu_ = std::make_unique<OooCpu>(cfg_.cpu);
     fwd_ = std::make_unique<ForwardingEngine>(mem_, *hierarchy_,
                                               cfg_.forwarding);
+    fwd_->setTracer(&tracer_);
     prefetcher_ = std::make_unique<Prefetcher>(*hierarchy_);
     tlb_ = std::make_unique<Tlb>(cfg_.tlb);
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::setTraceHook(TraceHook hook)
+{
+    if (legacy_hook_) {
+        tracer_.removeSink(legacy_hook_.get());
+        legacy_hook_.reset();
+    }
+    if (hook) {
+        legacy_hook_ = std::make_unique<LegacyHookSink>(std::move(hook));
+        tracer_.addSink(legacy_hook_.get());
+    }
 }
 
 void
@@ -47,10 +83,18 @@ Machine::load(Addr addr, unsigned size, Cycles addr_ready, SiteId site,
     ++loads_;
     if (w.hops > 0)
         ++loads_forwarded_;
-    if (trace_hook_)
-        trace_hook_(w.final_addr, size, AccessType::load);
 
     const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
+    if (tracer_.active()) {
+        tracer_.emit({obs::EventKind::reference, AccessType::load,
+                      mi.issue, addr, w.final_addr, w.hops, size});
+        if (w.hops > 0)
+            tracer_.emit({obs::EventKind::chain_walk, AccessType::load,
+                          mi.issue, addr, w.final_addr, w.hops, size});
+        if (r.l1 != MissKind::hit)
+            tracer_.emit({obs::EventKind::cache_miss, AccessType::load,
+                          mi.issue, addr, w.final_addr, 0, size});
+    }
     const Cycles done =
         cpu_->finishLoad(mi, r.ready, w.forward_cycles, missed,
                          wordAlign(addr), wordAlign(w.final_addr), 1);
@@ -72,8 +116,16 @@ Machine::store(Addr addr, unsigned size, std::uint64_t value,
     ++stores_;
     if (w.hops > 0)
         ++stores_forwarded_;
-    if (trace_hook_)
-        trace_hook_(w.final_addr, size, AccessType::store);
+    if (tracer_.active()) {
+        tracer_.emit({obs::EventKind::reference, AccessType::store,
+                      mi.issue, addr, w.final_addr, w.hops, size});
+        if (w.hops > 0)
+            tracer_.emit({obs::EventKind::chain_walk, AccessType::store,
+                          mi.issue, addr, w.final_addr, w.hops, size});
+        if (r.l1 != MissKind::hit)
+            tracer_.emit({obs::EventKind::cache_miss, AccessType::store,
+                          mi.issue, addr, w.final_addr, 0, size});
+    }
 
     const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
     const Cycles done =
@@ -164,50 +216,44 @@ Machine::poke(Addr addr, unsigned size, std::uint64_t value)
     mem_.writeBytes(word + offset, size, value);
 }
 
+obs::MetricsNode
+Machine::metrics() const
+{
+    obs::MetricsNode root;
+
+    // The CPU and hierarchy fill the machine root directly so the
+    // legacy flat names ("cycles", "slots.busy", "l1d.load_hits", ...)
+    // fall out of flatten() unchanged.
+    cpu_->fillMetrics(root);
+    hierarchy_->fillMetrics(root);
+    fwd_->fillMetrics(root.child("fwd"));
+    prefetcher_->fillMetrics(root.child("prefetch"));
+
+    auto &refs = root.child("refs");
+    refs.counter("loads", loads_);
+    refs.counter("stores", stores_);
+    refs.counter("loads_forwarded", loads_forwarded_);
+    refs.counter("stores_forwarded", stores_forwarded_);
+    if (loads_)
+        refs.gauge("load_forwarded_fraction",
+                   double(loads_forwarded_) / double(loads_));
+    if (stores_)
+        refs.gauge("store_forwarded_fraction",
+                   double(stores_forwarded_) / double(stores_));
+
+    if (cfg_.tlb.enabled)
+        tlb_->fillMetrics(root.child("tlb"));
+
+    return root;
+}
+
 void
 Machine::collectStats(StatsRegistry &reg, const std::string &prefix) const
 {
-    const auto &st = cpu_->stalls();
-    reg.set(prefix + "cycles", cpu_->cycles());
-    reg.set(prefix + "instructions", cpu_->instructions());
-    reg.set(prefix + "slots.busy", st.busy);
-    reg.set(prefix + "slots.load_stall", st.load_stall);
-    reg.set(prefix + "slots.store_stall", st.store_stall);
-    reg.set(prefix + "slots.inst_stall", st.inst_stall);
-
-    const auto &l1 = hierarchy_->l1d().stats();
-    reg.set(prefix + "l1d.load_hits", l1.load_hits);
-    reg.set(prefix + "l1d.load_partial_misses", l1.load_partial_misses);
-    reg.set(prefix + "l1d.load_full_misses", l1.load_full_misses);
-    reg.set(prefix + "l1d.store_hits", l1.store_hits);
-    reg.set(prefix + "l1d.store_partial_misses", l1.store_partial_misses);
-    reg.set(prefix + "l1d.store_full_misses", l1.store_full_misses);
-    reg.set(prefix + "l1d.writebacks", l1.writebacks);
-    reg.set(prefix + "traffic.l1_l2_bytes", hierarchy_->l1L2Bytes());
-    reg.set(prefix + "traffic.l2_mem_bytes", hierarchy_->l2MemBytes());
-
-    const auto &f = fwd_->stats();
-    reg.set(prefix + "fwd.walks", f.walks);
-    reg.set(prefix + "fwd.hops", f.hops);
-    reg.set(prefix + "fwd.false_alarms", f.false_alarms);
-    reg.set(prefix + "fwd.cycles_detected", f.cycles_detected);
-    reg.set(prefix + "fwd.cycles_quarantined", f.cycles_quarantined);
-    reg.set(prefix + "fwd.corrupt_forwards", f.corrupt_forwards);
-    reg.set(prefix + "fwd.quarantine_hits", f.quarantine_hits);
-    reg.set(prefix + "fwd.handler_retries", f.handler_retries);
-    reg.set(prefix + "fwd.backoff_cycles", f.backoff_cycles);
-    reg.set(prefix + "refs.loads", loads_);
-    reg.set(prefix + "refs.stores", stores_);
-    reg.set(prefix + "refs.loads_forwarded", loads_forwarded_);
-    reg.set(prefix + "refs.stores_forwarded", stores_forwarded_);
-
-    reg.set(prefix + "lsq.speculations", cpu_->lsq().speculations());
-    reg.set(prefix + "lsq.violations", cpu_->lsq().violations());
-
-    if (cfg_.tlb.enabled) {
-        reg.set(prefix + "tlb.hits", tlb_->hits());
-        reg.set(prefix + "tlb.misses", tlb_->misses());
-    }
+    // Deprecated: the flat registry is now just a flattening of the
+    // metrics tree (identical names and values, plus the new metrics
+    // the tree grew).
+    metrics().flatten(reg, prefix);
 }
 
 } // namespace memfwd

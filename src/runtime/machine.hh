@@ -34,15 +34,27 @@
 #include "cpu/ooo_cpu.hh"
 #include "mem/tagged_memory.hh"
 #include "mem/tlb.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace memfwd
 {
 
 class FaultInjector;
 
-/** Whole-machine configuration. */
+/**
+ * Whole-machine configuration.
+ *
+ * Fields remain aggregate-initializable as before; the fluent setters
+ * additionally make one-expression configs readable:
+ *
+ *   Machine m(MachineConfig{}.lineBytes(64).forwardingMode(
+ *       MachineConfig::Mode::exception));
+ */
 struct MachineConfig
 {
+    using Mode = ForwardingConfig::Mode;
+
     HierarchyConfig hierarchy{};
     OooParams cpu{};
     ForwardingConfig forwarding{};
@@ -55,6 +67,80 @@ struct MachineConfig
 
     /** Size of the simulated heap region. */
     Addr heap_span = 1ULL << 32;
+
+    // ----- fluent setters (each returns *this for chaining) ------------
+
+    /** Cache line size at both levels (the paper's sweep knob). */
+    MachineConfig &
+    lineBytes(unsigned bytes)
+    {
+        hierarchy.setLineBytes(bytes);
+        return *this;
+    }
+
+    MachineConfig &
+    l1Bytes(unsigned bytes)
+    {
+        hierarchy.l1d.size_bytes = bytes;
+        return *this;
+    }
+
+    MachineConfig &
+    l2Bytes(unsigned bytes)
+    {
+        hierarchy.l2.size_bytes = bytes;
+        return *this;
+    }
+
+    MachineConfig &
+    memLatency(Cycles cycles)
+    {
+        hierarchy.memory.latency = cycles;
+        return *this;
+    }
+
+    MachineConfig &
+    forwardingMode(Mode mode)
+    {
+        forwarding.mode = mode;
+        return *this;
+    }
+
+    MachineConfig &
+    hopLimit(unsigned limit)
+    {
+        forwarding.hop_limit = limit;
+        return *this;
+    }
+
+    MachineConfig &
+    cyclePolicy(CyclePolicy policy)
+    {
+        forwarding.cycle_policy = policy;
+        return *this;
+    }
+
+    MachineConfig &
+    depSpeculation(bool on)
+    {
+        cpu.dep_speculation = on;
+        return *this;
+    }
+
+    MachineConfig &
+    tlbEnabled(bool on = true)
+    {
+        tlb.enabled = on;
+        return *this;
+    }
+
+    MachineConfig &
+    heapRegion(Addr base, Addr span)
+    {
+        heap_base = base;
+        heap_span = span;
+        return *this;
+    }
 };
 
 /** Result of a timed load. */
@@ -79,6 +165,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg = {});
+    ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -145,16 +232,27 @@ class Machine
     /** Execution time so far, in cycles. */
     Cycles cycles() const { return cpu_->cycles(); }
 
+    // ----- tracing -----------------------------------------------------
+
     /**
-     * Observer called for every demand reference with its *final*
-     * (post-forwarding) address — the hook external tools (page-fault
-     * models, trace collectors) use to watch the reference stream.
+     * The machine's event tracer.  Register any number of
+     * obs::TraceSinks to observe demand references, chain walks,
+     * relocations, traps, L1 misses and rollbacks; with no sink
+     * registered nothing is emitted and nothing is paid.
+     */
+    obs::Tracer &tracer() { return tracer_; }
+    const obs::Tracer &tracer() const { return tracer_; }
+
+    /**
+     * DEPRECATED shim over tracer() — removed one PR after the obs
+     * layer landed (see docs/API.md).  Installs @p hook as a sink that
+     * sees every demand reference's final address; nullptr clears it.
+     * New code registers an obs::TraceSink instead.
      */
     using TraceHook =
         std::function<void(Addr final_addr, unsigned size, AccessType)>;
 
-    /** Install (or clear, with nullptr) the trace hook. */
-    void setTraceHook(TraceHook hook) { trace_hook_ = std::move(hook); }
+    void setTraceHook(TraceHook hook);
 
     /**
      * Attach (or clear, with nullptr) a fault injector.  The engine
@@ -172,7 +270,19 @@ class Machine
     std::uint64_t loadsForwarded() const { return loads_forwarded_; }
     std::uint64_t storesForwarded() const { return stores_forwarded_; }
 
-    /** Dump every statistic into @p reg under @p prefix. */
+    /**
+     * The machine's full hierarchical metrics tree: every component's
+     * counters, gauges and distributions under stable dotted names
+     * (docs/METRICS.md).  Flattening this tree reproduces the legacy
+     * collectStats() registry exactly.
+     */
+    obs::MetricsNode metrics() const;
+
+    /**
+     * DEPRECATED shim over metrics().flatten() — removed one PR after
+     * the obs layer landed (see docs/API.md).  Dumps every statistic
+     * into @p reg under @p prefix.
+     */
     void collectStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
@@ -193,7 +303,11 @@ class Machine
     std::uint64_t loads_forwarded_ = 0;
     std::uint64_t stores_forwarded_ = 0;
 
-    TraceHook trace_hook_;
+    obs::Tracer tracer_;
+
+    /** Adapter keeping the deprecated setTraceHook() working. */
+    class LegacyHookSink;
+    std::unique_ptr<LegacyHookSink> legacy_hook_;
 };
 
 } // namespace memfwd

@@ -110,6 +110,11 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
             machine.store(t, wordBytes, value);
             machine.unforwardedWrite(tail, t, true);
         }
+        if (machine.tracer().active()) {
+            machine.tracer().emit({obs::EventKind::relocation,
+                                   AccessType::store, machine.cycles(),
+                                   src, tgt, n_words, 0});
+        }
     } catch (...) {
         // Undo newest-first with timed atomic writes: the rollback is
         // real work the machine pays for, like the aborted steps were.
@@ -118,6 +123,12 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
                                      it->tail_fbit);
             machine.unforwardedWrite(it->dest, it->dest_payload,
                                      it->dest_fbit);
+        }
+        if (machine.tracer().active()) {
+            machine.tracer().emit(
+                {obs::EventKind::rollback, AccessType::store,
+                 machine.cycles(), src, tgt,
+                 static_cast<unsigned>(journal.size()), 0});
         }
         throw;
     }

@@ -9,6 +9,8 @@ RunResult
 runWorkload(const RunConfig &cfg)
 {
     Machine machine(cfg.machine);
+    if (cfg.trace_sink)
+        machine.tracer().addSink(cfg.trace_sink);
     auto workload = makeWorkload(cfg.workload, cfg.params);
     workload->run(machine, cfg.variant);
 
@@ -49,6 +51,8 @@ runWorkload(const RunConfig &cfg)
 
     r.prefetches_issued = machine.prefetcher().issued();
     r.useful_prefetches = l1.useful_prefetches;
+
+    r.metrics = machine.metrics();
 
     return r;
 }

@@ -12,6 +12,8 @@
 
 #include "common/types.hh"
 #include "cpu/stall_stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "workloads/workload.hh"
 
@@ -25,6 +27,12 @@ struct RunConfig
     WorkloadParams params{};
     WorkloadVariant variant{};
     MachineConfig machine{};
+
+    /**
+     * Optional trace sink registered on the machine for the duration of
+     * the run (not owned).  Leave null for untraced (zero-cost) runs.
+     */
+    obs::TraceSink *trace_sink = nullptr;
 };
 
 /** All metrics from one run. */
@@ -69,6 +77,9 @@ struct RunResult
     // Prefetching
     std::uint64_t prefetches_issued = 0;
     std::uint64_t useful_prefetches = 0;
+
+    /** The machine's full hierarchical metrics tree at run end. */
+    obs::MetricsNode metrics;
 
     double
     loadForwardedFraction() const

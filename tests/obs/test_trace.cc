@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Event tracing: ring-buffer bounds, exporter round-trips, the events
+ * the Machine emits, and the deprecated setTraceHook shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "core/cycle_check.hh"
+#include "core/fault_injector.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "runtime/machine.hh"
+#include "runtime/relocation.hh"
+#include "runtime/sim_allocator.hh"
+
+namespace memfwd::obs
+{
+namespace
+{
+
+std::vector<TraceEvent>
+eventsOfKind(const RingBufferSink &ring, EventKind kind)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : ring.events())
+        if (e.kind == kind)
+            out.push_back(e);
+    return out;
+}
+
+TEST(RingBufferSink, KeepsNewestAndCountsDropped)
+{
+    RingBufferSink ring(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ring.emit({EventKind::reference, AccessType::load, Cycles(i),
+                   i, 0, 0, 8});
+
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.total(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    const auto events = ring.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].ts, Cycles(6 + i)) << "oldest-first order";
+
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(Tracer, InactiveWithoutSinksAndMultiSinkFanout)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.active());
+
+    RingBufferSink a(8), b(8);
+    tracer.addSink(&a);
+    tracer.addSink(&b);
+    EXPECT_TRUE(tracer.active());
+    tracer.emit({EventKind::trap, AccessType::load, 5, 1, 2, 3, 8});
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(b.total(), 1u);
+
+    tracer.removeSink(&a);
+    tracer.emit({EventKind::trap, AccessType::load, 6, 1, 2, 3, 8});
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(b.total(), 2u);
+
+    tracer.removeSink(&b);
+    EXPECT_FALSE(tracer.active());
+}
+
+TEST(Exporters, JsonlRoundTripIsExact)
+{
+    std::vector<TraceEvent> events = {
+        {EventKind::reference, AccessType::load, 10, 0x1000, 0x2000, 1, 8},
+        {EventKind::chain_walk, AccessType::store, 11, 0x1000, 0x2000, 2, 4},
+        {EventKind::relocation, AccessType::store, 12, 0xa0, 0xb0, 64, 0},
+        {EventKind::trap, AccessType::load, 13, 0x1, 0x2, 3, 0},
+        {EventKind::cache_miss, AccessType::prefetch, 14, 0x3, 0x3, 0, 8},
+        {EventKind::rollback, AccessType::store, 15, 0xc0, 0xd0, 5, 0},
+    };
+
+    std::stringstream ss;
+    exportJsonl(events, ss);
+    EXPECT_EQ(parseJsonl(ss), events);
+}
+
+TEST(Exporters, ParseJsonlRejectsGarbage)
+{
+    std::stringstream ss("{\"not\": \"an event\"}\n");
+    EXPECT_THROW(parseJsonl(ss), std::invalid_argument);
+}
+
+TEST(Exporters, ChromeTraceIsValidAndMonotonic)
+{
+    // Deliberately out-of-order input: the exporter must sort.
+    std::vector<TraceEvent> events = {
+        {EventKind::reference, AccessType::load, 30, 0x1, 0x1, 0, 8},
+        {EventKind::chain_walk, AccessType::load, 10, 0x2, 0x3, 1, 8},
+        {EventKind::relocation, AccessType::store, 20, 0x4, 0x5, 8, 0},
+    };
+    std::stringstream ss;
+    exportChromeTrace(events, ss);
+
+    const Json doc = Json::parse(ss.str());
+    const Json *trace_events = doc.find("traceEvents");
+    ASSERT_NE(trace_events, nullptr);
+    ASSERT_TRUE(trace_events->isArray());
+
+    Cycles last_ts = 0;
+    unsigned timed = 0;
+    for (const Json &e : trace_events->items()) {
+        if (!e.has("ts"))
+            continue; // metadata records carry no timestamp
+        const Cycles ts = e.find("ts")->asU64();
+        EXPECT_GE(ts, last_ts) << "timestamps must be monotonic";
+        last_ts = ts;
+        ++timed;
+    }
+    EXPECT_EQ(timed, events.size());
+}
+
+TEST(MachineTracing, EmitsReferenceWalkAndRelocationEvents)
+{
+    Machine m;
+    RingBufferSink ring;
+    m.tracer().addSink(&ring);
+
+    m.store(0x1000, 8, 77);
+    relocate(m, 0x1000, 0x5000, 1);
+    const LoadResult r = m.load(0x1000, 8);
+    EXPECT_EQ(r.value, 77u);
+    EXPECT_EQ(r.hops, 1u);
+
+    const auto relocations = eventsOfKind(ring, EventKind::relocation);
+    ASSERT_EQ(relocations.size(), 1u);
+    EXPECT_EQ(relocations[0].addr, 0x1000u);
+    EXPECT_EQ(relocations[0].addr2, 0x5000u);
+    EXPECT_EQ(relocations[0].arg, 1u); // words moved
+
+    const auto walks = eventsOfKind(ring, EventKind::chain_walk);
+    ASSERT_EQ(walks.size(), 1u);
+    EXPECT_EQ(walks[0].access, AccessType::load);
+    EXPECT_EQ(walks[0].addr, 0x1000u);
+    EXPECT_EQ(walks[0].addr2, 0x5000u);
+    EXPECT_EQ(walks[0].arg, 1u); // hops
+
+    const auto refs = eventsOfKind(ring, EventKind::reference);
+    EXPECT_GE(refs.size(), 2u); // the store and the load at least
+
+    m.tracer().removeSink(&ring);
+    const std::uint64_t total = ring.total();
+    m.load(0x1000, 8);
+    EXPECT_EQ(ring.total(), total) << "no events after removal";
+}
+
+TEST(MachineTracing, EmitsRollbackOnFailedRelocation)
+{
+    Machine m;
+    RingBufferSink ring;
+    m.tracer().addSink(&ring);
+
+    m.store(0x1000, 8, 1);
+    m.store(0x1008, 8, 2);
+    FaultInjector faults;
+    faults.armSpec("allocfail@relocate:nth=2");
+    m.setFaultInjector(&faults);
+    EXPECT_THROW(relocate(m, 0x1000, 0x9000, 2), AllocFailure);
+
+    const auto rollbacks = eventsOfKind(ring, EventKind::rollback);
+    ASSERT_EQ(rollbacks.size(), 1u);
+    EXPECT_EQ(rollbacks[0].addr, 0x1000u);
+    EXPECT_EQ(rollbacks[0].addr2, 0x9000u);
+    EXPECT_GT(rollbacks[0].arg, 0u); // journal entries undone
+    EXPECT_TRUE(eventsOfKind(ring, EventKind::relocation).empty());
+}
+
+TEST(MachineTracing, EmitsTrapEvents)
+{
+    Machine m;
+    RingBufferSink ring;
+    m.tracer().addSink(&ring);
+
+    m.store(0x1000, 8, 9);
+    relocate(m, 0x1000, 0x6000, 1);
+    m.forwarding().traps().install(
+        [](const TrapInfo &) { return TrapAction::resume; });
+    m.load(0x1000, 8);
+
+    const auto traps = eventsOfKind(ring, EventKind::trap);
+    ASSERT_EQ(traps.size(), 1u);
+    EXPECT_EQ(traps[0].addr, 0x1000u);
+    EXPECT_EQ(traps[0].addr2, 0x6000u);
+    EXPECT_EQ(traps[0].arg, 1u); // hops at delivery
+}
+
+using HookRecord = std::tuple<Addr, unsigned, AccessType>;
+
+/** A sink reproducing exactly what the legacy hook observed. */
+class ReferenceRecorder : public TraceSink
+{
+  public:
+    explicit ReferenceRecorder(std::vector<HookRecord> &out) : out_(out) {}
+
+    void
+    emit(const TraceEvent &e) override
+    {
+        if (e.kind == EventKind::reference)
+            out_.push_back({e.addr2, e.size, e.access});
+    }
+
+  private:
+    std::vector<HookRecord> &out_;
+};
+
+void
+drive(Machine &m)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        m.store(0x1000 + i * 8, 8, i);
+    relocate(m, 0x1000, 0x7000, 4);
+    for (unsigned i = 0; i < 4; ++i)
+        m.load(0x1000 + i * 8, 4);
+}
+
+TEST(SetTraceHookShim, MatchesEquivalentSink)
+{
+    // The deprecated single-callback API must observe the identical
+    // reference stream a filtering TraceSink sees.
+    std::vector<HookRecord> via_hook;
+    {
+        Machine m;
+        m.setTraceHook([&](Addr a, unsigned size, AccessType t) {
+            via_hook.push_back({a, size, t});
+        });
+        drive(m);
+    }
+
+    std::vector<HookRecord> via_sink;
+    {
+        Machine m;
+        ReferenceRecorder rec(via_sink);
+        m.tracer().addSink(&rec);
+        drive(m);
+        m.tracer().removeSink(&rec);
+    }
+
+    EXPECT_FALSE(via_hook.empty());
+    EXPECT_EQ(via_hook, via_sink);
+}
+
+TEST(SetTraceHookShim, NullClearsTheHook)
+{
+    Machine m;
+    unsigned calls = 0;
+    m.setTraceHook([&](Addr, unsigned, AccessType) { ++calls; });
+    m.store(0x1000, 8, 1);
+    const unsigned after_store = calls;
+    EXPECT_GT(after_store, 0u);
+
+    m.setTraceHook(nullptr);
+    EXPECT_FALSE(m.tracer().active());
+    m.load(0x1000, 8);
+    EXPECT_EQ(calls, after_store);
+}
+
+} // namespace
+} // namespace memfwd::obs

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -20,6 +21,7 @@
 #include "common/stats_registry.hh"
 #include "core/cycle_check.hh"
 #include "core/fault_injector.hh"
+#include "obs/metrics.hh"
 #include "runtime/heap_verifier.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/driver.hh"
@@ -30,10 +32,14 @@ using namespace memfwd;
 namespace
 {
 
+/** BSD sysexits EX_USAGE: command-line usage error. */
+constexpr int exit_usage = 64;
+
 void
-usage(const char *argv0)
+usage(std::FILE *out, const char *argv0)
 {
-    std::printf(
+    std::fprintf(
+        out,
         "usage: %s [options]\n"
         "  --workload NAME   one of the eight applications (see --list)\n"
         "  --list            list workloads and exit\n"
@@ -50,6 +56,9 @@ usage(const char *argv0)
         "  --forwarding M    hardware | exception | perfect\n"
         "  --no-speculation  conservative load/store ordering\n"
         "  --stats           dump the full statistics registry\n"
+        "  --json FILE       write the hierarchical metrics tree as a\n"
+        "                    versioned JSON document (docs/METRICS.md);\n"
+        "                    FILE of '-' writes to stdout\n"
         "  --faults SPEC     arm fault injection; SPEC is a ';'-separated\n"
         "                    list of kind@site[:k=v,...] with kinds\n"
         "                    bitflip|truncate|cycle|allocfail, sites\n"
@@ -74,13 +83,18 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool run_audit = false;
     std::string fault_spec;
+    std::string json_path;
     std::uint64_t fault_seed = 0x5eedfa17ULL;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                memfwd_fatal("missing value for %s", arg.c_str());
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             argv[0], arg.c_str());
+                usage(stderr, argv[0]);
+                std::exit(exit_usage);
+            }
             return argv[++i];
         };
         if (arg == "--workload") {
@@ -136,6 +150,8 @@ main(int argc, char **argv)
             cfg.machine.cpu.dep_speculation = false;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--json") {
+            json_path = next();
         } else if (arg == "--faults") {
             fault_spec = next();
         } else if (arg == "--fault-seed") {
@@ -155,17 +171,19 @@ main(int argc, char **argv)
         } else if (arg == "--audit") {
             run_audit = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            usage(stdout, argv[0]);
             return 0;
         } else {
-            usage(argv[0]);
-            memfwd_fatal("unknown option '%s'", arg.c_str());
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(stderr, argv[0]);
+            return exit_usage;
         }
     }
 
     if (cfg.workload.empty()) {
-        usage(argv[0]);
-        return 1;
+        usage(stderr, argv[0]);
+        return exit_usage;
     }
 
     // Run with a live Machine so we can dump its registry afterwards.
@@ -258,6 +276,28 @@ main(int argc, char **argv)
         }
         std::printf("\n");
         reg.dump(std::cout);
+    }
+
+    if (!json_path.empty()) {
+        obs::MetricsNode root = machine.metrics();
+        if (run_audit)
+            HeapVerifier(machine.mem()).audit().fillMetrics(
+                root.child("audit"));
+        const obs::Json doc =
+            obs::metricsDocument(root, "memfwd_sim/" + cfg.workload);
+        if (json_path == "-") {
+            doc.write(std::cout, 2);
+            std::cout << "\n";
+        } else {
+            std::ofstream os(json_path);
+            if (!os) {
+                std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                             json_path.c_str());
+                return exit_code == 0 ? 1 : exit_code;
+            }
+            doc.write(os, 2);
+            os << "\n";
+        }
     }
     return exit_code;
 }
