@@ -1,5 +1,7 @@
 #include "common/random.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace memfwd
@@ -81,6 +83,21 @@ bool
 Rng::chance(double p)
 {
     return real() < p;
+}
+
+std::uint64_t
+testSeed(std::uint64_t base)
+{
+    static const std::uint64_t env_seed = [] {
+        const char *s = std::getenv("MEMFWD_TEST_SEED");
+        return s ? std::strtoull(s, nullptr, 0) : 0ULL;
+    }();
+    if (env_seed == 0)
+        return base;
+    // Feed both through splitmix64 so adjacent environment seeds give
+    // unrelated streams for every base.
+    std::uint64_t x = base ^ (env_seed * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(x);
 }
 
 } // namespace memfwd

@@ -42,6 +42,18 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Mix the `MEMFWD_TEST_SEED` environment knob into @p base.
+ *
+ * Randomized tests (fuzzers, property tests, the differential harness)
+ * derive their Rng seeds through this function so CI can re-run the
+ * whole suite under different seed universes without recompiling:
+ * unset (or "0") leaves @p base untouched — the committed, locally
+ * reproducible seeds — while any other value perturbs every derived
+ * seed deterministically.  The environment is read once per process.
+ */
+std::uint64_t testSeed(std::uint64_t base);
+
 } // namespace memfwd
 
 #endif // MEMFWD_COMMON_RANDOM_HH

@@ -35,12 +35,179 @@ ForwardingIntegrityError::ForwardingIntegrityError(Addr word, Word payload,
 {
 }
 
+// ----- TranslationCache ----------------------------------------------
+
+namespace
+{
+
+unsigned
+roundUpPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+void
+TranslationCache::configure(unsigned sets, unsigned ways)
+{
+    sets_ = roundUpPow2(sets ? sets : 1);
+    ways_ = ways ? ways : 1;
+    tick_ = 0;
+    entries_.assign(std::size_t(sets_) * ways_, Entry{});
+}
+
+TranslationCache::Entry *
+TranslationCache::set(Addr word)
+{
+    const std::size_t idx = (word >> wordShift) & (sets_ - 1);
+    return entries_.data() + idx * ways_;
+}
+
+const TranslationCache::Entry *
+TranslationCache::lookup(Addr word)
+{
+    if (entries_.empty())
+        return nullptr;
+    Entry *row = set(word);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].start == word) {
+            row[w].lru = ++tick_;
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
+void
+TranslationCache::insert(Addr start, Addr final_word, unsigned hops)
+{
+    if (entries_.empty())
+        return;
+    Entry *row = set(start);
+    Entry *victim = row;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].start == start) {
+            victim = &row[w];
+            break;
+        }
+        if (!row[w].valid)
+            victim = &row[w];
+        else if (victim->valid && row[w].lru < victim->lru)
+            victim = &row[w];
+    }
+    *victim = {start, final_word, hops, ++tick_, true};
+}
+
+Addr
+TranslationCache::peek(Addr word) const
+{
+    if (entries_.empty())
+        return 0;
+    const std::size_t idx = (word >> wordShift) & (sets_ - 1);
+    const Entry *row = entries_.data() + idx * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].start == word)
+            return row[w].final_word;
+    }
+    return 0;
+}
+
+std::uint64_t
+TranslationCache::invalidateStart(Addr word)
+{
+    if (entries_.empty())
+        return 0;
+    Entry *row = set(word);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].start == word) {
+            row[w] = Entry{};
+            return 1;
+        }
+    }
+    return 0;
+}
+
+std::uint64_t
+TranslationCache::invalidateFinal(Addr word)
+{
+    std::uint64_t dropped = 0;
+    for (Entry &e : entries_) {
+        if (e.valid && e.final_word == word) {
+            e = Entry{};
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+std::uint64_t
+TranslationCache::flush()
+{
+    std::uint64_t dropped = 0;
+    for (Entry &e : entries_) {
+        if (e.valid) {
+            e = Entry{};
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+std::uint64_t
+TranslationCache::entryCount() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+// ----- ForwardingEngine ----------------------------------------------
+
 ForwardingEngine::ForwardingEngine(TaggedMemory &mem,
                                    MemoryHierarchy &hierarchy,
                                    const ForwardingConfig &cfg)
     : mem_(mem), hierarchy_(hierarchy), cfg_(cfg)
 {
     memfwd_assert(cfg_.hop_limit >= 1, "hop limit must be at least 1");
+    if (cfg_.ftc_enabled) {
+        ftc_.configure(cfg_.ftc_sets, cfg_.ftc_ways);
+        // Cached translations are derived chain state: the memory must
+        // report every mutation that could stale them.
+        mem_.setFwdStateListener(this);
+    }
+}
+
+ForwardingEngine::~ForwardingEngine()
+{
+    if (mem_.fwdStateListener() == this)
+        mem_.setFwdStateListener(nullptr);
+}
+
+void
+ForwardingEngine::fwdStateChanged(Addr word, bool was_fbit)
+{
+    if (self_write_)
+        return; // the collapse rewrite preserves every cached resolution
+    if (!was_fbit) {
+        // The word just became forwarded.  It was a chain tail (or plain
+        // data), so only entries that resolved *to* it are stale.
+        stats_.ftc_invalidations += ftc_.invalidateFinal(word);
+    } else {
+        // An existing forwarding word was redirected or severed; it may
+        // sit in the middle of any cached chain, so drop everything.
+        stats_.ftc_invalidations += ftc_.flush();
+    }
+}
+
+Addr
+ForwardingEngine::ftcPeek(Addr addr) const
+{
+    return ftc_.peek(wordAlign(addr));
 }
 
 Addr
@@ -107,7 +274,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
         // the line, so the test itself costs nothing extra (it is part
         // of the eventual data access).
         stats_.recordHops(0);
-        return {addr, 0, start, 0, false};
+        return {addr, 0, start, 0, false, false};
     }
 
     // A chain already proven unresolvable serves its pin directly: the
@@ -116,7 +283,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
     if (auto it = quarantined_.find(word); it != quarantined_.end()) {
         ++stats_.quarantine_hits;
         stats_.recordHops(0);
-        return {it->second + offset, 0, start, 0, false};
+        return {it->second + offset, 0, start, 0, false, true};
     }
 
     if (faults_)
@@ -133,7 +300,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
             const Word payload = mem_.rawReadWord(cur);
             if (cfg_.validate_targets && !isWordAligned(payload)) {
                 const Addr pin = condemnCorrupt(word, cur, payload, site);
-                return {pin + offset, 0, start, 0, false};
+                return {pin + offset, 0, start, 0, false, false};
             }
             cur = wordAlign(payload);
             ++hops;
@@ -143,12 +310,52 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
                     ++stats_.cycles_detected;
                     const Addr pin = condemnChain(word, r.length,
                                                   r.pre_cycle, site);
-                    return {pin + offset, 0, start, 0, false};
+                    return {pin + offset, 0, start, 0, false, false};
                 }
             }
         }
         stats_.recordHops(0);
-        return {cur + offset, 0, start, 0, false};
+        return {cur + offset, 0, start, 0, false, false};
+    }
+
+    // Translation-cache shortcut: a hit hands back the final address
+    // for ftc_hit_cost cycles — no hop accesses (hence no pollution)
+    // and, in exception mode, no exception, the "hardware remembers
+    // resolved addresses" idea the paper floats.  Checked after the
+    // fault hook so an injected corruption invalidates the cache
+    // (through the mutation listener) before it could be served stale.
+    if (cfg_.ftc_enabled) {
+        if (const TranslationCache::Entry *e = ftc_.lookup(word)) {
+            // Invalidation keeps entries whose final word regrew a
+            // chain out of the cache; re-check defensively and re-walk
+            // rather than serve a non-terminal address.
+            if (!mem_.fbit(e->final_word)) {
+                ++stats_.ftc_hits;
+                const Cycles t = start + cfg_.ftc_hit_cost;
+                stats_.recordHops(0);
+                const Addr final_addr = e->final_word + offset;
+                const unsigned cached_hops = e->hops;
+                if (tracer_ && tracer_->active()) {
+                    tracer_->emit({obs::EventKind::ftc, type, t, addr,
+                                   final_addr, cached_hops, 0});
+                }
+                if (traps_.armed() && type != AccessType::prefetch) {
+                    // The user-level trap still fires — stale-pointer
+                    // tracking must see the same events with and
+                    // without the cache.  It reports the chain length
+                    // the fill-time walk measured.
+                    traps_.deliver({site, addr, final_addr, cached_hops,
+                                    pointer_slot});
+                    if (tracer_ && tracer_->active()) {
+                        tracer_->emit({obs::EventKind::trap, type, t,
+                                       addr, final_addr, cached_hops, 0});
+                    }
+                }
+                return {final_addr, 0, t, t - start, false, true};
+            }
+            stats_.ftc_invalidations += ftc_.invalidateStart(word);
+        }
+        ++stats_.ftc_misses;
     }
 
     // Real forwarding: the reference pays for each hop.
@@ -178,7 +385,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
             // target (relocation endpoints are asserted aligned), so a
             // misaligned payload proves the word was corrupted.
             const Addr pin = condemnCorrupt(word, cur, payload, site);
-            return {pin + offset, hops, t, t - start, hop_missed};
+            return {pin + offset, hops, t, t - start, hop_missed, true};
         }
         cur = wordAlign(payload);
         ++hops;
@@ -192,7 +399,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
                 ++stats_.cycles_detected;
                 const Addr pin = condemnChain(word, chk.length,
                                               chk.pre_cycle, site);
-                return {pin + offset, hops, t, t - start, hop_missed};
+                return {pin + offset, hops, t, t - start, hop_missed, true};
             }
             ++stats_.false_alarms;
             ++check_attempts;
@@ -209,7 +416,8 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
                 if (check_attempts > cfg_.max_handler_retries) {
                     const Addr pin = condemnChain(word, chk.length, cur,
                                                   site);
-                    return {pin + offset, hops, t, t - start, hop_missed};
+                    return {pin + offset, hops, t, t - start, hop_missed,
+                            true};
                 }
             }
             hop_counter = 0; // false alarm: reset and resume
@@ -221,6 +429,26 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
     stats_.hop_l1_misses += hop_missed ? 1 : 0;
     stats_.recordHops(hops);
 
+    // Lazy chain collapsing: a long-enough walk earns a rewrite of the
+    // chain head straight at the final word, so later references pay at
+    // most one hop.  The rewrite is one store to the head word (which
+    // the walk's first hop just pulled into the cache), and preserves
+    // the resolution of every pointer into the chain.
+    if (cfg_.collapse_enabled && collapse_suspend_ == 0
+        && hops >= cfg_.collapse_threshold && cur != word) {
+        self_write_ = true;
+        mem_.unforwardedWrite(word, cur, true);
+        self_write_ = false;
+        const HierarchyResult wr =
+            hierarchy_.access(word, AccessType::store, t);
+        t = wr.ready;
+        ++stats_.chains_collapsed;
+    }
+
+    // The freshly-walked translation is the best possible fill.
+    if (cfg_.ftc_enabled)
+        ftc_.insert(word, cur, hops);
+
     const Addr final_addr = cur + offset;
 
     if (traps_.armed() && type != AccessType::prefetch) {
@@ -231,7 +459,7 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
         }
     }
 
-    return {final_addr, hops, t, t - start, hop_missed};
+    return {final_addr, hops, t, t - start, hop_missed, true};
 }
 
 void
@@ -247,9 +475,17 @@ ForwardingEngine::fillMetrics(obs::MetricsNode &into) const
     into.counter("quarantine_hits", stats_.quarantine_hits);
     into.counter("handler_retries", stats_.handler_retries);
     into.counter("backoff_cycles", stats_.backoff_cycles);
+    into.counter("ftc_hits", stats_.ftc_hits);
+    into.counter("ftc_misses", stats_.ftc_misses);
+    into.counter("ftc_invalidations", stats_.ftc_invalidations);
+    into.counter("chains_collapsed", stats_.chains_collapsed);
     if (stats_.walks)
         into.gauge("hops_per_walk",
                    double(stats_.hops) / double(stats_.walks));
+    if (stats_.ftc_hits + stats_.ftc_misses)
+        into.gauge("ftc_hit_rate",
+                   double(stats_.ftc_hits)
+                       / double(stats_.ftc_hits + stats_.ftc_misses));
 
     auto &hist = into.distribution("hop_hist");
     for (std::size_t h = 0; h < stats_.hop_histogram.size(); ++h)

@@ -53,6 +53,36 @@
  *
  * A FaultInjector (core/fault_injector.hh) can be attached to corrupt
  * chains at resolve time, exercising all of the above deterministically.
+ *
+ * Two optional accelerations attack the per-reference walk cost the
+ * paper identifies as forwarding's main overhead (Section 3, Fig. 10),
+ * in the spirit of the authors' remark that hardware may remember
+ * resolved addresses:
+ *
+ *  - the *forwarding translation cache* (FTC) — a small set-associative
+ *    initial→final cache consulted after the forwarding-bit test; a hit
+ *    serves the final address for `ftc_hit_cost` cycles with no hop
+ *    accesses (and, in exception mode, no exception), and therefore no
+ *    cache pollution.  Entries are invalidated whenever the underlying
+ *    chain state mutates (TaggedMemory reports every such mutation
+ *    through FwdStateListener): a word *becoming* forwarded — a
+ *    relocation appending at a chain tail — precisely drops the entries
+ *    that resolved to it, while a mutation of an already-forwarded word
+ *    (rollback, fault injection, repair, manual Unforwarded_Write)
+ *    conservatively flushes the cache, since the word may sit in the
+ *    middle of any cached chain.
+ *  - *lazy chain collapsing* (path compression) — after a successful
+ *    walk of >= `collapse_threshold` hops, the chain-start word is
+ *    rewritten to forward directly at the final word, so every later
+ *    reference through it pays at most one hop.  The rewrite preserves
+ *    the resolution of every pointer into the chain and never touches
+ *    forwarding bits, so it is invisible to program semantics, stale
+ *    pointer delivery, and pointer comparison; it is suspended inside
+ *    transactional sections (runtime/relocation.cc) whose rollback
+ *    journal must restore the heap bit-identically.
+ *
+ * Both default off; tests/integration/test_differential.cc proves the
+ * architectural equivalence of on vs. off across every workload.
  */
 
 #ifndef MEMFWD_CORE_FORWARDING_ENGINE_HH
@@ -66,13 +96,13 @@
 #include "cache/cache_config.hh"
 #include "common/types.hh"
 #include "core/traps.hh"
+#include "mem/tagged_memory.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace memfwd
 {
 
-class TaggedMemory;
 class MemoryHierarchy;
 class FaultInjector;
 
@@ -141,6 +171,24 @@ struct ForwardingConfig
 
     /** Base of the exponential backoff charged per handler retry. */
     Cycles retry_backoff_base = 16;
+
+    // ----- forwarding translation cache + chain collapsing -------------
+
+    /** Enable the initial→final translation cache. */
+    bool ftc_enabled = false;
+
+    /** FTC sets (rounded up to a power of two) and ways. */
+    unsigned ftc_sets = 64;
+    unsigned ftc_ways = 4;
+
+    /** Cost of a reference served from the FTC, cycles. */
+    Cycles ftc_hit_cost = 1;
+
+    /** Enable lazy chain collapsing (path compression). */
+    bool collapse_enabled = false;
+
+    /** Minimum walked hops before the chain head is rewritten. */
+    unsigned collapse_threshold = 2;
 };
 
 /** Statistics the engine keeps (Figure 10(c) and friends). */
@@ -156,6 +204,10 @@ struct ForwardingStats
     std::uint64_t quarantine_hits = 0;    ///< resolves served from a pin
     std::uint64_t handler_retries = 0;    ///< exception-mode re-walks
     std::uint64_t backoff_cycles = 0;     ///< cycles spent backing off
+    std::uint64_t ftc_hits = 0;           ///< resolves served by the FTC
+    std::uint64_t ftc_misses = 0;         ///< forwarded refs the FTC missed
+    std::uint64_t ftc_invalidations = 0;  ///< FTC entries dropped by mutation
+    std::uint64_t chains_collapsed = 0;   ///< chain heads rewritten to final
     std::vector<std::uint64_t> hop_histogram; ///< [h] = refs with h hops
 
     void
@@ -171,18 +223,83 @@ struct ForwardingStats
 struct WalkResult
 {
     Addr final_addr;       ///< data address after following the chain
-    unsigned hops;         ///< chain length (0 = not forwarded)
+    unsigned hops;         ///< hops actually walked (0 on an FTC hit)
     Cycles ready;          ///< cycle at which resolution completed
     Cycles forward_cycles; ///< ready - start (time spent forwarding)
     bool hop_missed_l1;    ///< any hop access missed in L1
+
+    /**
+     * The reference observed a set forwarding bit and paid a forwarding
+     * mechanism for its resolution (walk, FTC hit, or quarantine pin).
+     * Unlike `hops`, this is invariant under the FTC and collapsing, so
+     * it is what the machine's forwarded-reference counters use.
+     * Always false in perfect mode, which models pre-updated pointers.
+     */
+    bool forwarded;
+};
+
+/**
+ * The Forwarding Translation Cache: a small set-associative, LRU-replaced
+ * cache of initial→final chain resolutions, keyed by the chain-start
+ * word.  Pure bookkeeping — the engine charges timing and maintains the
+ * hit/miss/invalidation statistics.
+ */
+class TranslationCache
+{
+  public:
+    struct Entry
+    {
+        Addr start = 0;      ///< chain-start word (the tag)
+        Addr final_word = 0; ///< resolved final word
+        unsigned hops = 0;   ///< chain length when the entry was filled
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    /** Size (and clear) the cache; sets is rounded up to a power of 2. */
+    void configure(unsigned sets, unsigned ways);
+
+    /** Cached translation for chain-start @p word, or nullptr. */
+    const Entry *lookup(Addr word);
+
+    /** As lookup(), but without promoting the entry's LRU state. */
+    Addr peek(Addr word) const;
+
+    /** Install (or refresh) the translation @p start → @p final_word. */
+    void insert(Addr start, Addr final_word, unsigned hops);
+
+    /** Drop the entry keyed by @p word; returns entries dropped (0/1). */
+    std::uint64_t invalidateStart(Addr word);
+
+    /** Drop every entry resolving to @p word; returns entries dropped. */
+    std::uint64_t invalidateFinal(Addr word);
+
+    /** Drop everything; returns entries dropped. */
+    std::uint64_t flush();
+
+    /** Valid entries currently cached. */
+    std::uint64_t entryCount() const;
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    Entry *set(Addr word);
+
+    unsigned sets_ = 0;
+    unsigned ways_ = 0;
+    std::uint64_t tick_ = 0;
+    std::vector<Entry> entries_; ///< sets_ * ways_, row-major by set
 };
 
 /** Walks forwarding chains with full timing and cache effects. */
-class ForwardingEngine
+class ForwardingEngine : public FwdStateListener
 {
   public:
     ForwardingEngine(TaggedMemory &mem, MemoryHierarchy &hierarchy,
                      const ForwardingConfig &cfg = {});
+
+    ~ForwardingEngine() override;
 
     /**
      * Resolve the chain for a reference to @p addr beginning at cycle
@@ -218,6 +335,32 @@ class ForwardingEngine
 
     /** Pin of the quarantined chain at @p word (0 = not quarantined). */
     Addr quarantinePin(Addr word) const;
+
+    /**
+     * FwdStateListener: a chain mutated under the translation cache.
+     * A word that just *became* forwarded can only be a chain tail, so
+     * the entries resolving to it are dropped precisely; any other
+     * mutation (an already-forwarded word rewritten or cleared) flushes
+     * the cache, since the word may be interior to any cached chain.
+     */
+    void fwdStateChanged(Addr word, bool was_fbit) override;
+
+    /** Cached FTC final word for @p addr, or 0 — test introspection. */
+    Addr ftcPeek(Addr addr) const;
+
+    /**
+     * Suspend/resume lazy chain collapsing (nests).  Transactional
+     * sections whose rollback must restore the heap bit-identically —
+     * relocate() — hold a suspension across every resolve they cause.
+     */
+    void suspendCollapse() { ++collapse_suspend_; }
+
+    void
+    resumeCollapse()
+    {
+        if (collapse_suspend_ > 0)
+            --collapse_suspend_;
+    }
 
     const ForwardingConfig &config() const { return cfg_; }
     const ForwardingStats &stats() const { return stats_; }
@@ -255,8 +398,31 @@ class ForwardingEngine
     FaultInjector *faults_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
 
+    TranslationCache ftc_;
+    unsigned collapse_suspend_ = 0;
+    bool self_write_ = false; ///< the collapse rewrite is in flight
+
     /** Chain-start word -> pinned resolution address. */
     std::unordered_map<Addr, Addr> quarantined_;
+};
+
+/** RAII suspension of lazy chain collapsing over a scope. */
+class ScopedCollapseSuspend
+{
+  public:
+    explicit ScopedCollapseSuspend(ForwardingEngine &engine)
+        : engine_(engine)
+    {
+        engine_.suspendCollapse();
+    }
+
+    ~ScopedCollapseSuspend() { engine_.resumeCollapse(); }
+
+    ScopedCollapseSuspend(const ScopedCollapseSuspend &) = delete;
+    ScopedCollapseSuspend &operator=(const ScopedCollapseSuspend &) = delete;
+
+  private:
+    ForwardingEngine &engine_;
 };
 
 } // namespace memfwd

@@ -36,7 +36,13 @@ TaggedMemory::rawReadWord(Addr addr) const
 void
 TaggedMemory::rawWriteWord(Addr addr, Word value)
 {
-    page(addr).data[(addr % pageBytes) >> wordShift] = value;
+    Page &p = page(addr);
+    const unsigned idx = (addr % pageBytes) >> wordShift;
+    // Rewriting the payload of a forwarding word redirects its chain.
+    const bool notify = listener_ && p.fbits[idx] && p.data[idx] != value;
+    p.data[idx] = value;
+    if (notify)
+        listener_->fwdStateChanged(wordAlign(addr), true);
 }
 
 bool
@@ -51,7 +57,12 @@ TaggedMemory::fbit(Addr addr) const
 void
 TaggedMemory::setFBit(Addr addr, bool value)
 {
-    page(addr).fbits[(addr % pageBytes) >> wordShift] = value;
+    Page &p = page(addr);
+    const unsigned idx = (addr % pageBytes) >> wordShift;
+    const bool old = p.fbits[idx];
+    p.fbits[idx] = value;
+    if (listener_ && old != value)
+        listener_->fwdStateChanged(wordAlign(addr), old);
 }
 
 void
@@ -59,10 +70,17 @@ TaggedMemory::unforwardedWrite(Addr addr, Word value, bool fbit_value)
 {
     Page &p = page(addr);
     const unsigned idx = (addr % pageBytes) >> wordShift;
+    const bool old = p.fbits[idx];
+    // Untagged data staying untagged is the common, chain-neutral case;
+    // everything else can redirect, create, or sever a chain.
+    const bool notify = listener_ && (old || fbit_value)
+                        && (old != fbit_value || p.data[idx] != value);
     // Simulated memory is single-threaded, so updating both fields
     // back-to-back models the atomic word+tag write the ISA requires.
     p.data[idx] = value;
     p.fbits[idx] = fbit_value;
+    if (notify)
+        listener_->fwdStateChanged(wordAlign(addr), old);
 }
 
 std::uint64_t

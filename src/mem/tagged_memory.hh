@@ -49,6 +49,31 @@
 namespace memfwd
 {
 
+/**
+ * Observer of forwarding-state mutations.
+ *
+ * Anything that caches derived chain state (the forwarding engine's
+ * translation cache) registers one of these with the TaggedMemory it
+ * reads through.  The callback fires after any mutation that can
+ * change how a chain resolves: a forwarding bit flipping either way
+ * (setFBit, unforwardedWrite, initializeRegion) or the payload of an
+ * already-forwarded word being rewritten (rawWriteWord,
+ * unforwardedWrite).  Plain data writes to untagged words do not
+ * notify.
+ */
+class FwdStateListener
+{
+  public:
+    virtual ~FwdStateListener() = default;
+
+    /**
+     * The word at @p word changed forwarding-relevant state;
+     * @p was_fbit is the word's forwarding bit *before* the mutation
+     * (the new state is readable from the memory itself).
+     */
+    virtual void fwdStateChanged(Addr word, bool was_fbit) = 0;
+};
+
 /** Sparse, paged, word-tagged simulated memory. */
 class TaggedMemory
 {
@@ -117,6 +142,18 @@ class TaggedMemory
     void forEachForwardedWord(
         const std::function<void(Addr, Word)> &fn) const;
 
+    /**
+     * Register (or clear, with nullptr) the forwarding-state listener.
+     * At most one listener is supported — exactly one forwarding
+     * engine reads through any given memory.  Not owned.
+     */
+    void setFwdStateListener(FwdStateListener *listener)
+    {
+        listener_ = listener;
+    }
+
+    FwdStateListener *fwdStateListener() const { return listener_; }
+
     /** Number of pages currently materialized (for space accounting). */
     std::size_t pagesAllocated() const { return pages_.size(); }
 
@@ -137,6 +174,7 @@ class TaggedMemory
     const Page *pageIfPresent(Addr addr) const;
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    FwdStateListener *listener_ = nullptr;
 };
 
 } // namespace memfwd

@@ -7,9 +7,9 @@
  * run), gauges (derived ratios/averages) and distributions (hop
  * counts, chain lengths, trap latencies).  The Machine composes its
  * components' trees into one machine tree whose *flattened* dotted
- * names are exactly the names the legacy `Machine::collectStats`
- * registry used ("l1d.load_hits", "fwd.walks", ...), which is what
- * lets `collectStats` survive as a thin shim.
+ * names are exactly the names the pre-observability flat registry
+ * used ("l1d.load_hits", "fwd.walks", ...) — flatten() is the
+ * supported path to a StatsRegistry.
  *
  * The JSON export is versioned; docs/METRICS.md documents the schema
  * and the name-stability policy.

@@ -19,8 +19,8 @@
  *                         about:tracing loads directly, one track per
  *                         event kind, timestamps in simulated cycles.
  *
- * This replaces the single-callback `Machine::setTraceHook`; the old
- * API survives one PR as a shim that registers a filtering sink.
+ * This replaced the old single-callback `Machine::setTraceHook`;
+ * registering a TraceSink is the one tracing API.
  */
 
 #ifndef MEMFWD_OBS_TRACE_HH
@@ -46,7 +46,8 @@ enum class EventKind : std::uint8_t
     relocation, ///< relocate() moved words and installed a chain
     trap,       ///< user-level forwarding trap delivered
     cache_miss, ///< demand reference missed L1
-    rollback    ///< transactional relocation rolled back
+    rollback,   ///< transactional relocation rolled back
+    ftc         ///< reference served by the forwarding translation cache
 };
 
 const char *eventKindName(EventKind kind);

@@ -5,7 +5,6 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
-#include "common/stats_registry.hh"
 #include "mem/tagged_memory.hh"
 
 namespace memfwd
@@ -102,16 +101,6 @@ AuditReport::fillMetrics(obs::MetricsNode &into) const
     auto &lengths = into.distribution("chain_lengths");
     for (const AuditChain &c : chains)
         lengths.record(c.length);
-}
-
-void
-AuditReport::registerStats(StatsRegistry &reg,
-                           const std::string &prefix) const
-{
-    // Shim kept for one release: flatten() writes exactly the names this
-    // function used to register by hand (plus the chain_lengths
-    // distribution summary).
-    metrics().flatten(reg, prefix);
 }
 
 void

@@ -21,8 +21,8 @@
  *
  * The audit is purely functional — no timing, no cache effects — and
  * is meant to run between phases or after a workload, the way a fsck
- * runs on an unmounted filesystem.  Counters can be registered into a
- * StatsRegistry for dumping alongside machine statistics.
+ * runs on an unmounted filesystem.  Counters export through metrics()
+ * (flatten it for a legacy-style registry of "audit.*" names).
  */
 
 #ifndef MEMFWD_RUNTIME_HEAP_VERIFIER_HH
@@ -40,7 +40,6 @@ namespace memfwd
 {
 
 class TaggedMemory;
-class StatsRegistry;
 
 /** Summary of one forwarding chain, walked from its head. */
 struct AuditChain
@@ -90,13 +89,6 @@ struct AuditReport
         fillMetrics(n);
         return n;
     }
-
-    /**
-     * Register every counter under @p prefix (default "audit.").
-     * DEPRECATED: thin shim over metrics().flatten(); prefer metrics().
-     */
-    void registerStats(StatsRegistry &reg,
-                       const std::string &prefix = "audit.") const;
 
     /** Human-readable dump (one line per violation, plus totals). */
     void dump(std::ostream &os) const;

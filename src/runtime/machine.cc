@@ -6,26 +6,6 @@
 namespace memfwd
 {
 
-/**
- * Adapts a legacy TraceHook to the sink API: the hook observes every
- * demand reference's final address, exactly as before.
- */
-class Machine::LegacyHookSink : public obs::TraceSink
-{
-  public:
-    explicit LegacyHookSink(TraceHook hook) : hook_(std::move(hook)) {}
-
-    void
-    emit(const obs::TraceEvent &e) override
-    {
-        if (e.kind == obs::EventKind::reference)
-            hook_(e.addr2, e.size, e.access);
-    }
-
-  private:
-    TraceHook hook_;
-};
-
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg)
 {
@@ -39,19 +19,6 @@ Machine::Machine(const MachineConfig &cfg)
 }
 
 Machine::~Machine() = default;
-
-void
-Machine::setTraceHook(TraceHook hook)
-{
-    if (legacy_hook_) {
-        tracer_.removeSink(legacy_hook_.get());
-        legacy_hook_.reset();
-    }
-    if (hook) {
-        legacy_hook_ = std::make_unique<LegacyHookSink>(std::move(hook));
-        tracer_.addSink(legacy_hook_.get());
-    }
-}
 
 void
 Machine::setFaultInjector(FaultInjector *faults)
@@ -81,7 +48,7 @@ Machine::load(Addr addr, unsigned size, Cycles addr_ready, SiteId site,
     const std::uint64_t value = mem_.readBytes(w.final_addr, size);
 
     ++loads_;
-    if (w.hops > 0)
+    if (w.forwarded)
         ++loads_forwarded_;
 
     const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
@@ -114,7 +81,7 @@ Machine::store(Addr addr, unsigned size, std::uint64_t value,
     mem_.writeBytes(w.final_addr, size, value);
 
     ++stores_;
-    if (w.hops > 0)
+    if (w.forwarded)
         ++stores_forwarded_;
     if (tracer_.active()) {
         tracer_.emit({obs::EventKind::reference, AccessType::store,
@@ -245,15 +212,6 @@ Machine::metrics() const
         tlb_->fillMetrics(root.child("tlb"));
 
     return root;
-}
-
-void
-Machine::collectStats(StatsRegistry &reg, const std::string &prefix) const
-{
-    // Deprecated: the flat registry is now just a flattening of the
-    // metrics tree (identical names and values, plus the new metrics
-    // the tree grew).
-    metrics().flatten(reg, prefix);
 }
 
 } // namespace memfwd

@@ -23,12 +23,10 @@
 #define MEMFWD_RUNTIME_MACHINE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "cache/hierarchy.hh"
 #include "cache/prefetcher.hh"
-#include "common/stats_registry.hh"
 #include "common/types.hh"
 #include "core/forwarding_engine.hh"
 #include "cpu/ooo_cpu.hh"
@@ -117,6 +115,41 @@ struct MachineConfig
     cyclePolicy(CyclePolicy policy)
     {
         forwarding.cycle_policy = policy;
+        return *this;
+    }
+
+    /** Enable/disable the forwarding translation cache. */
+    MachineConfig &
+    ftc(bool on = true)
+    {
+        forwarding.ftc_enabled = on;
+        return *this;
+    }
+
+    /** FTC geometry; implies ftc(true). */
+    MachineConfig &
+    ftcGeometry(unsigned sets, unsigned ways)
+    {
+        forwarding.ftc_enabled = true;
+        forwarding.ftc_sets = sets;
+        forwarding.ftc_ways = ways;
+        return *this;
+    }
+
+    /** Enable/disable lazy chain collapsing. */
+    MachineConfig &
+    collapse(bool on = true)
+    {
+        forwarding.collapse_enabled = on;
+        return *this;
+    }
+
+    /** Collapse threshold (hops); implies collapse(true). */
+    MachineConfig &
+    collapseThreshold(unsigned hops)
+    {
+        forwarding.collapse_enabled = true;
+        forwarding.collapse_threshold = hops;
         return *this;
     }
 
@@ -244,17 +277,6 @@ class Machine
     const obs::Tracer &tracer() const { return tracer_; }
 
     /**
-     * DEPRECATED shim over tracer() — removed one PR after the obs
-     * layer landed (see docs/API.md).  Installs @p hook as a sink that
-     * sees every demand reference's final address; nullptr clears it.
-     * New code registers an obs::TraceSink instead.
-     */
-    using TraceHook =
-        std::function<void(Addr final_addr, unsigned size, AccessType)>;
-
-    void setTraceHook(TraceHook hook);
-
-    /**
      * Attach (or clear, with nullptr) a fault injector.  The engine
      * consults it at resolve time; the runtime (allocator, relocation)
      * consults it through faultInjector().  Not owned.
@@ -273,17 +295,10 @@ class Machine
     /**
      * The machine's full hierarchical metrics tree: every component's
      * counters, gauges and distributions under stable dotted names
-     * (docs/METRICS.md).  Flattening this tree reproduces the legacy
-     * collectStats() registry exactly.
+     * (docs/METRICS.md).  `metrics().flatten(reg, prefix)` reproduces
+     * the legacy flat-registry names.
      */
     obs::MetricsNode metrics() const;
-
-    /**
-     * DEPRECATED shim over metrics().flatten() — removed one PR after
-     * the obs layer landed (see docs/API.md).  Dumps every statistic
-     * into @p reg under @p prefix.
-     */
-    void collectStats(StatsRegistry &reg, const std::string &prefix) const;
 
   private:
     /** TLB lookup applied to a reference's final address. */
@@ -304,10 +319,6 @@ class Machine
     std::uint64_t stores_forwarded_ = 0;
 
     obs::Tracer tracer_;
-
-    /** Adapter keeping the deprecated setTraceHook() working. */
-    class LegacyHookSink;
-    std::unique_ptr<LegacyHookSink> legacy_hook_;
 };
 
 } // namespace memfwd

@@ -67,6 +67,12 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
     std::vector<Step> journal;
     journal.reserve(n_words);
 
+    // The timed stores below resolve the target's chain; a lazy
+    // collapse there would rewrite a forwarding word the journal never
+    // captured, so collapsing is suspended for the whole transaction —
+    // rollback must restore the heap bit-identically.
+    ScopedCollapseSuspend no_collapse(machine.forwarding());
+
     FaultInjector *faults = machine.faultInjector();
 
     try {

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the forwarding translation cache and lazy chain
+ * collapsing: the TranslationCache container itself, the engine's hit
+ * timing, precise invalidation through the TaggedMemory mutation
+ * listener, and the collapse rewrite and its transactional suspension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "core/cycle_check.hh"
+#include "core/forwarding_engine.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+struct Rig
+{
+    TaggedMemory mem;
+    MemoryHierarchy hierarchy{HierarchyConfig{}};
+    ForwardingEngine engine{mem, hierarchy, ForwardingConfig{}};
+
+    explicit Rig(ForwardingConfig cfg = {})
+        : engine(mem, hierarchy, cfg)
+    {}
+};
+
+ForwardingConfig
+ftcConfig()
+{
+    ForwardingConfig cfg;
+    cfg.ftc_enabled = true;
+    return cfg;
+}
+
+ForwardingConfig
+collapseConfig(unsigned threshold = 2)
+{
+    ForwardingConfig cfg;
+    cfg.collapse_enabled = true;
+    cfg.collapse_threshold = threshold;
+    return cfg;
+}
+
+// ----- TranslationCache container --------------------------------------
+
+TEST(TranslationCache, ConfigureRoundsSetsToPowerOfTwo)
+{
+    TranslationCache c;
+    c.configure(6, 2);
+    EXPECT_EQ(c.sets(), 8u);
+    EXPECT_EQ(c.ways(), 2u);
+    EXPECT_EQ(c.entryCount(), 0u);
+
+    c.configure(0, 0); // degenerate inputs clamp to 1x1
+    EXPECT_EQ(c.sets(), 1u);
+    EXPECT_EQ(c.ways(), 1u);
+}
+
+TEST(TranslationCache, LookupPromotesAndInsertEvictsLru)
+{
+    TranslationCache c;
+    c.configure(1, 2); // one set: every address collides
+
+    c.insert(0x1000, 0xa000, 3);
+    c.insert(0x2000, 0xb000, 1);
+    EXPECT_EQ(c.entryCount(), 2u);
+
+    // Promote 0x1000: 0x2000 becomes the LRU victim.
+    const TranslationCache::Entry *e = c.lookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->final_word, 0xa000u);
+    EXPECT_EQ(e->hops, 3u);
+
+    c.insert(0x3000, 0xc000, 2);
+    EXPECT_EQ(c.entryCount(), 2u);
+    EXPECT_EQ(c.lookup(0x2000), nullptr);
+    EXPECT_NE(c.lookup(0x1000), nullptr);
+    EXPECT_NE(c.lookup(0x3000), nullptr);
+}
+
+TEST(TranslationCache, InsertRefreshesExistingEntryInPlace)
+{
+    TranslationCache c;
+    c.configure(1, 2);
+    c.insert(0x1000, 0xa000, 1);
+    c.insert(0x1000, 0xd000, 4); // same start: refresh, not duplicate
+    EXPECT_EQ(c.entryCount(), 1u);
+    const TranslationCache::Entry *e = c.lookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->final_word, 0xd000u);
+    EXPECT_EQ(e->hops, 4u);
+}
+
+TEST(TranslationCache, PeekDoesNotPromoteLru)
+{
+    TranslationCache c;
+    c.configure(1, 2);
+    c.insert(0x1000, 0xa000, 1); // older
+    c.insert(0x2000, 0xb000, 1); // newer
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(c.peek(0x1000), 0xa000u);
+
+    // Had peek promoted 0x1000, the victim would be 0x2000.
+    c.insert(0x3000, 0xc000, 1);
+    EXPECT_EQ(c.peek(0x1000), 0u);
+    EXPECT_EQ(c.peek(0x2000), 0xb000u);
+}
+
+TEST(TranslationCache, InvalidationPrimitivesReportDropCounts)
+{
+    TranslationCache c;
+    c.configure(4, 2);
+    // Consecutive words map to consecutive sets: no aliasing here.
+    c.insert(0x1000, 0xa000, 1);
+    c.insert(0x1008, 0xa000, 2); // same final word as 0x1000
+    c.insert(0x1010, 0xb000, 1);
+
+    EXPECT_EQ(c.invalidateStart(0x1010), 1u);
+    EXPECT_EQ(c.invalidateStart(0x1010), 0u); // already gone
+    EXPECT_EQ(c.invalidateFinal(0xa000), 2u); // both entries resolving there
+    EXPECT_EQ(c.entryCount(), 0u);
+
+    c.insert(0x1000, 0xa000, 1);
+    c.insert(0x1008, 0xb000, 1);
+    EXPECT_EQ(c.flush(), 2u);
+    EXPECT_EQ(c.flush(), 0u);
+}
+
+// ----- FTC fast path ---------------------------------------------------
+
+TEST(FtcEngine, HitServesFinalAddressForHitCost)
+{
+    Rig rig(ftcConfig());
+    rig.mem.rawWriteWord(0x1000, 99);
+    rig.engine.forwardWord(0x1000, 0x2000);
+
+    const WalkResult first = rig.engine.resolve(0x1004, AccessType::load, 0);
+    EXPECT_EQ(first.hops, 1u);
+    EXPECT_TRUE(first.forwarded);
+    EXPECT_EQ(rig.engine.stats().ftc_misses, 1u);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0x2000u);
+
+    const WalkResult hit = rig.engine.resolve(0x1004, AccessType::load, 100);
+    EXPECT_EQ(hit.final_addr, 0x2004u); // byte offset preserved
+    EXPECT_EQ(hit.hops, 0u);
+    EXPECT_TRUE(hit.forwarded);
+    // Exactly the configured hit cost: no hierarchy access was charged,
+    // which is also the proof the hit does not pollute the cache.
+    EXPECT_EQ(hit.forward_cycles, rig.engine.config().ftc_hit_cost);
+    EXPECT_EQ(hit.ready, 100 + rig.engine.config().ftc_hit_cost);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 1u);
+    EXPECT_EQ(rig.engine.stats().walks, 1u); // the hit is not a walk
+}
+
+TEST(FtcEngine, NonForwardedReferencesNeverTouchTheFtc)
+{
+    Rig rig(ftcConfig());
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_FALSE(w.forwarded);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 0u);
+    EXPECT_EQ(rig.engine.stats().ftc_misses, 0u);
+}
+
+TEST(FtcEngine, TailAppendInvalidatesPrecisely)
+{
+    Rig rig(ftcConfig());
+    // Two independent chains, both cached.
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x8000, 0x9000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    rig.engine.resolve(0x8000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0x2000u);
+    EXPECT_EQ(rig.engine.ftcPeek(0x8000), 0x9000u);
+
+    // Relocating 0x2000 appends at the first chain's tail: only the
+    // entry resolving to 0x2000 may be dropped.
+    rig.engine.forwardWord(0x2000, 0x3000);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0u);
+    EXPECT_EQ(rig.engine.ftcPeek(0x8000), 0x9000u);
+    EXPECT_EQ(rig.engine.stats().ftc_invalidations, 1u);
+
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x3000u);
+    EXPECT_EQ(w.hops, 2u);
+}
+
+TEST(FtcEngine, ForwardedWordMutationFlushesConservatively)
+{
+    Rig rig(ftcConfig());
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x8000, 0x9000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    rig.engine.resolve(0x8000, AccessType::load, 0);
+
+    // Redirecting an already-forwarded word could sever any cached
+    // chain mid-way: everything goes.
+    rig.mem.unforwardedWrite(0x1000, 0x4000, true);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0u);
+    EXPECT_EQ(rig.engine.ftcPeek(0x8000), 0u);
+    EXPECT_EQ(rig.engine.stats().ftc_invalidations, 2u);
+
+    EXPECT_EQ(rig.engine.resolve(0x1000, AccessType::load, 0).final_addr,
+              0x4000u);
+}
+
+TEST(FtcEngine, StaleEntryRecheckFallsBackToTheWalk)
+{
+    // If the listener is detached (an embedder wiring its own), a tail
+    // append leaves a stale entry behind; the defensive final-word
+    // re-check must drop it and re-walk instead of serving a
+    // non-terminal address.
+    Rig rig(ftcConfig());
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0x2000u);
+
+    rig.mem.setFwdStateListener(nullptr);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0x2000u); // stale, by design
+
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x3000u);
+    EXPECT_EQ(w.hops, 2u);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 0u);
+    EXPECT_GE(rig.engine.stats().ftc_invalidations, 1u);
+}
+
+TEST(FtcEngine, ExceptionModeHitSkipsTheDispatchCost)
+{
+    ForwardingConfig cfg = ftcConfig();
+    cfg.mode = ForwardingConfig::Mode::exception;
+    cfg.exception_cost = 30;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x2000);
+
+    const WalkResult miss = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_GE(miss.forward_cycles, cfg.exception_cost);
+
+    const WalkResult hit = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(hit.forward_cycles, cfg.ftc_hit_cost);
+    EXPECT_LT(hit.forward_cycles, cfg.exception_cost);
+}
+
+TEST(FtcEngine, HitStillDeliversTheUserTrap)
+{
+    Rig rig(ftcConfig());
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    rig.engine.resolve(0x1004, AccessType::load, 0);
+
+    unsigned fired = 0;
+    TrapInfo seen{};
+    rig.engine.traps().install([&](const TrapInfo &info) {
+        ++fired;
+        seen = info;
+        return TrapAction::resume;
+    });
+    rig.engine.resolve(0x1004, AccessType::load, 0, /*site=*/7,
+                       /*pointer_slot=*/0x6000);
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(seen.site, 7u);
+    EXPECT_EQ(seen.initial_addr, 0x1004u);
+    EXPECT_EQ(seen.final_addr, 0x3004u);
+    EXPECT_EQ(seen.hops, 2u); // the fill-time chain length
+    EXPECT_EQ(seen.pointer_slot, 0x6000u);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 1u);
+}
+
+TEST(FtcEngine, QuarantinePinIsServedBeforeTheFtc)
+{
+    ForwardingConfig cfg = ftcConfig();
+    cfg.hop_limit = 4;
+    cfg.cycle_policy = CyclePolicy::quarantine;
+    Rig rig(cfg);
+    rig.mem.unforwardedWrite(0x1000, 0x2000, true);
+    rig.mem.unforwardedWrite(0x2000, 0x1000, true);
+
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.stats().cycles_quarantined, 1u);
+
+    const WalkResult again = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_TRUE(again.forwarded);
+    EXPECT_EQ(rig.engine.stats().quarantine_hits, 1u);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 0u); // pin wins, cache unused
+}
+
+// ----- lazy chain collapsing ------------------------------------------
+
+TEST(Collapse, LongWalkRewritesTheChainHead)
+{
+    Rig rig(collapseConfig(2));
+    rig.mem.rawWriteWord(0x1000, 1234);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    rig.engine.forwardWord(0x3000, 0x4000);
+
+    const WalkResult w = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(w.final_addr, 0x4000u);
+    EXPECT_EQ(w.hops, 3u);
+    EXPECT_EQ(rig.engine.stats().chains_collapsed, 1u);
+    // The head now forwards straight at the final word...
+    EXPECT_TRUE(rig.mem.fbit(0x1000));
+    EXPECT_EQ(rig.mem.rawReadWord(0x1000), 0x4000u);
+    // ...so the next reference pays exactly one hop.
+    const WalkResult again = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(again.final_addr, 0x4000u);
+    EXPECT_EQ(again.hops, 1u);
+    EXPECT_EQ(rig.mem.rawReadWord(0x4000), 1234u);
+}
+
+TEST(Collapse, MidChainPointersStillResolveAfterCollapse)
+{
+    Rig rig(collapseConfig(2));
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    rig.engine.forwardWord(0x3000, 0x4000);
+    rig.engine.resolve(0x1000, AccessType::load, 0); // collapses the head
+
+    // A pointer into the middle of the chain is untouched by the
+    // rewrite and still reaches the same final word.
+    const WalkResult mid = rig.engine.resolve(0x2004, AccessType::load, 0);
+    EXPECT_EQ(mid.final_addr, 0x4004u);
+}
+
+TEST(Collapse, ShortChainsStayBelowTheThreshold)
+{
+    Rig rig(collapseConfig(2));
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.stats().chains_collapsed, 0u);
+    EXPECT_EQ(rig.mem.rawReadWord(0x1000), 0x2000u);
+}
+
+TEST(Collapse, ScopedSuspensionBlocksTheRewrite)
+{
+    Rig rig(collapseConfig(2));
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+
+    {
+        ScopedCollapseSuspend guard(rig.engine);
+        rig.engine.resolve(0x1000, AccessType::load, 0);
+        EXPECT_EQ(rig.engine.stats().chains_collapsed, 0u);
+        EXPECT_EQ(rig.mem.rawReadWord(0x1000), 0x2000u) << "untouched";
+    }
+
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.stats().chains_collapsed, 1u);
+    EXPECT_EQ(rig.mem.rawReadWord(0x1000), 0x3000u);
+}
+
+TEST(Collapse, SuspensionNests)
+{
+    Rig rig(collapseConfig(2));
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    {
+        ScopedCollapseSuspend outer(rig.engine);
+        {
+            ScopedCollapseSuspend inner(rig.engine);
+        }
+        rig.engine.resolve(0x1000, AccessType::load, 0);
+        EXPECT_EQ(rig.engine.stats().chains_collapsed, 0u)
+            << "still suspended until the outer scope closes";
+    }
+}
+
+TEST(Collapse, RewriteDoesNotInvalidateItsOwnFtcEntry)
+{
+    // Both accelerations on: the collapse store is a semantics-preserving
+    // self-write and must not flush the cache it is about to fill.
+    ForwardingConfig cfg = ftcConfig();
+    cfg.collapse_enabled = true;
+    cfg.collapse_threshold = 2;
+    Rig rig(cfg);
+    rig.engine.forwardWord(0x1000, 0x2000);
+    rig.engine.forwardWord(0x2000, 0x3000);
+    rig.engine.forwardWord(0x3000, 0x4000);
+
+    rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(rig.engine.stats().chains_collapsed, 1u);
+    EXPECT_EQ(rig.engine.stats().ftc_invalidations, 0u);
+    EXPECT_EQ(rig.engine.ftcPeek(0x1000), 0x4000u);
+
+    const WalkResult hit = rig.engine.resolve(0x1000, AccessType::load, 0);
+    EXPECT_EQ(hit.hops, 0u);
+    EXPECT_EQ(hit.final_addr, 0x4000u);
+    EXPECT_EQ(rig.engine.stats().ftc_hits, 1u);
+}
+
+} // namespace
+} // namespace memfwd

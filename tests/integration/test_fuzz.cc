@@ -2,16 +2,20 @@
  * Randomized structural fuzzing: layout optimizations applied to
  * randomly shaped structures must preserve contents, order, and
  * reachability — for any shape, repeatedly, interleaved with mutation.
+ * Every fuzzer runs with the FTC + chain-collapsing accelerations both
+ * off and on: acceleration must never change what a structure holds.
  */
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
+#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 #include "runtime/subtree_cluster.hh"
 
@@ -19,6 +23,23 @@ namespace memfwd
 {
 namespace
 {
+
+/** Seed + whether the FTC and collapsing are enabled. */
+using FuzzParam = std::tuple<std::uint64_t, bool>;
+
+MachineConfig
+fuzzConfig(bool accelerated)
+{
+    return accelerated ? MachineConfig{}.ftc().collapse()
+                       : MachineConfig{};
+}
+
+std::string
+fuzzParamName(const ::testing::TestParamInfo<FuzzParam> &info)
+{
+    return "s" + std::to_string(std::get<0>(info.param))
+           + (std::get<1>(info.param) ? "_accel" : "_plain");
+}
 
 // ---------------------------------------------------------------------
 // Random trees through subtreeCluster.
@@ -29,16 +50,17 @@ constexpr unsigned t_left = 0;
 constexpr unsigned t_right = 8;
 constexpr unsigned t_key = 16;
 
-class RandomTreeFuzz : public ::testing::TestWithParam<std::uint64_t>
+class RandomTreeFuzz : public ::testing::TestWithParam<FuzzParam>
 {
 };
 
 TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
 {
     setVerbose(false);
-    Rng rng(GetParam());
-    Machine m;
-    SimAllocator alloc(m, GetParam());
+    const std::uint64_t seed = testSeed(std::get<0>(GetParam()));
+    Rng rng(seed);
+    Machine m(fuzzConfig(std::get<1>(GetParam())));
+    SimAllocator alloc(m, seed);
     RelocationPool pool(alloc, 8 << 20);
 
     const Addr root_handle = alloc.alloc(8);
@@ -104,23 +126,27 @@ TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeFuzz,
-                         ::testing::Values(101u, 202u, 303u, 404u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomTreeFuzz,
+    ::testing::Combine(::testing::Values(101u, 202u, 303u, 404u),
+                       ::testing::Bool()),
+    fuzzParamName);
 
 // ---------------------------------------------------------------------
 // Random lists through repeated linearization + splicing.
 // ---------------------------------------------------------------------
 
-class RandomListFuzz : public ::testing::TestWithParam<std::uint64_t>
+class RandomListFuzz : public ::testing::TestWithParam<FuzzParam>
 {
 };
 
 TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
 {
     setVerbose(false);
-    Rng rng(GetParam());
-    Machine m;
-    SimAllocator alloc(m, GetParam() ^ 0xf00);
+    const std::uint64_t seed = testSeed(std::get<0>(GetParam()));
+    Rng rng(seed);
+    Machine m(fuzzConfig(std::get<1>(GetParam())));
+    SimAllocator alloc(m, seed ^ 0xf00);
     RelocationPool pool(alloc, 16 << 20);
 
     const Addr head = alloc.alloc(8);
@@ -178,8 +204,110 @@ TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
     checkAgainstModel();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomListFuzz,
-                         ::testing::Values(7u, 14u, 21u, 28u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomListFuzz,
+    ::testing::Combine(::testing::Values(7u, 14u, 21u, 28u),
+                       ::testing::Bool()),
+    fuzzParamName);
+
+// ---------------------------------------------------------------------
+// Relocation / collapse / cycle interleavings under quarantine.
+// ---------------------------------------------------------------------
+
+/** Seed + machine flavor (0 plain, 1 accelerated, 2 accel+exception). */
+class ChainInterleavingFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+};
+
+TEST_P(ChainInterleavingFuzz, QuarantinedCyclesNeverDerailCleanChains)
+{
+    setVerbose(false);
+    const std::uint64_t seed = testSeed(std::get<0>(GetParam()) + 0xc0de);
+    const int flavor = std::get<1>(GetParam());
+
+    MachineConfig cfg = fuzzConfig(flavor >= 1);
+    cfg.cyclePolicy(CyclePolicy::quarantine).hopLimit(6);
+    if (flavor == 2)
+        cfg.forwardingMode(MachineConfig::Mode::exception);
+    Machine m(cfg);
+    Rng rng(seed);
+
+    // One-word objects at fixed slots; relocation targets from a bump.
+    constexpr unsigned n_objects = 16;
+    constexpr Addr base = 0x00200000;
+    Addr bump = 0x05000000;
+    std::vector<std::uint64_t> model(n_objects);
+    std::vector<bool> poisoned(n_objects, false);
+    for (unsigned k = 0; k < n_objects; ++k) {
+        model[k] = seed ^ (k * 977);
+        m.store(base + k * 0x80, 8, model[k]);
+    }
+
+    unsigned cycles_made = 0;
+    for (unsigned op = 0; op < 500; ++op) {
+        const unsigned k = unsigned(rng.below(n_objects));
+        const Addr head = base + k * 0x80;
+        const std::uint64_t pick = rng.below(100);
+        if (pick < 40) {
+            // A load through the (possibly long, possibly collapsed)
+            // chain: clean objects must match the model; poisoned ones
+            // must simply keep resolving without throwing.
+            const LoadResult r = m.load(head, 8);
+            if (!poisoned[k])
+                EXPECT_EQ(r.value, model[k]) << "object " << k;
+        } else if (pick < 65) {
+            if (!poisoned[k]) {
+                const std::uint64_t v = rng.next();
+                m.store(head, 8, v);
+                model[k] = v;
+            }
+        } else if (pick < 90) {
+            // Chains only grow on healthy objects: relocate() walks the
+            // source chain and would (correctly) quarantine a poisoned
+            // one mid-transaction.
+            if (!poisoned[k]) {
+                relocate(m, head, bump, 1);
+                bump += 0x40;
+            }
+        } else {
+            // Close the chain into a cycle: tail re-forwarded at the
+            // head.  Resolution quarantines it and execution continues.
+            if (!poisoned[k] && m.readFBit(head)) {
+                const Addr tail = chaseChain(m, head);
+                if (tail != head) {
+                    m.unforwardedWrite(tail, head, true);
+                    poisoned[k] = true;
+                    ++cycles_made;
+                }
+            }
+        }
+    }
+
+    // Every healthy object still reads its model value; every poisoned
+    // one resolves from its pin without throwing.
+    for (unsigned k = 0; k < n_objects; ++k) {
+        const LoadResult r = m.load(base + k * 0x80, 8);
+        if (!poisoned[k])
+            EXPECT_EQ(r.value, model[k]) << "object " << k;
+    }
+    const auto &st = m.forwarding().stats();
+    EXPECT_EQ(st.cycles_quarantined, cycles_made);
+    if (cycles_made > 0)
+        EXPECT_GE(st.cycles_detected, cycles_made);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChainInterleavingFuzz,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u, 55u, 66u),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto &info) {
+        const int f = std::get<1>(info.param);
+        const char *kind =
+            f == 0 ? "plain" : (f == 1 ? "accel" : "accel_exc");
+        return std::string(kind) + "_s"
+               + std::to_string(std::get<0>(info.param));
+    });
 
 } // namespace
 } // namespace memfwd

@@ -38,16 +38,34 @@ pointersEqualViaChase(Machine &m, Addr a, Addr b)
     return chaseChain(m, a) == chaseChain(m, b);
 }
 
-class RandomOpsProperty : public ::testing::TestWithParam<std::uint64_t>
+class RandomOpsProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
 {
 };
+
+/** The acceleration matrix the property holds under (0 = plain). */
+MachineConfig
+propertyConfig(int features)
+{
+    switch (features) {
+      case 1:
+        return MachineConfig{}.ftc();
+      case 2:
+        return MachineConfig{}.collapse();
+      case 3:
+        return MachineConfig{}.ftc().collapse();
+      default:
+        return MachineConfig{};
+    }
+}
 
 TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
 {
     setVerbose(false);
-    Rng rng(GetParam());
-    Machine m;
-    SimAllocator alloc(m, GetParam());
+    const std::uint64_t seed = testSeed(std::get<0>(GetParam()));
+    Rng rng(seed);
+    Machine m(propertyConfig(std::get<1>(GetParam())));
+    SimAllocator alloc(m, seed);
 
     constexpr unsigned n_objects = 12;
     std::vector<std::vector<Addr>> history(n_objects);
@@ -106,9 +124,19 @@ TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsProperty,
-                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
-                                           34u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomOpsProperty,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+        ::testing::Values(0, 1, 2, 3)),
+    [](const auto &info) {
+        const int f = std::get<1>(info.param);
+        const char *kind =
+            f == 0 ? "plain"
+                   : (f == 1 ? "ftc" : (f == 2 ? "collapse" : "both"));
+        return std::string(kind) + "_s"
+               + std::to_string(std::get<0>(info.param));
+    });
 
 /**
  * Property: timing is monotone — the cycle counter never goes

@@ -1,7 +1,7 @@
 /**
  * @file
  * Hierarchical metrics: tree construction, distributions, the versioned
- * JSON export (golden-file checked), and the legacy collectStats shim.
+ * JSON export (golden-file checked), and the flattened legacy names.
  */
 
 #include <gtest/gtest.h>
@@ -139,49 +139,70 @@ TEST(MetricsDocument, MachineExportMatchesGolden)
            "with MEMFWD_UPDATE_GOLDEN=1";
 }
 
-TEST(CollectStatsShim, MatchesFlattenedMetrics)
-{
-    Machine m;
-    for (unsigned i = 0; i < 8; ++i)
-        m.store(0x2000 + i * 8, 8, i);
-    relocate(m, 0x2000, 0x9000, 8);
-    for (unsigned i = 0; i < 8; ++i)
-        m.load(0x2000 + i * 8, 8);
-
-    StatsRegistry via_shim;
-    m.collectStats(via_shim, "");
-
-    StatsRegistry via_metrics;
-    m.metrics().flatten(via_metrics, "");
-
-    EXPECT_EQ(via_shim.all(), via_metrics.all());
-}
-
-TEST(CollectStatsShim, KeepsLegacyNames)
+TEST(FlattenedMetrics, KeepsLegacyNames)
 {
     // The dotted names the pre-observability registry exposed must
-    // keep working for one deprecation cycle (docs/API.md).
+    // keep falling out of metrics().flatten() — downstream scripts key
+    // on them (docs/METRICS.md name-stability policy).
     Machine m;
     m.store(0x3000, 8, 1);
     relocate(m, 0x3000, 0xa000, 1);
     m.load(0x3000, 8);
 
     StatsRegistry reg;
-    m.collectStats(reg, "");
+    m.metrics().flatten(reg, "");
     for (const char *name :
          {"cycles", "instructions", "slots.busy", "slots.load_stall",
           "slots.store_stall", "slots.inst_stall", "l1d.load_hits",
           "l1d.load_partial_misses", "l1d.load_full_misses",
           "l1d.store_hits", "l1d.writebacks", "traffic.l1_l2_bytes",
           "traffic.l2_mem_bytes", "fwd.walks", "fwd.hops",
-          "fwd.false_alarms", "fwd.cycles_detected", "refs.loads",
-          "refs.stores", "refs.loads_forwarded", "lsq.speculations",
+          "fwd.false_alarms", "fwd.cycles_detected", "fwd.ftc_hits",
+          "fwd.ftc_misses", "fwd.ftc_invalidations",
+          "fwd.chains_collapsed", "refs.loads", "refs.stores",
+          "refs.loads_forwarded", "lsq.speculations",
           "lsq.violations"}) {
         EXPECT_TRUE(reg.has(name)) << "legacy stat lost: " << name;
     }
     EXPECT_EQ(reg.get("refs.loads"), 1u);
     EXPECT_EQ(reg.get("fwd.walks"), 1u);
     EXPECT_EQ(reg.get("fwd.hops"), 1u);
+}
+
+TEST(FtcMetrics, CountersExportAndRoundTrip)
+{
+    // A 3-hop chain referenced twice: the first load walks (FTC miss +
+    // collapse), the second is an FTC hit.  The counters must survive
+    // the JSON export/parse round-trip exactly.
+    Machine m(MachineConfig{}.ftcGeometry(16, 2).collapseThreshold(2));
+    m.store(0x1000, 8, 42);
+    relocate(m, 0x1000, 0x2000, 1);
+    relocate(m, 0x2000, 0x3000, 1);
+    relocate(m, 0x3000, 0x4000, 1);
+    EXPECT_EQ(m.load(0x1000, 8).value, 42u);
+    EXPECT_EQ(m.load(0x1000, 8).value, 42u);
+
+    const MetricsNode root = m.metrics();
+    const MetricsNode *fwd = root.findChild("fwd");
+    ASSERT_NE(fwd, nullptr);
+    EXPECT_EQ(fwd->counterValue("ftc_hits"), 1u);
+    EXPECT_GE(fwd->counterValue("ftc_misses"), 1u);
+    EXPECT_EQ(fwd->counterValue("chains_collapsed"), 1u);
+    // Each relocation appends at a chain tail; the tail-append
+    // invalidations are counted (they may be zero only if nothing was
+    // cached yet, which the hit above rules out for the final state).
+    EXPECT_TRUE(fwd->counters().count("ftc_invalidations"));
+
+    // Round-trip: the document parses back identically, FTC counters
+    // included.
+    const Json doc = metricsDocument(root, "ftc-test");
+    const Json back = Json::parse(doc.str(2));
+    EXPECT_EQ(back.str(), doc.str());
+    const Json *fwd_json = doc.find("metrics")->find("children")
+                               ->find("fwd")->find("counters");
+    ASSERT_NE(fwd_json, nullptr);
+    EXPECT_EQ(fwd_json->find("ftc_hits")->asU64(), 1u);
+    EXPECT_EQ(fwd_json->find("chains_collapsed")->asU64(), 1u);
 }
 
 TEST(SubsystemMetrics, MachineTreeComposesComponents)

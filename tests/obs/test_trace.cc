@@ -1,7 +1,7 @@
 /**
  * @file
- * Event tracing: ring-buffer bounds, exporter round-trips, the events
- * the Machine emits, and the deprecated setTraceHook shim.
+ * Event tracing: ring-buffer bounds, exporter round-trips, and the
+ * events the Machine emits (references, walks, traps, FTC hits, ...).
  */
 
 #include <gtest/gtest.h>
@@ -85,6 +85,7 @@ TEST(Exporters, JsonlRoundTripIsExact)
         {EventKind::trap, AccessType::load, 13, 0x1, 0x2, 3, 0},
         {EventKind::cache_miss, AccessType::prefetch, 14, 0x3, 0x3, 0, 8},
         {EventKind::rollback, AccessType::store, 15, 0xc0, 0xd0, 5, 0},
+        {EventKind::ftc, AccessType::load, 16, 0x1000, 0x2000, 4, 0},
     };
 
     std::stringstream ss;
@@ -203,7 +204,7 @@ TEST(MachineTracing, EmitsTrapEvents)
 
 using HookRecord = std::tuple<Addr, unsigned, AccessType>;
 
-/** A sink reproducing exactly what the legacy hook observed. */
+/** A filtering sink recording every demand reference's final address. */
 class ReferenceRecorder : public TraceSink
 {
   public:
@@ -220,55 +221,57 @@ class ReferenceRecorder : public TraceSink
     std::vector<HookRecord> &out_;
 };
 
-void
-drive(Machine &m)
+TEST(ReferenceSink, ObservesFinalAddresses)
 {
+    // A filtering TraceSink sees every demand reference with its
+    // post-chain final address — the supported replacement for the
+    // removed setTraceHook callback.
+    std::vector<HookRecord> seen;
+    Machine m;
+    ReferenceRecorder rec(seen);
+    m.tracer().addSink(&rec);
+
     for (unsigned i = 0; i < 4; ++i)
         m.store(0x1000 + i * 8, 8, i);
     relocate(m, 0x1000, 0x7000, 4);
+    const std::size_t before_loads = seen.size();
     for (unsigned i = 0; i < 4; ++i)
         m.load(0x1000 + i * 8, 4);
-}
+    m.tracer().removeSink(&rec);
 
-TEST(SetTraceHookShim, MatchesEquivalentSink)
-{
-    // The deprecated single-callback API must observe the identical
-    // reference stream a filtering TraceSink sees.
-    std::vector<HookRecord> via_hook;
-    {
-        Machine m;
-        m.setTraceHook([&](Addr a, unsigned size, AccessType t) {
-            via_hook.push_back({a, size, t});
-        });
-        drive(m);
+    ASSERT_EQ(seen.size(), before_loads + 4);
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto &[final_addr, size, access] = seen[before_loads + i];
+        EXPECT_EQ(final_addr, 0x7000u + i * 8) << "post-chain address";
+        EXPECT_EQ(size, 4u);
+        EXPECT_EQ(access, AccessType::load);
     }
 
-    std::vector<HookRecord> via_sink;
-    {
-        Machine m;
-        ReferenceRecorder rec(via_sink);
-        m.tracer().addSink(&rec);
-        drive(m);
-        m.tracer().removeSink(&rec);
-    }
-
-    EXPECT_FALSE(via_hook.empty());
-    EXPECT_EQ(via_hook, via_sink);
-}
-
-TEST(SetTraceHookShim, NullClearsTheHook)
-{
-    Machine m;
-    unsigned calls = 0;
-    m.setTraceHook([&](Addr, unsigned, AccessType) { ++calls; });
-    m.store(0x1000, 8, 1);
-    const unsigned after_store = calls;
-    EXPECT_GT(after_store, 0u);
-
-    m.setTraceHook(nullptr);
-    EXPECT_FALSE(m.tracer().active());
+    const std::size_t total = seen.size();
     m.load(0x1000, 8);
-    EXPECT_EQ(calls, after_store);
+    EXPECT_EQ(seen.size(), total) << "no events after sink removal";
+    EXPECT_FALSE(m.tracer().active());
+}
+
+TEST(MachineTracing, EmitsFtcEventsOnHits)
+{
+    Machine m(MachineConfig{}.ftc());
+    RingBufferSink ring;
+    m.tracer().addSink(&ring);
+
+    m.store(0x1000, 8, 5);
+    relocate(m, 0x1000, 0x5000, 1);
+    m.load(0x1000, 8); // walk + FTC fill
+    m.load(0x1000, 8); // FTC hit
+
+    const auto hits = eventsOfKind(ring, EventKind::ftc);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].addr, 0x1000u);
+    EXPECT_EQ(hits[0].addr2, 0x5000u);
+    EXPECT_EQ(hits[0].arg, 1u); // chain length at fill time
+
+    // The hit is not a walk: exactly one chain_walk event was emitted.
+    EXPECT_EQ(eventsOfKind(ring, EventKind::chain_walk).size(), 1u);
 }
 
 } // namespace

@@ -213,7 +213,7 @@ TEST(AuditReport, StatsAndDump)
 
     const AuditReport r = HeapVerifier(mem).audit();
     StatsRegistry reg;
-    r.registerStats(reg);
+    r.metrics().flatten(reg, "audit.");
     EXPECT_EQ(reg.get("audit.chains"), 1u);
     EXPECT_EQ(reg.get("audit.orphan_cycle_words"), 1u);
     EXPECT_EQ(reg.get("audit.inconsistencies"), 1u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats_registry.hh"
 #include "runtime/machine.hh"
 
 namespace memfwd
@@ -126,13 +127,13 @@ TEST(Machine, ForwardedLoadSlowerThanDirect)
     EXPECT_GT(b.cycles(), a.cycles());
 }
 
-TEST(Machine, CollectStatsExportsCounters)
+TEST(Machine, FlattenedMetricsExportCounters)
 {
     Machine m;
     m.store(0x1000, 8, 5);
     m.load(0x1000, 8);
     StatsRegistry reg;
-    m.collectStats(reg, "m.");
+    m.metrics().flatten(reg, "m.");
     EXPECT_EQ(reg.get("m.refs.loads"), 1u);
     EXPECT_EQ(reg.get("m.refs.stores"), 1u);
     EXPECT_GT(reg.get("m.cycles"), 0u);

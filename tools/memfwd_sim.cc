@@ -54,6 +54,10 @@ usage(std::FILE *out, const char *argv0)
         "  --prefetch        insert software prefetches (P case)\n"
         "  --block N         prefetch block size in lines (default 1)\n"
         "  --forwarding M    hardware | exception | perfect\n"
+        "  --ftc SPEC        forwarding translation cache: off | on |\n"
+        "                    SETSxWAYS (on = 64x4); also --ftc=SPEC\n"
+        "  --collapse SPEC   lazy chain collapsing: off | on | N (the\n"
+        "                    hop threshold, on = 2); also --collapse=SPEC\n"
         "  --no-speculation  conservative load/store ordering\n"
         "  --stats           dump the full statistics registry\n"
         "  --json FILE       write the hierarchical metrics tree as a\n"
@@ -69,6 +73,45 @@ usage(std::FILE *out, const char *argv0)
         "  --audit           run the heap-integrity audit after the\n"
         "                    workload and dump its report\n",
         argv0);
+}
+
+/** Parse an --ftc value: "off", "on", or "SETSxWAYS". */
+void
+parseFtc(const std::string &spec, ForwardingConfig &fwd)
+{
+    if (spec == "off") {
+        fwd.ftc_enabled = false;
+        return;
+    }
+    fwd.ftc_enabled = true;
+    if (spec == "on")
+        return;
+    unsigned sets = 0, ways = 0;
+    if (std::sscanf(spec.c_str(), "%ux%u", &sets, &ways) != 2 || !sets ||
+        !ways)
+        memfwd_fatal("bad --ftc spec '%s' (off | on | SETSxWAYS)",
+                     spec.c_str());
+    fwd.ftc_sets = sets;
+    fwd.ftc_ways = ways;
+}
+
+/** Parse a --collapse value: "off", "on", or a hop threshold. */
+void
+parseCollapse(const std::string &spec, ForwardingConfig &fwd)
+{
+    if (spec == "off") {
+        fwd.collapse_enabled = false;
+        return;
+    }
+    fwd.collapse_enabled = true;
+    if (spec == "on")
+        return;
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(spec.c_str(), &end, 0);
+    if (!end || *end != '\0' || n == 0)
+        memfwd_fatal("bad --collapse spec '%s' (off | on | N)",
+                     spec.c_str());
+    fwd.collapse_threshold = static_cast<unsigned>(n);
 }
 
 } // namespace
@@ -146,6 +189,14 @@ main(int argc, char **argv)
                 memfwd_fatal("unknown forwarding mode '%s'",
                              mode.c_str());
             }
+        } else if (arg == "--ftc") {
+            parseFtc(next(), cfg.machine.forwarding);
+        } else if (arg.rfind("--ftc=", 0) == 0) {
+            parseFtc(arg.substr(6), cfg.machine.forwarding);
+        } else if (arg == "--collapse") {
+            parseCollapse(next(), cfg.machine.forwarding);
+        } else if (arg.rfind("--collapse=", 0) == 0) {
+            parseCollapse(arg.substr(11), cfg.machine.forwarding);
         } else if (arg == "--no-speculation") {
             cfg.machine.cpu.dep_speculation = false;
         } else if (arg == "--stats") {
@@ -269,10 +320,10 @@ main(int argc, char **argv)
 
     if (dump_stats) {
         StatsRegistry reg;
-        machine.collectStats(reg, "");
+        machine.metrics().flatten(reg, "");
         if (run_audit) {
             HeapVerifier verifier(machine.mem());
-            verifier.audit().registerStats(reg);
+            verifier.audit().metrics().flatten(reg, "audit.");
         }
         std::printf("\n");
         reg.dump(std::cout);
