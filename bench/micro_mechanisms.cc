@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 
+#include "analysis/gate.hh"
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
 #include "core/forwarding_engine.hh"
@@ -110,6 +111,34 @@ BM_Relocate64Words(benchmark::State &state)
 // Iteration-capped: every iteration permanently consumes fresh
 // simulated memory for the relocation target.
 BENCHMARK(BM_Relocate64Words)->Iterations(5000);
+
+/**
+ * The same relocation stream under the analysis gate, measuring the
+ * host-side cost of the static verify (`plan`) and of the additional
+ * per-raw-access dynamic cross-check (`enforce`) relative to
+ * BM_Relocate64Words.  Requested by docs/ANALYSIS.md: `--analyze
+ * enforce` overhead is reported in BENCH_micro_mechanisms.json.
+ */
+void
+BM_Relocate64WordsAnalyzed(benchmark::State &state)
+{
+    setVerbose(false);
+    Machine m;
+    AnalysisGate gate(state.range(0) ? AnalyzeMode::enforce
+                                     : AnalyzeMode::plan);
+    m.setAnalysisGate(&gate);
+    Addr src = 0x100000, tgt = 0x900000;
+    for (auto _ : state) {
+        relocate(m, src, tgt, 64);
+        src = tgt;
+        tgt += 64 * 8;
+    }
+    state.SetLabel(analyzeModeName(gate.mode()));
+}
+BENCHMARK(BM_Relocate64WordsAnalyzed)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(5000);
 
 /**
  * Console output as usual, plus each run recorded into the bench

@@ -51,9 +51,21 @@ def load_report(path):
     for key in ("bench", "cases"):
         if key not in doc:
             fail(f"{path}: missing required key '{key}'")
-    for case in doc["cases"]:
-        if "label" not in case or "cycles" not in case:
-            fail(f"{path}: case missing 'label'/'cycles': {case}")
+    bench = doc["bench"]
+    for i, case in enumerate(doc["cases"]):
+        # Name the offending case and the exact metric so a failing CI
+        # run points at the bench to fix, not just the file.
+        label = case.get("label", f"<case #{i}>")
+        for metric in ("label", "cycles"):
+            if metric not in case:
+                fail(f"{path}: bench '{bench}' case '{label}' is "
+                     f"missing required metric '{metric}'")
+        try:
+            int(case["cycles"])
+        except (TypeError, ValueError):
+            fail(f"{path}: bench '{bench}' case '{label}': metric "
+                 f"'cycles' is not an integer "
+                 f"(got {case['cycles']!r})")
     return doc
 
 
@@ -76,7 +88,8 @@ def load_side(path):
         for case in doc["cases"]:
             key = (doc["bench"], case["label"])
             if key in cases:
-                fail(f"{f}: duplicate case {key}")
+                fail(f"{f}: bench '{key[0]}' case '{key[1]}' defined "
+                     f"more than once")
             cases[key] = case
     return cases
 

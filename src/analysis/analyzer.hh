@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The PlanAnalyzer: static safety verification of RelocationPlans.
+ *
+ * analyze() runs a forward dataflow pass over the plan's ordered moves,
+ * tracking (as word-granular interval state) which words will hold live
+ * forwarding words and which words are freshly-written final homes
+ * after each step, and proves or refutes:
+ *
+ *  - **range hazards** — a move overlapping itself (E001), a
+ *    destination that would clobber a forwarding word planted by an
+ *    earlier move (E002, the paper's "silent chain corruption" bug
+ *    class), a source that drains a range an earlier move just filled
+ *    (E003, the relocated data is immediately re-moved so the earlier
+ *    destination is not final);
+ *  - **cycle-freedom** — the planned forwarding graph, with relocate()'s
+ *    chain-append semantics applied, must be acyclic (E004): a cycle
+ *    means some reference can never resolve;
+ *  - **root completeness** — under AliasAssumption::roots_complete,
+ *    every moved object must be reachable from a declared root slot
+ *    (E005): an uncovered object means the "all pointers are rewritten"
+ *    claim is false and some stale pointer survives;
+ *  - **access-site legality** — each declared Unforwarded_Read/Write
+ *    site is classified `safe_unforwarded` only when its range can be
+ *    proven to never hold a live forwarding word once the plan has
+ *    executed (final destination words, or words the plan never
+ *    touches under roots_complete).  A site that cannot be proven is
+ *    an error for unforwarded_write intent (a raw write through a
+ *    forwarding word corrupts the chain silently) and a demotion note
+ *    for unforwarded_read.
+ *
+ * The analysis is purely static: it consumes the declarative plan and
+ * never touches the Machine or its memory.
+ */
+
+#ifndef MEMFWD_ANALYSIS_ANALYZER_HH
+#define MEMFWD_ANALYSIS_ANALYZER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/plan.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace memfwd
+{
+
+/** One access site together with the analyzer's verdict. */
+struct SiteReport
+{
+    AccessSite site;
+    SiteVerdict verdict = SiteVerdict::must_forward;
+};
+
+/** Everything analyze() proved (or failed to) about one plan. */
+class AnalysisReport
+{
+  public:
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    const std::vector<SiteReport> &sites() const { return sites_; }
+
+    /** True when the plan carries no error-severity diagnostic. */
+    bool verified() const { return errors() == 0; }
+
+    std::size_t errors() const { return bySeverity(Severity::error); }
+    std::size_t warnings() const { return bySeverity(Severity::warning); }
+    std::size_t notes() const { return bySeverity(Severity::note); }
+
+    /** Sites proven safe for the raw unforwarded fast path. */
+    std::size_t provenSites() const;
+
+    /** True if some diagnostic carries @p code. */
+    bool hasCode(DiagCode code) const;
+
+    const std::string &optimizer() const { return optimizer_; }
+    std::uint64_t moves() const { return moves_; }
+    std::uint64_t words() const { return words_; }
+
+    /** The report as JSON (the lint tool's summary element). */
+    obs::Json toJson() const;
+
+  private:
+    friend class PlanAnalyzer;
+
+    std::size_t bySeverity(Severity severity) const;
+
+    std::string optimizer_;
+    std::uint64_t moves_ = 0;
+    std::uint64_t words_ = 0;
+    std::vector<Diagnostic> diags_;
+    std::vector<SiteReport> sites_;
+};
+
+/** Static verifier for RelocationPlans. */
+class PlanAnalyzer
+{
+  public:
+    /** Upper bound on plan size before word-granular state is refused. */
+    static constexpr std::uint64_t max_plan_words = 1ull << 24;
+
+    AnalysisReport analyze(const RelocationPlan &plan) const;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_ANALYSIS_ANALYZER_HH

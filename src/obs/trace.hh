@@ -47,7 +47,8 @@ enum class EventKind : std::uint8_t
     trap,       ///< user-level forwarding trap delivered
     cache_miss, ///< demand reference missed L1
     rollback,   ///< transactional relocation rolled back
-    ftc         ///< reference served by the forwarding translation cache
+    ftc,        ///< reference served by the forwarding translation cache
+    plan        ///< relocation plan submitted to the analysis gate
 };
 
 const char *eventKindName(EventKind kind);

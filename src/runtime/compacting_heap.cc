@@ -1,5 +1,6 @@
 #include "runtime/compacting_heap.hh"
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -62,9 +63,13 @@ CompactingHeap::alloc(unsigned payload_words, std::uint64_t pointer_mask)
 Addr
 CompactingHeap::copyObject(Addr base, Addr &to_cursor)
 {
-    // Already copied this cycle?  Then the header word forwards.
-    if (machine_.readFBit(base))
+    // Already copied this cycle?  Then the header word forwards, and
+    // its raw payload IS the collector's forwarding pointer — a
+    // hand-proven raw read of a live forwarding word.
+    if (machine_.readFBit(base)) {
+        ScopedUnforwardedAnnotation fwd_ptr_ok(machine_.analysisGate());
         return wordAlign(machine_.unforwardedRead(base));
+    }
 
     const std::uint64_t header = machine_.load(base, wordBytes).value;
     const unsigned payload_words =
@@ -79,7 +84,14 @@ CompactingHeap::copyObject(Addr base, Addr &to_cursor)
     to_cursor += bytes;
 
     // relocate() copies the payload AND installs the forwarding words
-    // — the collector's forwarding pointer is the hardware's.
+    // — the collector's forwarding pointer is the hardware's.  The
+    // collector discovers objects incrementally during the Cheney scan,
+    // so each copy is declared as its own single-move micro-plan right
+    // before it executes (still strictly before any word moves).
+    RelocationPlan plan("compacting_heap");
+    plan.assume(AliasAssumption::stale_pointers_possible)
+        .move(base, new_base, payload_words + 1);
+    PlanScope scope(machine_.analysisGate(), plan);
     relocate(machine_, base, new_base, payload_words + 1);
 
     ++gc_stats_.objects_copied;

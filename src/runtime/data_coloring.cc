@@ -1,5 +1,6 @@
 #include "runtime/data_coloring.hh"
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -43,6 +44,12 @@ colorRelocate(Machine &machine, const std::vector<Addr> &items,
     result.colors_used = n_colors;
     result.pool_bytes = 0;
 
+    // Place every item first, so the whole recoloring is declared as
+    // one plan before any word moves.  The caller keeps its own item
+    // vector (and whatever else points at the items), so stale
+    // pointers remain possible and no root slots are declared.
+    RelocationPlan plan("data_coloring");
+    plan.assume(AliasAssumption::stale_pointers_possible);
     for (std::size_t i = 0; i < items.size(); ++i) {
         const unsigned color = static_cast<unsigned>(i % n_colors);
         const Addr offset_in_band = cursor[color];
@@ -52,9 +59,15 @@ colorRelocate(Machine &machine, const std::vector<Addr> &items,
         const Addr home = region + superblock * cache_bytes +
                           Addr(color) * band_bytes + within;
         cursor[color] += item_bytes;
-        relocate(machine, items[i], home, item_bytes / wordBytes);
+        plan.move(items[i], home, item_bytes / wordBytes);
         result.new_addrs.push_back(home);
         result.pool_bytes += item_bytes;
+    }
+    PlanScope scope(machine.analysisGate(), plan);
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        relocate(machine, items[i], result.new_addrs[i],
+                 item_bytes / wordBytes);
     }
     return result;
 }
@@ -65,6 +78,15 @@ copyTile(Machine &machine, Addr tile_base, unsigned rows,
 {
     const unsigned rb = roundUpToWord(row_bytes);
     const Addr buffer = pool.take(Addr(rows) * rb, 64);
+
+    RelocationPlan plan("copy_tile");
+    plan.assume(AliasAssumption::stale_pointers_possible);
+    for (unsigned r = 0; r < rows; ++r) {
+        plan.move(tile_base + Addr(r) * row_stride, buffer + Addr(r) * rb,
+                  rb / wordBytes);
+    }
+    PlanScope scope(machine.analysisGate(), plan);
+
     for (unsigned r = 0; r < rows; ++r) {
         relocate(machine, tile_base + Addr(r) * row_stride,
                  buffer + Addr(r) * rb, rb / wordBytes);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -9,6 +10,14 @@
 
 namespace memfwd
 {
+
+namespace
+{
+
+/** Site token for pass-3 next-pointer rewrites at the new homes. */
+constexpr SiteId linearize_next_site = 0x4C4E; // 'LN'
+
+} // namespace
 
 LinearizeResult
 listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
@@ -39,6 +48,28 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
     // it, in list order — creating the spatial locality.
     const Addr chunk = pool.take(static_cast<Addr>(node_bytes) *
                                  old_nodes.size());
+
+    // Declare the whole relocation before touching memory: every move,
+    // the head handle as the reachability root, and each pass-3
+    // next-pointer rewrite as an unforwarded-write access site.  Other
+    // references into the list may survive (the caller only promises
+    // the head handle), so stale pointers remain possible and the
+    // forwarding chains must cover them.
+    RelocationPlan plan("list_linearize");
+    plan.assume(AliasAssumption::stale_pointers_possible)
+        .root(head_handle, old_nodes.front());
+    for (std::size_t i = 0; i < old_nodes.size(); ++i) {
+        plan.move(old_nodes[i], chunk + static_cast<Addr>(i) * node_bytes,
+                  node_words);
+    }
+    for (std::size_t i = 0; i + 1 < old_nodes.size(); ++i) {
+        plan.access(linearize_next_site,
+                    chunk + static_cast<Addr>(i) * node_bytes +
+                        desc.next_offset,
+                    wordBytes, AccessIntent::unforwarded_write);
+    }
+    PlanScope scope(machine.analysisGate(), plan);
+
     for (std::size_t i = 0; i < old_nodes.size(); ++i) {
         const Addr tgt = chunk + static_cast<Addr>(i) * node_bytes;
         relocate(machine, old_nodes[i], tgt, node_words);
@@ -47,11 +78,18 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
     // Pass 3: rewrite the internal next pointers at the *new* locations
     // so future traversals never touch the old nodes.  The last node
     // keeps its copied next value (the original terminator or an
-    // external continuation).
+    // external continuation).  When the analyzer proved the site safe,
+    // the rewrite uses the raw Unforwarded_Write fast path — the new
+    // homes can never hold a live forwarding word, so skipping the
+    // resolve is legal; otherwise fall back to the forwarded store.
+    const bool raw_next = scope.approved(linearize_next_site);
     for (std::size_t i = 0; i + 1 < old_nodes.size(); ++i) {
         const Addr me = chunk + static_cast<Addr>(i) * node_bytes;
         const Addr next = chunk + static_cast<Addr>(i + 1) * node_bytes;
-        machine.store(me + desc.next_offset, wordBytes, next);
+        if (raw_next)
+            machine.unforwardedWrite(me + desc.next_offset, next, false);
+        else
+            machine.store(me + desc.next_offset, wordBytes, next);
     }
 
     // Update the head through its handle, as Figure 4(b) requires.

@@ -1,5 +1,6 @@
 #include "runtime/machine.hh"
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
 
@@ -25,6 +26,14 @@ Machine::setFaultInjector(FaultInjector *faults)
 {
     faults_ = faults;
     fwd_->setFaultInjector(faults);
+}
+
+void
+Machine::setAnalysisGate(AnalysisGate *gate)
+{
+    gate_ = gate;
+    if (gate_)
+        gate_->setTrace(&tracer_, [this] { return cycles(); });
 }
 
 Cycles
@@ -119,6 +128,8 @@ Machine::readFBit(Addr addr, Cycles addr_ready)
 std::uint64_t
 Machine::unforwardedRead(Addr addr, Cycles addr_ready)
 {
+    if (gate_ && gate_->enforcing())
+        gate_->checkUnforwardedRead(addr, mem_);
     const MemIssue mi = cpu_->issueMem(addr_ready, true);
     const HierarchyResult r =
         hierarchy_->access(wordAlign(addr), AccessType::load, mi.issue);
@@ -132,6 +143,8 @@ void
 Machine::unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
                           Cycles addr_ready)
 {
+    if (gate_ && gate_->enforcing())
+        gate_->checkUnforwardedWrite(addr, value, fbit, mem_);
     const MemIssue mi = cpu_->issueMem(addr_ready, false);
     const HierarchyResult r =
         hierarchy_->access(wordAlign(addr), AccessType::store, mi.issue);
@@ -210,6 +223,9 @@ Machine::metrics() const
 
     if (cfg_.tlb.enabled)
         tlb_->fillMetrics(root.child("tlb"));
+
+    if (gate_)
+        gate_->fillMetrics(root.child("analysis"));
 
     return root;
 }

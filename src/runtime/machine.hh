@@ -38,6 +38,7 @@
 namespace memfwd
 {
 
+class AnalysisGate;
 class FaultInjector;
 
 /**
@@ -285,6 +286,18 @@ class Machine
 
     FaultInjector *faultInjector() const { return faults_; }
 
+    /**
+     * Attach (or clear, with nullptr) a static-analysis gate
+     * (src/analysis).  Layout optimizers submit RelocationPlans through
+     * it before touching memory; in enforce mode every
+     * unforwardedRead/Write is cross-checked against the active plan's
+     * proven ranges.  With no gate attached (the default) the fast
+     * paths test one pointer and pay nothing.  Not owned.
+     */
+    void setAnalysisGate(AnalysisGate *gate);
+
+    AnalysisGate *analysisGate() const { return gate_; }
+
     // ----- reference-level forwarding stats (Figure 10(c)) -------------
 
     std::uint64_t loads() const { return loads_; }
@@ -312,6 +325,7 @@ class Machine
     std::unique_ptr<Prefetcher> prefetcher_;
     std::unique_ptr<Tlb> tlb_;
     FaultInjector *faults_ = nullptr;
+    AnalysisGate *gate_ = nullptr;
 
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

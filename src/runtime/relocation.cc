@@ -1,7 +1,9 @@
 #include "runtime/relocation.hh"
 
+#include <optional>
 #include <vector>
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/cycle_check.hh"
 #include "core/fault_injector.hh"
@@ -29,6 +31,10 @@ chaseChain(Machine &machine, Addr addr)
     Addr word = wordAlign(addr);
     const unsigned offset = wordOffset(addr);
     unsigned guard = 0;
+    // Hand-proven raw reads: every word read here was just observed
+    // with its forwarding bit set, and a forwarding word's payload is
+    // the one thing a raw read of it legitimately fetches.
+    ScopedUnforwardedAnnotation chase_ok(machine.analysisGate());
     while (machine.readFBit(word)) {
         word = wordAlign(machine.unforwardedRead(word));
         if (++guard > chase_soft_limit) {
@@ -73,6 +79,19 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
     // rollback must restore the heap bit-identically.
     ScopedCollapseSuspend no_collapse(machine.forwarding());
 
+    // A relocation invoked directly (no optimizer plan open) submits
+    // its own single-move micro-plan, so even ad-hoc relocate() calls
+    // are statically vetted when an analysis gate is attached.
+    AnalysisGate *gate = machine.analysisGate();
+    std::optional<PlanScope> micro;
+    if (gate && gate->mode() != AnalyzeMode::off &&
+        gate->activePlans() == 0) {
+        RelocationPlan plan("relocate");
+        plan.assume(AliasAssumption::stale_pointers_possible)
+            .move(src, tgt, n_words);
+        micro.emplace(gate, plan);
+    }
+
     FaultInjector *faults = machine.faultInjector();
 
     try {
@@ -114,7 +133,14 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
             // the chain tail into a forwarding address.
             const std::uint64_t value = machine.unforwardedRead(tail);
             machine.store(t, wordBytes, value);
-            machine.unforwardedWrite(tail, t, true);
+            {
+                // The append target is the *dynamic* chain tail, which
+                // lies outside the plan's declared source range whenever
+                // the object was relocated before; the chase above is
+                // the proof the write is the legal chain append.
+                ScopedUnforwardedAnnotation append_ok(gate);
+                machine.unforwardedWrite(tail, t, true);
+            }
         }
         if (machine.tracer().active()) {
             machine.tracer().emit({obs::EventKind::relocation,
@@ -124,6 +150,9 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
     } catch (...) {
         // Undo newest-first with timed atomic writes: the rollback is
         // real work the machine pays for, like the aborted steps were.
+        // Rollback restores journaled pre-images bit-identically — a
+        // hand-proven raw sequence, annotated as such.
+        ScopedUnforwardedAnnotation rollback_ok(gate);
         for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
             machine.unforwardedWrite(it->tail, it->tail_payload,
                                      it->tail_fbit);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
 #include "runtime/machine.hh"
@@ -140,6 +141,9 @@ SimAllocator::free(Addr addr)
     // cost appears in the timing.
     Addr cur = wordAlign(addr);
     unsigned guard = 0;
+    // Hand-proven chain walk: each raw read targets a word just
+    // observed with its forwarding bit set.
+    ScopedUnforwardedAnnotation walk_ok(machine_.analysisGate());
     while (machine_.readFBit(cur)) {
         cur = wordAlign(machine_.unforwardedRead(cur));
         if (auto it = blocks_.find(cur); it != blocks_.end()) {

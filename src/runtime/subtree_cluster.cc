@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -20,6 +21,10 @@ struct PlanNode
     Cycles ready;                 ///< when its address was known
     std::vector<Addr> children;   ///< old child addresses (may be leaves)
 };
+
+/** Site tokens for the fix-up phase at the new homes. */
+constexpr SiteId cluster_child_read_site = 0x4352;  // 'CR'
+constexpr SiteId cluster_child_write_site = 0x4357; // 'CW'
 
 } // namespace
 
@@ -113,21 +118,55 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
         }
     }
 
+    // Declare the whole clustering before touching memory: every move,
+    // the root handle as the reachability root, and the fix-up phase's
+    // child-pointer reads and rewrites at the new homes as access
+    // sites.  Pointers into relocated subtrees may survive elsewhere,
+    // so stale pointers remain possible.
+    RelocationPlan rplan("subtree_cluster");
+    rplan.assume(AliasAssumption::stale_pointers_possible)
+        .root(root_handle, static_cast<Addr>(root.value));
+    for (const PlanNode &pn : nodes)
+        rplan.move(pn.old_addr, new_addr.at(pn.old_addr), node_words);
+    for (const PlanNode &pn : nodes) {
+        const Addr home = new_addr.at(pn.old_addr);
+        for (unsigned off : desc.child_offsets) {
+            rplan.access(cluster_child_read_site, home + off, wordBytes,
+                         AccessIntent::unforwarded_read);
+            rplan.access(cluster_child_write_site, home + off, wordBytes,
+                         AccessIntent::unforwarded_write);
+        }
+    }
+    PlanScope scope(machine.analysisGate(), rplan);
+
     // ----- execute: relocate, then rewrite child pointers --------------
     for (const PlanNode &pn : nodes)
         relocate(machine, pn.old_addr, new_addr.at(pn.old_addr),
                  node_words);
 
+    // With no gate attached the raw fast path is used as before; when
+    // an analyzer is present it must have proven the sites, otherwise
+    // the accesses demote to forwarded references.
+    const bool raw_read = machine.analysisGate() == nullptr ||
+                          scope.approved(cluster_child_read_site);
+    const bool raw_write = machine.analysisGate() != nullptr &&
+                           scope.approved(cluster_child_write_site);
     for (const PlanNode &pn : nodes) {
         const Addr home = new_addr.at(pn.old_addr);
         for (unsigned off : desc.child_offsets) {
             // Re-read the copied child value directly at the new home
             // (an unforwarded read: home is fresh memory).
-            const std::uint64_t cur = machine.unforwardedRead(home + off);
+            const std::uint64_t cur =
+                raw_read ? machine.unforwardedRead(home + off)
+                         : machine.load(home + off, wordBytes).value;
             if (cur == desc.null_child)
                 continue;
             auto it = new_addr.find(static_cast<Addr>(cur));
-            if (it != new_addr.end())
+            if (it == new_addr.end())
+                continue;
+            if (raw_write)
+                machine.unforwardedWrite(home + off, it->second, false);
+            else
                 machine.store(home + off, wordBytes, it->second);
         }
     }

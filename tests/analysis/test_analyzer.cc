@@ -1,0 +1,230 @@
+/** @file Unit tests for the PlanAnalyzer's dataflow proofs. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/analyzer.hh"
+#include "analysis/plan.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+AnalysisReport
+analyze(const RelocationPlan &plan)
+{
+    return PlanAnalyzer{}.analyze(plan);
+}
+
+TEST(PlanAnalyzer, CleanPlanVerifies)
+{
+    RelocationPlan plan("clean");
+    plan.move(0x1000, 0x9000, 4).move(0x2000, 0x9020, 4);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified());
+    EXPECT_EQ(r.errors(), 0u);
+    EXPECT_EQ(r.warnings(), 0u);
+    EXPECT_EQ(r.moves(), 2u);
+    EXPECT_EQ(r.words(), 8u);
+}
+
+// ----- negative paths: each asserts the exact documented code ---------
+
+TEST(PlanAnalyzer, OverlappingMoveRangesAreE001)
+{
+    RelocationPlan plan("overlap");
+    plan.move(0x1000, 0x1010, 4); // [0x1000,0x1020) vs [0x1010,0x1030)
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E001_move_self_overlap));
+}
+
+TEST(PlanAnalyzer, DestOverChainIsE002)
+{
+    RelocationPlan plan("clobber");
+    // Move 0 plants forwarding words over [0x1000,0x1020); move 1 then
+    // writes its payload right on top of them.
+    plan.move(0x1000, 0x9000, 4).move(0x2000, 0x1000, 4);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E002_dest_clobbers_chain));
+}
+
+TEST(PlanAnalyzer, DestOverFreshDataIsE002)
+{
+    RelocationPlan plan("clobber_data");
+    // Move 1's destination overwrites the words move 0 just parked.
+    plan.move(0x1000, 0x9000, 4).move(0x2000, 0x9000, 4);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E002_dest_clobbers_chain));
+}
+
+TEST(PlanAnalyzer, SourceDrainsEarlierDestIsE003)
+{
+    RelocationPlan plan("not_final");
+    // Move 0 parks payload at 0x9000; move 1 immediately re-moves it,
+    // so 0x9000 was never a final home.
+    plan.move(0x1000, 0x9000, 4).move(0x9000, 0xa000, 4);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E003_dest_removed));
+}
+
+TEST(PlanAnalyzer, PlannedForwardingCycleIsE004)
+{
+    RelocationPlan plan("cycle");
+    plan.move(0x1000, 0x2000, 2).move(0x2000, 0x1000, 2);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E004_forwarding_cycle));
+}
+
+TEST(PlanAnalyzer, IncompleteRootSetWithLiveStalePointerIsE005)
+{
+    // The optimizer claims roots_complete but only declares a root for
+    // the first object: whatever pointer references the second object
+    // stays live and stale, refuting the claim.
+    RelocationPlan plan("liar");
+    plan.assume(AliasAssumption::roots_complete)
+        .move(0x1000, 0x9000, 2)
+        .move(0x2000, 0xa000, 2)
+        .root(0x100, 0x1000);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E005_incomplete_roots));
+
+    // Declaring the missing root clears the error.
+    plan.root(0x108, 0x2000);
+    EXPECT_TRUE(analyze(plan).verified());
+}
+
+TEST(PlanAnalyzer, StalePointersPossibleNeverNeedsRoots)
+{
+    RelocationPlan plan("fwd_covers");
+    plan.assume(AliasAssumption::stale_pointers_possible)
+        .move(0x1000, 0x9000, 2)
+        .move(0x2000, 0xa000, 2);
+    EXPECT_TRUE(analyze(plan).verified());
+    EXPECT_FALSE(
+        analyze(plan).hasCode(DiagCode::E005_incomplete_roots));
+}
+
+TEST(PlanAnalyzer, UnprovableWriteSiteIsE006)
+{
+    RelocationPlan plan("bad_site");
+    plan.move(0x1000, 0x9000, 2)
+        // A raw write aimed at the *source* range, which will hold live
+        // forwarding words after the move.
+        .access(11, 0x1000, wordBytes, AccessIntent::unforwarded_write);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E006_unforwarded_unsafe));
+    ASSERT_EQ(r.sites().size(), 1u);
+    EXPECT_EQ(r.sites()[0].verdict, SiteVerdict::must_forward);
+}
+
+TEST(PlanAnalyzer, MisalignedMoveIsE007)
+{
+    RelocationPlan plan("misaligned");
+    plan.move(0x1001, 0x9000, 1);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_FALSE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::E007_misaligned_move));
+}
+
+// ----- warnings and notes ---------------------------------------------
+
+TEST(PlanAnalyzer, ChainAppendIsW101NotAnError)
+{
+    RelocationPlan plan("append");
+    // Relocating the same source twice is the paper's legal
+    // chain-append; suspicious within one plan, but not unsafe.
+    plan.move(0x1000, 0x9000, 2).move(0x1000, 0xa000, 2);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::W101_duplicate_source));
+}
+
+TEST(PlanAnalyzer, EmptyPlanIsW102)
+{
+    const AnalysisReport r = analyze(RelocationPlan{"empty"});
+    EXPECT_TRUE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::W102_empty_plan));
+}
+
+TEST(PlanAnalyzer, RootOutsidePlanIsW103)
+{
+    RelocationPlan plan("outside");
+    plan.move(0x1000, 0x9000, 1).root(0x100, 0x5000);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified());
+    EXPECT_TRUE(r.hasCode(DiagCode::W103_root_outside_plan));
+}
+
+TEST(PlanAnalyzer, UntouchedRangeSiteDemotesWithN201)
+{
+    RelocationPlan plan("demote");
+    plan.move(0x1000, 0x9000, 1)
+        // The plan never touches 0x5000, so its tag state is unknown.
+        .access(12, 0x5000, wordBytes, AccessIntent::unforwarded_read);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified()); // a demoted read is a note, not an error
+    EXPECT_TRUE(r.hasCode(DiagCode::N201_site_demoted));
+    EXPECT_EQ(r.sites()[0].verdict, SiteVerdict::must_forward);
+    EXPECT_EQ(r.provenSites(), 0u);
+}
+
+// ----- site proofs -----------------------------------------------------
+
+TEST(PlanAnalyzer, FinalHomeSitesAreProven)
+{
+    RelocationPlan plan("proof");
+    plan.move(0x1000, 0x9000, 4)
+        .access(21, 0x9000, 4 * wordBytes,
+                AccessIntent::unforwarded_write)
+        .access(22, 0x9008, wordBytes, AccessIntent::unforwarded_read);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified());
+    EXPECT_EQ(r.provenSites(), 2u);
+    EXPECT_EQ(r.sites()[0].verdict, SiteVerdict::safe_unforwarded);
+}
+
+TEST(PlanAnalyzer, ReMovedDestIsNoLongerProvable)
+{
+    // After the chain-append 0x9000 -> 0xa000, the word at 0x9000
+    // carries a forwarding word, so a site over it must be refuted.
+    RelocationPlan plan("stale_home");
+    plan.move(0x1000, 0x9000, 1)
+        .move(0x9000, 0xa000, 1)
+        .access(31, 0x9000, wordBytes, AccessIntent::unforwarded_read);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.hasCode(DiagCode::E006_unforwarded_unsafe));
+    EXPECT_EQ(r.sites()[0].verdict, SiteVerdict::must_forward);
+}
+
+TEST(PlanAnalyzer, ForwardedIntentIsAlwaysLegalNeverProven)
+{
+    RelocationPlan plan("fwd_site");
+    plan.move(0x1000, 0x9000, 1)
+        .access(41, 0x1000, wordBytes, AccessIntent::forwarded);
+    const AnalysisReport r = analyze(plan);
+    EXPECT_TRUE(r.verified());
+    EXPECT_EQ(r.provenSites(), 0u);
+    EXPECT_EQ(r.sites()[0].verdict, SiteVerdict::must_forward);
+}
+
+TEST(PlanAnalyzer, ReportJsonRoundsTheNumbers)
+{
+    RelocationPlan plan("json");
+    plan.move(0x1000, 0x1010, 4); // E001
+    std::ostringstream os;
+    analyze(plan).toJson().write(os, 0);
+    EXPECT_NE(os.str().find("E001"), std::string::npos);
+    EXPECT_NE(os.str().find("verified"), std::string::npos);
+}
+
+} // namespace
+} // namespace memfwd

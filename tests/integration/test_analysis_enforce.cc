@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Enforce-mode integration: every workload's layout-optimized variant
+ * runs with the analysis gate cross-checking each raw access against
+ * the plans the optimizers declared.  Every static verdict must hold
+ * dynamically — zero violations — and the functional result must be
+ * identical to an unanalyzed run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/gate.hh"
+#include "runtime/machine.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+/** Small enough for CI, large enough that health's threshold-gated
+ *  re-linearization actually relocates (scale >= 0.2). */
+constexpr double test_scale = 0.2;
+
+struct EnforcedRun
+{
+    GateStats stats;
+    std::uint64_t checksum = 0;
+};
+
+EnforcedRun
+runEnforced(const std::string &name)
+{
+    RunConfig cfg;
+    cfg.workload = name;
+    cfg.params.scale = test_scale;
+    cfg.variant.layout_opt = true;
+
+    Machine machine(cfg.machine);
+    AnalysisGate gate(AnalyzeMode::enforce);
+    machine.setAnalysisGate(&gate);
+
+    auto workload = makeWorkload(cfg.workload, cfg.params);
+    workload->run(machine, cfg.variant);
+    return {gate.stats(), workload->checksum()};
+}
+
+std::uint64_t
+runPlain(const std::string &name)
+{
+    RunConfig cfg;
+    cfg.workload = name;
+    cfg.params.scale = test_scale;
+    cfg.variant.layout_opt = true;
+
+    Machine machine(cfg.machine);
+    auto workload = makeWorkload(cfg.workload, cfg.params);
+    workload->run(machine, cfg.variant);
+    return workload->checksum();
+}
+
+class AnalysisEnforce : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AnalysisEnforce, EveryStaticVerdictHoldsDynamically)
+{
+    const EnforcedRun run = runEnforced(GetParam());
+    EXPECT_GT(run.stats.plans_submitted, 0u)
+        << "the layout-optimized variant should emit plans";
+    EXPECT_EQ(run.stats.plans_rejected, 0u);
+    EXPECT_EQ(run.stats.diag_errors, 0u);
+    EXPECT_EQ(run.stats.enforce_violations, 0u);
+    EXPECT_GT(run.stats.enforce_checks, 0u);
+}
+
+TEST_P(AnalysisEnforce, EnforcementIsFunctionallyTransparent)
+{
+    EXPECT_EQ(runEnforced(GetParam()).checksum, runPlain(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, AnalysisEnforce,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(AnalysisEnforce, ProvenSitesAppearWhereOptimizersDeclareThem)
+{
+    // health linearizes lists and mst clusters/colors: both must prove
+    // at least one declared fast-path site.
+    for (const char *name : {"health", "mst"}) {
+        const EnforcedRun run = runEnforced(name);
+        EXPECT_GT(run.stats.sites_proven_unforwarded, 0u) << name;
+    }
+}
+
+} // namespace
+} // namespace memfwd

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "common/stats_registry.hh"
 #include "core/cycle_check.hh"
@@ -71,7 +72,12 @@ usage(std::FILE *out, const char *argv0)
         "  --fault-seed N    fault injector RNG seed\n"
         "  --cycle-policy P  abort | trap | quarantine (default abort)\n"
         "  --audit           run the heap-integrity audit after the\n"
-        "                    workload and dump its report\n",
+        "                    workload and dump its report\n"
+        "  --analyze MODE    off | plan | enforce (default off): attach\n"
+        "                    the static relocation-plan analyzer; 'plan'\n"
+        "                    rejects unsafe plans before any word moves,\n"
+        "                    'enforce' also cross-checks every raw access\n"
+        "                    dynamically (docs/ANALYSIS.md)\n",
         argv0);
 }
 
@@ -125,6 +131,7 @@ main(int argc, char **argv)
     cfg.workload = "";
     bool dump_stats = false;
     bool run_audit = false;
+    AnalyzeMode analyze_mode = AnalyzeMode::off;
     std::string fault_spec;
     std::string json_path;
     std::uint64_t fault_seed = 0x5eedfa17ULL;
@@ -221,6 +228,12 @@ main(int argc, char **argv)
             }
         } else if (arg == "--audit") {
             run_audit = true;
+        } else if (arg == "--analyze") {
+            const std::string mode = next();
+            if (!analyzeModeFromName(mode, analyze_mode))
+                memfwd_fatal("unknown analyze mode '%s' (off | plan | "
+                             "enforce)",
+                             mode.c_str());
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout, argv[0]);
             return 0;
@@ -250,6 +263,10 @@ main(int argc, char **argv)
         machine.setFaultInjector(&faults);
     }
 
+    AnalysisGate gate(analyze_mode);
+    if (analyze_mode != AnalyzeMode::off)
+        machine.setAnalysisGate(&gate);
+
     auto workload = makeWorkload(cfg.workload, cfg.params);
     int exit_code = 0;
     try {
@@ -261,6 +278,12 @@ main(int argc, char **argv)
         std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
         exit_code = 2;
     } catch (const AllocFailure &e) {
+        std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
+        exit_code = 2;
+    } catch (const PlanRejected &e) {
+        std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
+        exit_code = 2;
+    } catch (const EnforcementError &e) {
         std::fprintf(stderr, "memfwd_sim: %s\n", e.what());
         exit_code = 2;
     }
@@ -307,6 +330,25 @@ main(int argc, char **argv)
     if (!fault_spec.empty()) {
         std::printf("faults fired   %llu\n",
                     static_cast<unsigned long long>(faults.fired()));
+    }
+
+    if (analyze_mode != AnalyzeMode::off) {
+        const GateStats &gs = gate.stats();
+        std::printf("analysis       mode %s: %llu plans (%llu verified, "
+                    "%llu rejected), %llu sites proven unforwarded\n",
+                    analyzeModeName(analyze_mode),
+                    static_cast<unsigned long long>(gs.plans_submitted),
+                    static_cast<unsigned long long>(gs.plans_verified),
+                    static_cast<unsigned long long>(gs.plans_rejected),
+                    static_cast<unsigned long long>(
+                        gs.sites_proven_unforwarded));
+        if (gate.enforcing()) {
+            std::printf("enforcement    %llu raw accesses cross-checked, "
+                        "%llu violations\n",
+                        static_cast<unsigned long long>(gs.enforce_checks),
+                        static_cast<unsigned long long>(
+                            gs.enforce_violations));
+        }
     }
 
     if (run_audit) {
