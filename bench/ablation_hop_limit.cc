@@ -35,7 +35,7 @@ timeChain(unsigned hop_limit, unsigned chain_len, unsigned refs)
     SimAllocator alloc(m, 42);
 
     Addr head = alloc.alloc(8, Placement::scattered);
-    m.store(head, 8, 1234);
+    m.access(Access::store(head, 8, 1234));
     const Addr origin = head;
     for (unsigned i = 0; i < chain_len; ++i) {
         const Addr t = alloc.alloc(8, Placement::scattered);
@@ -46,7 +46,7 @@ timeChain(unsigned hop_limit, unsigned chain_len, unsigned refs)
     const Cycles start = m.cycles();
     Cycles dep = 0;
     for (unsigned r = 0; r < refs; ++r)
-        dep = m.load(origin, 8, dep).ready;
+        dep = m.access(Access::load(origin, 8, dep)).ready;
     const Cycles elapsed = m.cycles() - start;
 
     if (auto *rep = Report::current()) {
@@ -90,7 +90,7 @@ main()
         m.mem().unforwardedWrite(0x1000, 0x2000, true);
         m.mem().unforwardedWrite(0x2000, 0x1000, true);
         try {
-            m.load(0x1000, 8);
+            m.access(Access::load(0x1000, 8));
             std::printf("  limit=%-3u NOT DETECTED (bug)\n", limit);
             return 1;
         } catch (const ForwardingCycleError &err) {

@@ -68,17 +68,17 @@ run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
                                      : Placement::scattered;
 
     const Addr head = alloc.alloc(8);
-    m.store(head, 8, 0);
+    m.access(Access::store(head, 8, 0));
     std::uint64_t next_key = 1;
 
     auto insert = [&](Placement place) {
         const Addr n = alloc.alloc(node_bytes, place);
         const std::uint64_t key = next_key++;
-        const LoadResult h = m.load(head, 8);
-        m.store(n + off_next, 8, h.value);
-        m.store(n + off_key, 8, key);
-        m.store(n + off_payload, 8, mix64(key));
-        m.store(head, 8, n);
+        const AccessResult h = m.access(Access::load(head, 8));
+        m.access(Access::store(n + off_next, 8, h.value));
+        m.access(Access::store(n + off_key, 8, key));
+        m.access(Access::store(n + off_payload, 8, mix64(key)));
+        m.access(Access::store(head, 8, n));
     };
 
     for (unsigned i = 0; i < n_nodes; ++i)
@@ -91,12 +91,12 @@ run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
         // Traverse (the hot work), timed per phase.
         const Cycles begin = m.cycles();
         for (int t = 0; t < 4; ++t) {
-            LoadResult cur = m.load(head, 8);
+            AccessResult cur = m.access(Access::load(head, 8));
             while (cur.value != 0) {
                 out.checksum +=
-                    m.load(cur.value + off_payload, 8, cur.ready).value &
+                    m.access(Access::load(cur.value + off_payload, 8, cur.ready)).value &
                     0xff;
-                cur = m.load(cur.value + off_next, 8, cur.ready);
+                cur = m.access(Access::load(cur.value + off_next, 8, cur.ready));
             }
         }
         out.per_phase.push_back(m.cycles() - begin);
@@ -117,16 +117,16 @@ run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
                 // placement's initial block genuinely erodes).
                 std::uint64_t hops = mix64(k, 0xd1e) % n_nodes;
                 Addr prev_slot = head;
-                LoadResult cur = m.load(prev_slot, 8);
+                AccessResult cur = m.access(Access::load(prev_slot, 8));
                 while (cur.value != 0 && hops > 0) {
                     prev_slot = static_cast<Addr>(cur.value) + off_next;
-                    cur = m.load(prev_slot, 8, cur.ready);
+                    cur = m.access(Access::load(prev_slot, 8, cur.ready));
                     --hops;
                 }
                 if (cur.value != 0) {
-                    const LoadResult nx =
-                        m.load(cur.value + off_next, 8, cur.ready);
-                    m.store(prev_slot, 8, nx.value);
+                    const AccessResult nx =
+                        m.access(Access::load(cur.value + off_next, 8, cur.ready));
+                    m.access(Access::store(prev_slot, 8, nx.value));
                 }
             }
             ++op_counter;

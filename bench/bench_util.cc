@@ -35,6 +35,23 @@ variantLabel(const WorkloadVariant &v)
     return s;
 }
 
+/**
+ * Host-speed gauges for one case (docs/METRICS.md "host" family).
+ * Wall time varies across machines, so scripts/bench_diff.py treats
+ * these as advisory — present-and-tracked, never a pass/fail gate.
+ */
+obs::Json
+hostJson(std::uint64_t refs, double wall_ms)
+{
+    obs::Json h = obs::Json::object();
+    h["refs"] = obs::Json::number(refs);
+    h["wall_ms"] = obs::Json::real(wall_ms);
+    const double rps =
+        (refs && wall_ms > 0.0) ? double(refs) * 1000.0 / wall_ms : 0.0;
+    h["refs_per_sec"] = obs::Json::real(rps);
+    return h;
+}
+
 } // namespace
 
 double
@@ -101,6 +118,7 @@ Report::add(const std::string &label, const RunResult &r, double wall_ms,
     c["checksum"] = obs::Json::number(r.checksum);
     c["wall_ms"] = obs::Json::real(wall_ms);
     c["reps"] = obs::Json::number(reps);
+    c["host"] = hostJson(r.refs, wall_ms);
     c["metrics"] = r.metrics.toJson();
     cases_.push_back(std::move(c));
 }
@@ -109,7 +127,7 @@ void
 Report::addCase(const std::string &label, std::uint64_t cycles,
                 std::uint64_t instructions, std::uint64_t checksum,
                 const obs::MetricsNode &metrics, double wall_ms,
-                unsigned reps)
+                unsigned reps, std::uint64_t refs)
 {
     obs::Json c = obs::Json::object();
     c["label"] = obs::Json::string(label);
@@ -120,6 +138,7 @@ Report::addCase(const std::string &label, std::uint64_t cycles,
     c["checksum"] = obs::Json::number(checksum);
     c["wall_ms"] = obs::Json::real(wall_ms);
     c["reps"] = obs::Json::number(reps);
+    c["host"] = hostJson(refs, wall_ms);
     c["metrics"] = metrics.toJson();
     cases_.push_back(std::move(c));
 }

@@ -66,11 +66,15 @@ class Report
     void add(const std::string &label, const RunResult &r,
              double wall_ms = 0.0, unsigned reps = 1);
 
-    /** Record a case for benches built on custom machinery. */
+    /**
+     * Record a case for benches built on custom machinery.  Pass the
+     * machine's refsExecuted() as @p refs when available so the
+     * host.refs_per_sec gauge is meaningful; 0 records the gauge as 0.
+     */
     void addCase(const std::string &label, std::uint64_t cycles,
                  std::uint64_t instructions, std::uint64_t checksum,
                  const obs::MetricsNode &metrics, double wall_ms = 0.0,
-                 unsigned reps = 1);
+                 unsigned reps = 1, std::uint64_t refs = 0);
 
     /** Cases recorded so far. */
     std::size_t cases() const { return cases_.size(); }

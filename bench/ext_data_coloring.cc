@@ -48,10 +48,10 @@ Cycles
 chase(Machine &m, Addr start, unsigned hops)
 {
     const Cycles begin = m.cycles();
-    LoadResult cur{start, 0, 0, start};
+    AccessResult cur{start, 0, 0, start};
     for (unsigned h = 0; h < hops; ++h)
-        cur = m.load(static_cast<Addr>(cur.value), 8, cur.ready);
-    m.compute(cur.value & 1);
+        cur = m.access(Access::load(static_cast<Addr>(cur.value), 8, cur.ready));
+    m.access(Access::compute(cur.value & 1));
     return m.cycles() - begin;
 }
 
@@ -80,7 +80,7 @@ main()
         for (unsigned i = 0; i < 8; ++i)
             items.push_back(base + Addr(i) * cache);
         for (unsigned i = 0; i < 8; ++i)
-            m.store(items[i], 8, items[(i + 1) % 8]);
+            m.access(Access::store(items[i], 8, items[(i + 1) % 8]));
 
         const unsigned hops =
             static_cast<unsigned>(30000 * benchScale());
@@ -97,7 +97,7 @@ main()
         // The optimizer rewrites the ring to the new homes (it knows
         // the mapping), then chases directly.
         for (unsigned i = 0; i < 8; ++i)
-            m.store(cr.new_addrs[i], 8, cr.new_addrs[(i + 1) % 8]);
+            m.access(Access::store(cr.new_addrs[i], 8, cr.new_addrs[(i + 1) % 8]));
         const Cycles updated = chase(m, cr.new_addrs[0], hops);
 
         report.addCase("coloring/original", before, 0, 0, obs::MetricsNode{});
@@ -131,7 +131,7 @@ main()
         const Addr matrix = alloc.alloc(Addr(cache) * (rows + 1));
         for (unsigned r = 0; r < rows; ++r)
             for (unsigned off = 0; off < row_bytes; off += 8)
-                m.store(matrix + Addr(r) * cache + off, 8, r + off);
+                m.access(Access::store(matrix + Addr(r) * cache + off, 8, r + off));
 
         auto reuse = [&](Addr tile, Addr stride, unsigned passes) {
             const Cycles begin = m.cycles();
@@ -139,13 +139,13 @@ main()
             std::uint64_t acc = 0;
             for (unsigned p = 0; p < passes; ++p) {
                 for (unsigned r = 0; r < rows; ++r) {
-                    const LoadResult v = m.load(
-                        tile + Addr(r) * stride + (p % 16) * 8, 8, dep);
+                    const AccessResult v = m.access(Access::load(
+                        tile + Addr(r) * stride + (p % 16) * 8, 8, dep));
                     acc += v.value;
                     dep = v.ready;
                 }
             }
-            m.compute(acc & 1);
+            m.access(Access::compute(acc & 1));
             return m.cycles() - begin;
         };
 

@@ -96,9 +96,9 @@ traverse(Scenario &s, std::uint64_t &checksum)
     Addr cur = s.head();
     Cycles ready = 0;
     while (cur != 0) {
-        const LoadResult data = s.machine->load(cur, wordBytes, ready);
-        const LoadResult next =
-            s.machine->load(cur + wordBytes, wordBytes, ready);
+        const AccessResult data = s.machine->access(Access::load(cur, wordBytes, ready));
+        const AccessResult next =
+            s.machine->access(Access::load(cur + wordBytes, wordBytes, ready));
         checksum = checksum * 131 + data.value;
         cur = next.value;
         ready = next.ready;

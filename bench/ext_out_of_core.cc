@@ -52,10 +52,10 @@ std::uint64_t
 traverse(Machine &m, Addr head)
 {
     std::uint64_t sum = 0;
-    LoadResult cur = m.load(head, 8);
+    AccessResult cur = m.access(Access::load(head, 8));
     while (cur.value != 0) {
-        sum += m.load(cur.value + off_payload, 8, cur.ready).value;
-        cur = m.load(cur.value + off_next, 8, cur.ready);
+        sum += m.access(Access::load(cur.value + off_payload, 8, cur.ready)).value;
+        cur = m.access(Access::load(cur.value + off_next, 8, cur.ready));
     }
     return sum;
 }
@@ -79,16 +79,16 @@ main()
     const unsigned n =
         std::max(1000u, static_cast<unsigned>(30000 * benchScale()));
     const Addr head = alloc.alloc(8);
-    m.store(head, 8, 0);
+    m.access(Access::store(head, 8, 0));
     Addr prev = 0;
     for (unsigned i = 0; i < n; ++i) {
         const Addr node = alloc.alloc(node_bytes, Placement::scattered);
-        m.store(node + off_next, 8, 0);
-        m.store(node + off_payload, 8, i);
+        m.access(Access::store(node + off_next, 8, 0));
+        m.access(Access::store(node + off_payload, 8, i));
         if (prev == 0)
-            m.store(head, 8, node);
+            m.access(Access::store(head, 8, node));
         else
-            m.store(prev + off_next, 8, node);
+            m.access(Access::store(prev + off_next, 8, node));
         prev = node;
     }
 

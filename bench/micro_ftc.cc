@@ -66,8 +66,8 @@ runChains(const std::string &label, const MachineConfig &mc,
     Addr bump = 0x08000000;
     for (unsigned i = 0; i < objects; ++i) {
         for (unsigned w = 0; w < obj_words; ++w)
-            m.store(obj_base + Addr(i) * obj_stride + w * wordBytes, 8,
-                    i * 1000 + w);
+            m.access(Access::store(obj_base + Addr(i) * obj_stride + w * wordBytes, 8,
+                    i * 1000 + w));
         for (unsigned d = 0; d < chain_depth; ++d) {
             relocate(m, obj_base + Addr(i) * obj_stride, bump, obj_words);
             bump += obj_words * wordBytes + 0x40;
@@ -83,7 +83,7 @@ runChains(const std::string &label, const MachineConfig &mc,
         for (unsigned i = 0; i < objects; ++i) {
             const Addr a =
                 obj_base + Addr(i) * obj_stride + (r % obj_words) * wordBytes;
-            const LoadResult lr = m.load(a, 8, dep);
+            const AccessResult lr = m.access(Access::load(a, 8, dep));
             dep = lr.ready;
             checksum = checksum * 31 + lr.value;
         }

@@ -87,10 +87,10 @@ BM_MachineTimedLoad(benchmark::State &state)
 {
     setVerbose(false);
     Machine m;
-    m.store(0x1000, 8, 7);
+    m.access(Access::store(0x1000, 8, 7));
     Cycles dep = 0;
     for (auto _ : state) {
-        dep = m.load(0x1000, 8, dep).ready;
+        dep = m.access(Access::load(0x1000, 8, dep)).ready;
         benchmark::DoNotOptimize(dep);
     }
 }

@@ -32,15 +32,15 @@ buildTree(Machine &m, CompactingHeap &heap, unsigned depth,
           std::uint64_t seed)
 {
     const Addr node = heap.alloc(3, node_mask);
-    m.store(CompactingHeap::field(node, 2), 8, seed);
+    m.access(Access::store(CompactingHeap::field(node, 2), 8, seed));
     if (depth > 0) {
         // Garbage between siblings, as real allocation produces.
         heap.alloc(2, 0);
         const Addr l = buildTree(m, heap, depth - 1, seed * 2 + 1);
         heap.alloc(3, 0);
         const Addr r = buildTree(m, heap, depth - 1, seed * 2 + 2);
-        m.store(CompactingHeap::field(node, 0), 8, l);
-        m.store(CompactingHeap::field(node, 1), 8, r);
+        m.access(Access::store(CompactingHeap::field(node, 0), 8, l));
+        m.access(Access::store(CompactingHeap::field(node, 1), 8, r));
     }
     return node;
 }
@@ -52,12 +52,12 @@ sumTree(Machine &m, Addr node, Cycles dep, Cycles *out_ready)
         *out_ready = dep;
         return 0;
     }
-    const LoadResult v =
-        m.load(CompactingHeap::field(node, 2), 8, dep);
-    const LoadResult l =
-        m.load(CompactingHeap::field(node, 0), 8, dep);
-    const LoadResult r =
-        m.load(CompactingHeap::field(node, 1), 8, dep);
+    const AccessResult v =
+        m.access(Access::load(CompactingHeap::field(node, 2), 8, dep));
+    const AccessResult l =
+        m.access(Access::load(CompactingHeap::field(node, 0), 8, dep));
+    const AccessResult r =
+        m.access(Access::load(CompactingHeap::field(node, 1), 8, dep));
     Cycles lr = 0, rr = 0;
     const std::uint64_t sum =
         v.value +
@@ -81,7 +81,7 @@ main()
 
     const Addr root_slot = alloc.alloc(8);
     const Addr root = buildTree(m, heap, 10, 1); // 2047 nodes + garbage
-    m.store(root_slot, 8, root);
+    m.access(Access::store(root_slot, 8, root));
 
     // A "register" pointer the collector will never see.
     const Addr hidden = root;
@@ -97,7 +97,7 @@ main()
     heap.collect({root_slot});
 
     const Addr new_root =
-        static_cast<Addr>(m.load(root_slot, 8).value);
+        static_cast<Addr>(m.access(Access::load(root_slot, 8)).value);
     m.hierarchy().reset();
     const Cycles t1 = m.cycles();
     const std::uint64_t sum_after =
@@ -125,8 +125,8 @@ main()
                 double(sweep_before) / double(sweep_after));
 
     // The pointer the collector never saw.
-    const LoadResult stale =
-        m.load(CompactingHeap::field(hidden, 2), 8);
+    const AccessResult stale =
+        m.access(Access::load(CompactingHeap::field(hidden, 2), 8));
     std::printf("hidden pointer read    : value=%llu via %u forwarding "
                 "hop(s) — a classical collector would have broken "
                 "this\n",

@@ -31,10 +31,10 @@ traverse(Machine &m, Addr head, std::uint64_t &sum_out)
 {
     const Cycles start = m.cycles();
     std::uint64_t sum = 0;
-    LoadResult cur = m.load(head, 8);
+    AccessResult cur = m.access(Access::load(head, 8));
     while (cur.value != 0) {
-        sum += m.load(cur.value + off_payload, 8, cur.ready).value;
-        cur = m.load(cur.value + off_next, 8, cur.ready);
+        sum += m.access(Access::load(cur.value + off_payload, 8, cur.ready)).value;
+        cur = m.access(Access::load(cur.value + off_next, 8, cur.ready));
     }
     sum_out = sum;
     return m.cycles() - start;
@@ -55,17 +55,17 @@ main()
     // Build a 20,000-node list from scattered allocations.
     const unsigned n = 20000;
     const Addr head = alloc.alloc(8);
-    m.store(head, 8, 0);
+    m.access(Access::store(head, 8, 0));
     Addr prev = 0;
     Addr third_node = 0;
     for (unsigned i = 0; i < n; ++i) {
         const Addr node = alloc.alloc(node_bytes, Placement::scattered);
-        m.store(node + off_next, 8, 0);
-        m.store(node + off_payload, 8, i);
+        m.access(Access::store(node + off_next, 8, 0));
+        m.access(Access::store(node + off_payload, 8, i));
         if (prev == 0)
-            m.store(head, 8, node);
+            m.access(Access::store(head, 8, node));
         else
-            m.store(prev + off_next, 8, node);
+            m.access(Access::store(prev + off_next, 8, node));
         if (i == 2)
             third_node = node;
         prev = node;
@@ -94,7 +94,7 @@ main()
 
     // The hazard memory forwarding exists for: a pointer into the
     // middle of the list taken before linearization.
-    const LoadResult stale = m.load(third_node + off_payload, 8);
+    const AccessResult stale = m.access(Access::load(third_node + off_payload, 8));
     sum_stale = stale.value;
     std::printf("stale mid-list pointer: payload=%llu via %u forwarding "
                 "hop(s) — still correct\n",

@@ -41,15 +41,15 @@ main()
     // An "object" of four words, plus a stale pointer to its third word.
     const Addr obj = alloc.alloc(32);
     for (unsigned w = 0; w < 4; ++w)
-        machine.store(obj + 8 * w, 8, 100 + w);
+        machine.access(Access::store(obj + 8 * w, 8, 100 + w));
     const Addr stale_ptr = obj + 16;
 
     // Relocate it — safe even though stale_ptr is not updated.
     const Addr home = alloc.alloc(32);
     relocate(machine, obj, home, 4);
 
-    const LoadResult via_stale = machine.load(stale_ptr, 8);
-    const LoadResult via_new = machine.load(home + 16, 8);
+    const AccessResult via_stale = machine.access(Access::load(stale_ptr, 8));
+    const AccessResult via_new = machine.access(Access::load(home + 16, 8));
     std::printf("stale pointer read : value=%llu hops=%u\n",
                 static_cast<unsigned long long>(via_stale.value),
                 via_stale.hops);

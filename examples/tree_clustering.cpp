@@ -37,16 +37,16 @@ lookups(Machine &m, Addr root_handle, unsigned count,
     std::uint64_t hits = 0;
     for (unsigned i = 0; i < count; ++i) {
         const std::uint64_t key = rng.below(1 << 20);
-        LoadResult cur = m.load(root_handle, 8);
+        AccessResult cur = m.access(Access::load(root_handle, 8));
         while (cur.value != 0) {
             const Addr node = static_cast<Addr>(cur.value);
-            const LoadResult k = m.load(node + off_key, 8, cur.ready);
+            const AccessResult k = m.access(Access::load(node + off_key, 8, cur.ready));
             if (k.value == key) {
                 ++hits;
                 break;
             }
-            cur = m.load(node + (key < k.value ? off_left : off_right),
-                         8, k.ready);
+            cur = m.access(Access::load(node + (key < k.value ? off_left : off_right),
+                         8, k.ready));
         }
     }
     hits_out = hits;
@@ -67,27 +67,27 @@ main()
 
     // Build a BST of 30,000 scattered nodes.
     const Addr root_handle = alloc.alloc(8);
-    m.store(root_handle, 8, 0);
+    m.access(Access::store(root_handle, 8, 0));
     Rng rng(5);
     for (unsigned i = 0; i < 30000; ++i) {
         const std::uint64_t key = rng.below(1 << 20);
         const Addr node = alloc.alloc(node_bytes, Placement::scattered);
-        m.store(node + off_left, 8, 0);
-        m.store(node + off_right, 8, 0);
-        m.store(node + off_key, 8, key);
+        m.access(Access::store(node + off_left, 8, 0));
+        m.access(Access::store(node + off_right, 8, 0));
+        m.access(Access::store(node + off_key, 8, key));
         // Insert.
         Addr slot = root_handle;
-        LoadResult cur = m.load(slot, 8);
+        AccessResult cur = m.access(Access::load(slot, 8));
         while (cur.value != 0) {
             const Addr p = static_cast<Addr>(cur.value);
-            const LoadResult k = m.load(p + off_key, 8, cur.ready);
+            const AccessResult k = m.access(Access::load(p + off_key, 8, cur.ready));
             if (key == k.value)
                 break; // duplicate: drop
             slot = p + (key < k.value ? off_left : off_right);
-            cur = m.load(slot, 8, k.ready);
+            cur = m.access(Access::load(slot, 8, k.ready));
         }
         if (cur.value == 0)
-            m.store(slot, 8, node);
+            m.access(Access::store(slot, 8, node));
     }
 
     std::uint64_t hits_before = 0, hits_after = 0;

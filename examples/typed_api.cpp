@@ -41,7 +41,7 @@ main()
 
     // Build a sorted list of 1000 entries, scattered.
     const Addr head = alloc.alloc(8);
-    m.store(head, 8, 0);
+    m.access(Access::store(head, 8, 0));
     Addr prev = 0;
     for (std::uint32_t i = 0; i < 1000; ++i) {
         const Addr e = alloc.alloc(Entry::bytes, Placement::scattered);
@@ -50,7 +50,7 @@ main()
         ref.store(Entry::key, i * 2); // even keys
         ref.store(Entry::value, i * i);
         if (prev == 0)
-            m.store(head, 8, e);
+            m.access(Access::store(head, 8, e));
         else
             ObjRef(m, prev).store(Entry::next, e);
         prev = e;
@@ -58,8 +58,8 @@ main()
 
     // Typed lookup: walk until key >= target.
     auto lookup = [&](std::uint32_t target) -> std::uint32_t {
-        for (ObjRef e(m, static_cast<Addr>(m.load(head, 8).value),
-                      m.load(head, 8).ready);
+        for (ObjRef e(m, static_cast<Addr>(m.access(Access::load(head, 8)).value),
+                      m.access(Access::load(head, 8)).ready);
              e; e = e.follow(Entry::next)) {
             const std::uint32_t k = e.load(Entry::key);
             if (k == target)
@@ -75,7 +75,7 @@ main()
     std::printf("lookup(405)  = %#x (odd keys absent)\n", lookup(405));
 
     // Keep a typed reference to a middle entry, then linearize.
-    ObjRef kept(m, static_cast<Addr>(m.load(head, 8).value));
+    ObjRef kept(m, static_cast<Addr>(m.access(Access::load(head, 8)).value));
     for (int i = 0; i < 500; ++i)
         kept = kept.follow(Entry::next);
     const std::uint32_t kept_key = kept.load(Entry::key);

@@ -2,7 +2,8 @@
 """Compare two sets of BENCH_*.json results and gate on regressions.
 
 Usage:
-    bench_diff.py [--threshold PCT] [--verbose] OLD NEW
+    bench_diff.py [--threshold PCT] [--verbose]
+                  [--require-metric METRIC]... OLD NEW
 
 OLD and NEW are directories containing BENCH_<name>.json files (as
 written by the bench binaries; see docs/METRICS.md for the schema), or
@@ -14,12 +15,24 @@ their deterministic simulated cycle counts compared:
                                    the micro_mechanisms host benches)
   - present on one side only   ->  reported, not fatal
 
+Host-speed gauges (the dotted "host.*" family, e.g. host.refs_per_sec)
+are wall-clock measurements and therefore advisory: they are printed
+when both sides carry them but never gate the exit code.  A metric the
+candidate has but the baseline lacks is reported as a migration note
+naming the bench, case, and metric — never a hard failure — so adding
+a new gauge does not invalidate committed baselines mid-migration.
+`--require-metric M` (repeatable) turns a *candidate-side* gap into a
+structural error: every NEW case must carry metric M (dotted path) or
+the diff exits 2 naming the offending bench/case/metric.
+
 Exit codes: 0 no regression, 1 regression(s) past threshold,
-2 structural error (unreadable input, bad schema, nothing to compare).
+2 structural error (unreadable input, bad schema, nothing to compare,
+or a --require-metric violation).
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -94,6 +107,16 @@ def load_side(path):
     return cases
 
 
+def lookup_metric(case, dotted):
+    """Resolve a dotted metric path ('host.refs_per_sec') in a case."""
+    node = case
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -102,12 +125,25 @@ def main():
                     help="regression threshold in percent (default 10)")
     ap.add_argument("--verbose", action="store_true",
                     help="print every compared case, not just changes")
+    ap.add_argument("--require-metric", action="append", default=[],
+                    metavar="METRIC", dest="require_metric",
+                    help="dotted metric path every candidate case must "
+                         "carry (repeatable); a missing one is a "
+                         "structural error (exit 2) naming the "
+                         "bench/case/metric")
     ap.add_argument("old", help="baseline results (directory or file)")
     ap.add_argument("new", help="candidate results (directory or file)")
     args = ap.parse_args()
 
     old = load_side(args.old)
     new = load_side(args.new)
+
+    for metric in args.require_metric:
+        for (bench, label), case in sorted(new.items()):
+            if lookup_metric(case, metric) is None:
+                fail(f"candidate bench '{bench}' case '{label}' is "
+                     f"missing required metric '{metric}' "
+                     f"(--require-metric)")
 
     common = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))
@@ -120,10 +156,23 @@ def main():
     improvements = []
     skipped = 0
     checksum_changes = []
+    host_notes = []
+    migration_notes = []
 
     for key in common:
         o, n = old[key], new[key]
         oc, nc = int(o["cycles"]), int(n["cycles"])
+
+        # Host-speed gauges: advisory only (wall clock is not
+        # comparable across machines), but track them when present.
+        o_rps = lookup_metric(o, "host.refs_per_sec")
+        n_rps = lookup_metric(n, "host.refs_per_sec")
+        if n_rps is not None and o_rps is None:
+            migration_notes.append((key, "host.refs_per_sec"))
+        elif o_rps and n_rps:
+            ratio = float(n_rps) / float(o_rps)
+            host_notes.append((key, float(o_rps), float(n_rps), ratio))
+
         if oc == 0 or nc == 0:
             skipped += 1
             continue
@@ -151,11 +200,25 @@ def main():
         print(f"  note: case gone in new results: {key[0]}:{key[1]}")
     for key in only_new:
         print(f"  note: new case (no baseline): {key[0]}:{key[1]}")
+    for key, metric in migration_notes:
+        print(f"  note: bench '{key[0]}' case '{key[1]}': baseline "
+              f"lacks metric '{metric}' carried by the candidate "
+              f"(advisory; refresh the baseline to start tracking it)")
+    if args.verbose:
+        for key, o_rps, n_rps, ratio in host_notes:
+            print(f"  host      {key[0]}:{key[1]}: "
+                  f"{o_rps:,.0f} -> {n_rps:,.0f} refs/s "
+                  f"({ratio:.2f}x, advisory)")
 
     print(f"bench_diff: {len(common)} matched cases, "
           f"{skipped} wall-time-only skipped, "
           f"{len(improvements)} improved, {len(regressions)} regressed "
           f"(threshold {args.threshold:.1f}%)")
+    if host_notes:
+        gm = math.exp(sum(math.log(r) for *_, r in host_notes) /
+                      len(host_notes))
+        print(f"bench_diff: host.refs_per_sec geometric-mean "
+              f"{gm:.2f}x over {len(host_notes)} cases (advisory)")
 
     return EXIT_REGRESSION if regressions else EXIT_OK
 

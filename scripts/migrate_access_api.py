@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Migrate legacy per-kind Machine calls to the unified access() API.
+
+Rewrites, with real parenthesis matching (calls may span lines):
+
+    recv.load(ARGS)             -> recv.access(Access::load(ARGS))
+    recv.store(ARGS)            -> recv.access(Access::store(ARGS))
+    recv.readFBit(ARGS)         -> (recv.access(Access::readFBit(ARGS)).value != 0)
+    recv.unforwardedRead(ARGS)  -> recv.access(Access::unforwardedRead(ARGS)).value
+    recv.unforwardedWrite(ARGS) -> recv.access(Access::unforwardedWrite(ARGS))
+    recv.prefetch(ARGS)         -> recv.access(Access::prefetch(ARGS))
+    recv.compute(ARGS)          -> recv.access(Access::compute(ARGS))
+
+and renames the legacy result types LoadResult/StoreResult to
+AccessResult (field-compatible: AccessResult's leading fields mirror
+LoadResult positionally; StoreResult had no in-repo field uses besides
+positional ones).
+
+Only receivers known to be Machine-typed are touched; TaggedMemory
+(`mem`, `mem_`), MpSystem (`sys`) and CoherentCache receivers share
+method names and must not be rewritten.  The default whitelist covers
+the repo's spellings; per-file extras handle tests that name Machines
+`a`/`b`.
+
+Usage: scripts/migrate_access_api.py FILE...
+Rewrites in place; prints a per-file rewrite count.
+"""
+
+import re
+import sys
+
+METHODS = (
+    "load",
+    "store",
+    "readFBit",
+    "unforwardedRead",
+    "unforwardedWrite",
+    "prefetch",
+    "compute",
+)
+
+RECEIVERS = ["machine_", "machine", "m1", "m2", "m", "rig.m", "s.machine"]
+
+EXTRA_RECEIVERS = {
+    "test_machine.cc": ["a", "b"],
+    "test_tlb.cc": ["a", "b"],
+}
+
+# Files that define the API itself and must keep the legacy spellings.
+SKIP = ("machine.hh", "machine.cc", "ref_stream.hh", "ref_stream.cc")
+
+
+def match_call(text, open_paren):
+    """Return the index one past the ')' matching text[open_paren]."""
+    depth = 0
+    i = open_paren
+    while i < len(text):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < len(text) and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+        i += 1
+    raise ValueError(f"unbalanced parens at {open_paren}")
+
+
+def migrate(text, receivers):
+    pat = re.compile(
+        r"(?<![\w.>])("
+        + "|".join(re.escape(r) for r in receivers)
+        + r")(\.|->)("
+        + "|".join(METHODS)
+        + r")\s*\("
+    )
+    out = []
+    pos = 0
+    count = 0
+    while True:
+        mo = pat.search(text, pos)
+        if mo is None:
+            out.append(text[pos:])
+            break
+        recv, sep, method = mo.group(1), mo.group(2), mo.group(3)
+        open_paren = mo.end() - 1
+        end = match_call(text, open_paren)
+        args = text[open_paren + 1 : end - 1]
+        call = f"{recv}{sep}access(Access::{method}({args}))"
+        if method == "readFBit":
+            call = f"({call}.value != 0)"
+        elif method == "unforwardedRead":
+            call = f"{call}.value"
+        out.append(text[pos : mo.start()])
+        out.append(call)
+        pos = end
+        count += 1
+    new = "".join(out)
+    new = re.sub(r"\b(LoadResult|StoreResult)\b", "AccessResult", new)
+    return new, count
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        name = path.rsplit("/", 1)[-1]
+        if name in SKIP:
+            print(f"{path}: skipped (defines the API)")
+            continue
+        receivers = RECEIVERS + EXTRA_RECEIVERS.get(name, [])
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        new, count = migrate(text, receivers)
+        if new != text:
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(new)
+        print(f"{path}: {count} calls rewritten")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

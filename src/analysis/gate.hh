@@ -37,7 +37,8 @@
  * Static site tokens: after a plan is submitted, siteApproved(id)
  * reports whether the analyzer proved the declared access site safe
  * for the raw fast path; optimizers branch on that to choose between
- * `machine.unforwardedWrite(...)` and the forwarded `machine.store()`.
+ * `access(Access::unforwardedWrite(...))` and the forwarded
+ * `access(Access::store(...))`.
  */
 
 #ifndef MEMFWD_ANALYSIS_GATE_HH

@@ -52,13 +52,15 @@ Cache::setIndex(Addr line_addr) const
 }
 
 Cache::Line *
-Cache::findLine(Addr line_addr)
+Cache::findLineSlow(Addr line_addr)
 {
     const unsigned set = setIndex(line_addr);
     Line *base = &lines_[static_cast<std::size_t>(set) * cfg_.assoc];
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line_addr)
+        if (base[w].valid && base[w].tag == line_addr) {
+            mru_hint_ = &base[w];
             return &base[w];
+        }
     }
     return nullptr;
 }
@@ -232,6 +234,7 @@ Cache::access(Addr addr, AccessType type, Cycles now)
     victim.prefetched = (type == AccessType::prefetch);
     recordAccess(victim);
     victim.filled = victim.lru;
+    mru_hint_ = &victim;
 
     return {below.ready, MissKind::full, below.depth + 1};
 }
@@ -260,6 +263,7 @@ Cache::writeback(Addr line_addr, Cycles now)
     victim.prefetched = false;
     recordAccess(victim);
     victim.filled = victim.lru;
+    mru_hint_ = &victim;
 }
 
 void

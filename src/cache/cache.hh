@@ -158,7 +158,21 @@ class Cache : public MemLevel
     };
 
     unsigned setIndex(Addr line_addr) const;
-    Line *findLine(Addr line_addr);
+    Line *findLineSlow(Addr line_addr);
+
+    /**
+     * Tag lookup with a one-entry MRU hint.  Tags store the full line
+     * address, so a tag match on the hinted line is sufficient — the
+     * hint self-invalidates when the line it points at is re-filled
+     * with a different tag or invalidated by flush().
+     */
+    Line *
+    findLine(Addr line_addr)
+    {
+        if (mru_hint_ && mru_hint_->valid && mru_hint_->tag == line_addr)
+            return mru_hint_;
+        return findLineSlow(line_addr);
+    }
     const Line *findLine(Addr line_addr) const;
     Line &chooseVictim(unsigned set);
     void recordAccess(Line &line);
@@ -168,6 +182,7 @@ class Cache : public MemLevel
     MshrFile mshrs_;
     CacheStats stats_;
     std::vector<Line> lines_; ///< sets_ x assoc, row-major
+    Line *mru_hint_ = nullptr; ///< last line hit or installed
     std::uint64_t lru_clock_ = 0;
     std::uint64_t victim_seed_ = 0x2545f4914f6cdd1dULL;
 };

@@ -24,7 +24,7 @@ MshrFile::expire(Cycles now)
 }
 
 Cycles
-MshrFile::outstandingFill(Addr line_addr, Cycles now) const
+MshrFile::outstandingFillSlow(Addr line_addr, Cycles now) const
 {
     for (const auto &e : slots_) {
         const bool busy = e.pending || e.fill_done > now;
@@ -79,6 +79,7 @@ MshrFile::allocate(Addr line_addr, Cycles now)
     victim->line_addr = line_addr;
     victim->pending = true;
     victim->fill_done = 0;
+    ++pending_count_;
     return start;
 }
 
@@ -89,6 +90,8 @@ MshrFile::complete(Addr line_addr, Cycles fill_done)
         if (e.pending && e.line_addr == line_addr) {
             e.pending = false;
             e.fill_done = fill_done;
+            --pending_count_;
+            max_fill_done_ = std::max(max_fill_done_, fill_done);
             return;
         }
     }

@@ -31,8 +31,19 @@ class MshrFile
     /**
      * If a fill for @p line_addr is outstanding at @p now, return its
      * completion cycle (the caller combines with it); otherwise 0.
+     *
+     * Called on every cache access (the partial-miss check), so the
+     * common nothing-in-flight case must not scan the file: if no entry
+     * is pending and the latest completion ever recorded is already in
+     * the past, no fill can be outstanding at @p now.
      */
-    Cycles outstandingFill(Addr line_addr, Cycles now) const;
+    Cycles
+    outstandingFill(Addr line_addr, Cycles now) const
+    {
+        if (pending_count_ == 0 && max_fill_done_ <= now)
+            return 0;
+        return outstandingFillSlow(line_addr, now);
+    }
 
     /**
      * Allocate an entry for a new fill of @p line_addr.  If the file is
@@ -65,11 +76,16 @@ class MshrFile
     };
 
     void expire(Cycles now);
+    Cycles outstandingFillSlow(Addr line_addr, Cycles now) const;
 
     unsigned entries_;
     std::vector<Entry> slots_;
     unsigned peak_ = 0;
     std::uint64_t alloc_stalls_ = 0;
+    /** Entries allocated whose completion is not yet recorded. */
+    unsigned pending_count_ = 0;
+    /** Monotone upper bound on every entry's fill_done. */
+    Cycles max_fill_done_ = 0;
 };
 
 } // namespace memfwd

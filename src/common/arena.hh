@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Chunked arena pool and a std-compatible allocator over it.
+ *
+ * Node-based containers on the simulator's hot paths (the allocator's
+ * live-block map holds one node per simulated heap object) otherwise
+ * pay one malloc/free per simulated allocation and scatter their nodes
+ * across the host heap.  ArenaPool carves fixed chunks and recycles
+ * freed blocks through size-bucketed free lists, so nodes stay dense in
+ * host memory and the malloc churn disappears.
+ *
+ * The pool does not run destructors and releases all memory at once on
+ * destruction; containers using PoolAllocator must be destroyed before
+ * the pool they draw from (declare the pool first).
+ */
+
+#ifndef MEMFWD_COMMON_ARENA_HH
+#define MEMFWD_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace memfwd
+{
+
+/** Bump arena with size-bucketed free lists for recycled blocks. */
+class ArenaPool
+{
+  public:
+    ArenaPool() = default;
+
+    ArenaPool(const ArenaPool &) = delete;
+    ArenaPool &operator=(const ArenaPool &) = delete;
+
+    void *
+    alloc(std::size_t bytes)
+    {
+        const std::size_t rounded = roundSize(bytes);
+        if (rounded > max_pooled) {
+            ++oversize_;
+            return ::operator new(rounded);
+        }
+        const std::size_t b = rounded / granularity - 1;
+        if (free_[b]) {
+            void *p = free_[b];
+            free_[b] = *static_cast<void **>(p);
+            return p;
+        }
+        if (chunk_left_ < rounded) {
+            chunks_.push_back(
+                std::make_unique<std::byte[]>(chunk_bytes));
+            chunk_cursor_ = chunks_.back().get();
+            chunk_left_ = chunk_bytes;
+        }
+        void *p = chunk_cursor_;
+        chunk_cursor_ += rounded;
+        chunk_left_ -= rounded;
+        return p;
+    }
+
+    void
+    dealloc(void *p, std::size_t bytes)
+    {
+        const std::size_t rounded = roundSize(bytes);
+        if (rounded > max_pooled) {
+            ::operator delete(p);
+            return;
+        }
+        const std::size_t b = rounded / granularity - 1;
+        *static_cast<void **>(p) = free_[b];
+        free_[b] = p;
+    }
+
+    /** Chunks held (oversize blocks excluded); for tests. */
+    std::size_t chunksAllocated() const { return chunks_.size(); }
+
+  private:
+    static constexpr std::size_t granularity = 16;
+    static constexpr std::size_t max_pooled = 512;
+    static constexpr std::size_t chunk_bytes = 1 << 16;
+
+    static std::size_t
+    roundSize(std::size_t bytes)
+    {
+        if (bytes < granularity)
+            bytes = granularity;
+        return (bytes + granularity - 1) & ~(granularity - 1);
+    }
+
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::byte *chunk_cursor_ = nullptr;
+    std::size_t chunk_left_ = 0;
+    void *free_[max_pooled / granularity] = {};
+    std::uint64_t oversize_ = 0;
+};
+
+/**
+ * Minimal std allocator drawing from a non-owned ArenaPool.  The pool
+ * must outlive every container bound to it.
+ */
+template <class T>
+class PoolAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit PoolAllocator(ArenaPool &pool) : pool_(&pool) {}
+
+    template <class U>
+    PoolAllocator(const PoolAllocator<U> &other) : pool_(other.pool())
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(pool_->alloc(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        pool_->dealloc(p, n * sizeof(T));
+    }
+
+    ArenaPool *pool() const { return pool_; }
+
+    template <class U>
+    bool
+    operator==(const PoolAllocator<U> &other) const
+    {
+        return pool_ == other.pool();
+    }
+
+  private:
+    ArenaPool *pool_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_COMMON_ARENA_HH

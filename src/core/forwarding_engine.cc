@@ -462,6 +462,80 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
     return {final_addr, hops, t, t - start, hop_missed, true};
 }
 
+WalkResult
+ForwardingEngine::resolveFunctional(Addr addr, AccessType type,
+                                    SiteId site, Addr pointer_slot)
+{
+    Addr word = wordAlign(addr);
+    const unsigned offset = wordOffset(addr);
+
+    if (!mem_.fbit(word)) {
+        stats_.recordHops(0);
+        return {addr, 0, 0, 0, false, false};
+    }
+
+    if (auto it = quarantined_.find(word); it != quarantined_.end()) {
+        ++stats_.quarantine_hits;
+        stats_.recordHops(0);
+        return {it->second + offset, 0, 0, 0, false, true};
+    }
+
+    if (faults_)
+        faults_->corruptChain(mem_, word, FaultSite::resolve);
+
+    // Walk functionally: everything architectural (validation, cycle
+    // policy, quarantine, traps) behaves exactly as in the timed walk;
+    // only the cache accesses and cycle charges are absent.  The FTC is
+    // neither consulted nor filled and chains are never collapsed, so
+    // the heap stays bit-identical to an acceleration-free timed run.
+    Addr cur = word;
+    unsigned hops = 0;
+    unsigned hop_counter = 0;
+
+    while (mem_.fbit(cur)) {
+        const Word payload = mem_.rawReadWord(cur);
+        if (cfg_.validate_targets && !isWordAligned(payload)) {
+            const Addr pin = condemnCorrupt(word, cur, payload, site);
+            const bool fwd = cfg_.mode != ForwardingConfig::Mode::perfect;
+            return {pin + offset, fwd ? hops : 0, 0, 0, false, fwd};
+        }
+        cur = wordAlign(payload);
+        ++hops;
+        ++hop_counter;
+
+        if (hop_counter > cfg_.hop_limit) {
+            const CycleCheckResult chk = accurateCycleCheck(mem_, word);
+            if (chk.is_cycle) {
+                ++stats_.cycles_detected;
+                const Addr pin = condemnChain(word, chk.length,
+                                              chk.pre_cycle, site);
+                const bool fwd =
+                    cfg_.mode != ForwardingConfig::Mode::perfect;
+                return {pin + offset, fwd ? hops : 0, 0, 0, false, fwd};
+            }
+            ++stats_.false_alarms;
+            hop_counter = 0;
+        }
+    }
+
+    if (cfg_.mode == ForwardingConfig::Mode::perfect) {
+        // The Perf bound models pre-updated pointers: no reference is
+        // ever "forwarded", no trap fires (matching the timed path).
+        stats_.recordHops(0);
+        return {cur + offset, 0, 0, 0, false, false};
+    }
+
+    ++stats_.walks;
+    stats_.hops += hops;
+    stats_.recordHops(hops);
+
+    const Addr final_addr = cur + offset;
+    if (traps_.armed() && type != AccessType::prefetch)
+        traps_.deliver({site, addr, final_addr, hops, pointer_slot});
+
+    return {final_addr, hops, 0, 0, false, true};
+}
+
 void
 ForwardingEngine::fillMetrics(obs::MetricsNode &into) const
 {

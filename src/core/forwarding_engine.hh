@@ -316,6 +316,20 @@ class ForwardingEngine : public FwdStateListener
                        SiteId site = no_site, Addr pointer_slot = 0);
 
     /**
+     * As resolve(), but functional: the chain is walked with full
+     * architectural semantics — quarantine pins, corruption validation,
+     * cycle detection and policy, user-level traps, walk statistics —
+     * but no cache accesses, no timing, and no accelerations (FTC fill
+     * and chain collapsing are skipped, so their counters do not
+     * advance).  The fast-forward execution mode resolves every
+     * reference through this path; `ready`/`forward_cycles` come back
+     * zero and `hop_missed_l1` false.
+     */
+    WalkResult resolveFunctional(Addr addr, AccessType type,
+                                 SiteId site = no_site,
+                                 Addr pointer_slot = 0);
+
+    /**
      * Relocation primitive used by the runtime: copy the word at
      * @p src to @p tgt and atomically turn @p src into a forwarding
      * address pointing at @p tgt.  Functional only (timing is charged

@@ -15,10 +15,7 @@ OooCpu::OooCpu(const OooParams &params)
 void
 OooCpu::alu(std::uint64_t n)
 {
-    for (std::uint64_t i = 0; i < n; ++i) {
-        const Cycles d = rob_.dispatch();
-        rob_.graduate(d + 1, WaitKind::none);
-    }
+    rob_.aluBurst(n);
 }
 
 Cycles

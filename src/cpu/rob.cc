@@ -80,4 +80,17 @@ Rob::graduate(Cycles completion, WaitKind kind)
     return grad_cycle_;
 }
 
+void
+Rob::aluBurst(std::uint64_t n)
+{
+    // The literal composition of dispatch()+graduate(d+1, none), kept
+    // in this translation unit so both inline into one loop.  Any
+    // behavioral change here breaks cycle-exactness: the differential
+    // suite and the committed bench baseline both pin it.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Cycles d = dispatch();
+        graduate(d + 1, WaitKind::none);
+    }
+}
+
 } // namespace memfwd

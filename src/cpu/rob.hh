@@ -46,6 +46,15 @@ class Rob
      */
     Cycles graduate(Cycles completion, WaitKind kind);
 
+    /**
+     * Dispatch + graduate @p n consecutive single-cycle ALU
+     * instructions.  Exactly equivalent to n dispatch()/graduate(d+1)
+     * pairs — the definition of OooCpu::alu(n) — but fused into one
+     * in-TU loop so the per-instruction state stays in registers on
+     * the fast-forward path.
+     */
+    void aluBurst(std::uint64_t n);
+
     /** Instructions dispatched (== graduated) so far. */
     std::uint64_t instructions() const { return seq_; }
 

@@ -17,11 +17,11 @@ PageCache::PageCache(unsigned page_bytes, unsigned resident_pages,
 }
 
 bool
-PageCache::access(Addr addr)
+PageCache::accessSlow(Addr page)
 {
     ++accesses_;
-    const Addr page = addr / page_bytes_;
-    touched_[page] = true;
+    touched_.insert(page);
+    last_page_ = page;
 
     auto it = resident_.find(page);
     if (it != resident_.end()) {

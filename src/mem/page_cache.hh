@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.hh"
 
@@ -35,8 +36,23 @@ class PageCache
     PageCache(unsigned page_bytes, unsigned resident_pages,
               Cycles fault_penalty = 100000);
 
-    /** Touch the page containing @p addr; returns true on a fault. */
-    bool access(Addr addr);
+    /**
+     * Touch the page containing @p addr; returns true on a fault.
+     *
+     * Re-touching the most recently used page is the overwhelmingly
+     * common case in a linearized stream, is never a fault, and needs
+     * no LRU reorder, so it short-circuits before any hashing.
+     */
+    bool
+    access(Addr addr)
+    {
+        const Addr page = addr / page_bytes_;
+        if (page == last_page_) {
+            ++accesses_;
+            return false;
+        }
+        return accessSlow(page);
+    }
 
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t faults() const { return faults_; }
@@ -55,17 +71,24 @@ class PageCache
         accesses_ = 0;
         faults_ = 0;
         touched_.clear();
+        // The fast path assumes last_page_ is already in touched_.
+        last_page_ = ~Addr(0);
     }
 
   private:
+    bool accessSlow(Addr page);
+
     unsigned page_bytes_;
     unsigned resident_pages_;
     Cycles fault_penalty_;
 
+    /** Most recently touched page number (front of the LRU order). */
+    Addr last_page_ = ~Addr(0);
+
     /** LRU order: front = most recent. */
     std::list<Addr> lru_;
     std::unordered_map<Addr, std::list<Addr>::iterator> resident_;
-    std::unordered_map<Addr, bool> touched_;
+    std::unordered_set<Addr> touched_;
 
     std::uint64_t accesses_ = 0;
     std::uint64_t faults_ = 0;

@@ -8,29 +8,19 @@ namespace memfwd
 {
 
 TaggedMemory::Page &
-TaggedMemory::page(Addr addr)
+TaggedMemory::pageSlow(Addr addr)
 {
     const Addr key = addr / pageBytes;
-    auto &slot = pages_[key];
-    if (!slot)
-        slot = std::make_unique<Page>();
-    return *slot;
-}
-
-const TaggedMemory::Page *
-TaggedMemory::pageIfPresent(Addr addr) const
-{
-    auto it = pages_.find(addr / pageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
-}
-
-Word
-TaggedMemory::rawReadWord(Addr addr) const
-{
-    const Page *p = pageIfPresent(addr);
-    if (!p)
-        return 0;
-    return p->data[(addr % pageBytes) >> wordShift];
+    FlatPageIndex::Value v = index_.find(key);
+    if (v == FlatPageIndex::no_value) {
+        v = static_cast<FlatPageIndex::Value>(page_arena_.size());
+        page_arena_.emplace_back();
+        index_.insert(key, v);
+    }
+    Page &p = page_arena_[v];
+    last_key_ = key;
+    last_page_ = &p;
+    return p;
 }
 
 void
@@ -43,15 +33,6 @@ TaggedMemory::rawWriteWord(Addr addr, Word value)
     p.data[idx] = value;
     if (notify)
         listener_->fwdStateChanged(wordAlign(addr), true);
-}
-
-bool
-TaggedMemory::fbit(Addr addr) const
-{
-    const Page *p = pageIfPresent(addr);
-    if (!p)
-        return false;
-    return p->fbits[(addr % pageBytes) >> wordShift];
 }
 
 void
@@ -81,23 +62,6 @@ TaggedMemory::unforwardedWrite(Addr addr, Word value, bool fbit_value)
     p.fbits[idx] = fbit_value;
     if (notify)
         listener_->fwdStateChanged(wordAlign(addr), old);
-}
-
-std::uint64_t
-TaggedMemory::readBytes(Addr addr, unsigned size) const
-{
-    const unsigned off = wordOffset(addr);
-    memfwd_assert(size == 1 || size == 2 || size == 4 || size == 8,
-                  "bad access size %u", size);
-    memfwd_assert(off + size <= wordBytes,
-                  "access crosses word boundary: addr=%#llx size=%u",
-                  static_cast<unsigned long long>(addr), size);
-    const Word w = rawReadWord(addr);
-    if (size == 8)
-        return w;
-    const unsigned shift = off * 8;
-    const std::uint64_t mask = (std::uint64_t(1) << (size * 8)) - 1;
-    return (w >> shift) & mask;
 }
 
 void
@@ -131,9 +95,10 @@ std::vector<Addr>
 TaggedMemory::mappedPageBases() const
 {
     std::vector<Addr> bases;
-    bases.reserve(pages_.size());
-    for (const auto &[key, page] : pages_)
+    bases.reserve(index_.size());
+    index_.forEach([&](Addr key, FlatPageIndex::Value) {
         bases.push_back(key * pageBytes);
+    });
     std::sort(bases.begin(), bases.end());
     return bases;
 }
@@ -157,8 +122,8 @@ std::uint64_t
 TaggedMemory::fbitCount() const
 {
     std::uint64_t count = 0;
-    for (const auto &[key, page] : pages_)
-        count += page->fbits.count();
+    for (const Page &p : page_arena_)
+        count += p.fbits.count();
     return count;
 }
 
@@ -176,7 +141,7 @@ TaggedMemory::initializeRegion(Addr addr, Addr bytes)
         const Addr page_start = a - (a % pageBytes);
         const Addr page_end = page_start + pageBytes;
         const Addr sweep_end = end < page_end ? end : page_end;
-        if (pages_.count(page_start / pageBytes)) {
+        if (index_.find(page_start / pageBytes) != FlatPageIndex::no_value) {
             for (Addr w = a; w < sweep_end; w += wordBytes)
                 unforwardedWrite(w, 0, false);
         }

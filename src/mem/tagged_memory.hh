@@ -39,12 +39,12 @@
 #include <array>
 #include <bitset>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/flat_page_index.hh"
 
 namespace memfwd
 {
@@ -91,13 +91,27 @@ class TaggedMemory
      * ignoring the forwarding bit.  @p addr need not be aligned; the
      * containing word is read.
      */
-    Word rawReadWord(Addr addr) const;
+    Word
+    rawReadWord(Addr addr) const
+    {
+        const Page *p = pageIfPresent(addr);
+        if (!p)
+            return 0;
+        return p->data[(addr % pageBytes) >> wordShift];
+    }
 
     /** Write the raw 64-bit payload of the word containing @p addr. */
     void rawWriteWord(Addr addr, Word value);
 
     /** Forwarding bit of the word containing @p addr. */
-    bool fbit(Addr addr) const;
+    bool
+    fbit(Addr addr) const
+    {
+        const Page *p = pageIfPresent(addr);
+        if (!p)
+            return false;
+        return p->fbits[(addr % pageBytes) >> wordShift];
+    }
 
     /** Set or clear the forwarding bit of the word containing @p addr. */
     void setFBit(Addr addr, bool value);
@@ -113,7 +127,22 @@ class TaggedMemory
      * a word boundary (size in {1,2,4,8}); the forwarding bit is NOT
      * consulted — callers resolve forwarding first.
      */
-    std::uint64_t readBytes(Addr addr, unsigned size) const;
+    std::uint64_t
+    readBytes(Addr addr, unsigned size) const
+    {
+        const unsigned off = wordOffset(addr);
+        memfwd_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                      "bad access size %u", size);
+        memfwd_assert(off + size <= wordBytes,
+                      "access crosses word boundary: addr=%#llx size=%u",
+                      static_cast<unsigned long long>(addr), size);
+        const Word w = rawReadWord(addr);
+        if (size == 8)
+            return w;
+        const unsigned shift = off * 8;
+        const std::uint64_t mask = (std::uint64_t(1) << (size * 8)) - 1;
+        return (w >> shift) & mask;
+    }
 
     /** Write @p size bytes at @p addr; same restrictions as readBytes. */
     void writeBytes(Addr addr, unsigned size, std::uint64_t value);
@@ -155,12 +184,12 @@ class TaggedMemory
     FwdStateListener *fwdStateListener() const { return listener_; }
 
     /** Number of pages currently materialized (for space accounting). */
-    std::size_t pagesAllocated() const { return pages_.size(); }
+    std::size_t pagesAllocated() const { return page_arena_.size(); }
 
     /** Bytes of simulated memory currently materialized. */
     std::uint64_t bytesAllocated() const
     {
-        return static_cast<std::uint64_t>(pages_.size()) * pageBytes;
+        return static_cast<std::uint64_t>(page_arena_.size()) * pageBytes;
     }
 
   private:
@@ -170,10 +199,43 @@ class TaggedMemory
         std::bitset<pageWords> fbits{};
     };
 
-    Page &page(Addr addr);
-    const Page *pageIfPresent(Addr addr) const;
+    /** Materialize (or find) the page holding @p addr; updates cache. */
+    Page &
+    page(Addr addr)
+    {
+        if (addr / pageBytes == last_key_ && last_page_)
+            return *last_page_;
+        return pageSlow(addr);
+    }
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    Page &pageSlow(Addr addr);
+
+    /**
+     * Page holding @p addr, nullptr if never materialized.  Both
+     * outcomes are cached in the one-entry last-page cache; page()
+     * refreshes it when it materializes, so a cached miss can never go
+     * stale.
+     */
+    const Page *
+    pageIfPresent(Addr addr) const
+    {
+        const Addr key = addr / pageBytes;
+        if (key == last_key_)
+            return last_page_;
+        const FlatPageIndex::Value v = index_.find(key);
+        Page *p = v == FlatPageIndex::no_value
+                      ? nullptr
+                      : const_cast<Page *>(&page_arena_[v]);
+        last_key_ = key;
+        last_page_ = p;
+        return p;
+    }
+
+    /** Pages in materialization order; std::deque keeps them stable. */
+    std::deque<Page> page_arena_;
+    FlatPageIndex index_;
+    mutable Addr last_key_ = FlatPageIndex::empty_key;
+    mutable Page *last_page_ = nullptr;
     FwdStateListener *listener_ = nullptr;
 };
 

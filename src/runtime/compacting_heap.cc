@@ -54,8 +54,8 @@ CompactingHeap::alloc(unsigned payload_words, std::uint64_t pointer_mask)
     cursor_ += bytes;
 
     // Header: payload word count + pointer bitmap.
-    machine_.store(base, wordBytes,
-                   std::uint64_t(payload_words) | (pointer_mask << 8));
+    machine_.access(Access::store(base, wordBytes,
+                   std::uint64_t(payload_words) | (pointer_mask << 8)));
     // Payload starts zeroed (the allocator initialized the region).
     return base;
 }
@@ -66,12 +66,12 @@ CompactingHeap::copyObject(Addr base, Addr &to_cursor)
     // Already copied this cycle?  Then the header word forwards, and
     // its raw payload IS the collector's forwarding pointer — a
     // hand-proven raw read of a live forwarding word.
-    if (machine_.readFBit(base)) {
+    if ((machine_.access(Access::readFBit(base)).value != 0)) {
         ScopedUnforwardedAnnotation fwd_ptr_ok(machine_.analysisGate());
-        return wordAlign(machine_.unforwardedRead(base));
+        return wordAlign(machine_.access(Access::unforwardedRead(base)).value);
     }
 
-    const std::uint64_t header = machine_.load(base, wordBytes).value;
+    const std::uint64_t header = machine_.access(Access::load(base, wordBytes)).value;
     const unsigned payload_words =
         static_cast<unsigned>(header & 0xff);
     const Addr bytes = Addr(payload_words + 1) * wordBytes;
@@ -113,11 +113,11 @@ CompactingHeap::collect(const std::vector<Addr> &root_slots)
 
     // Phase 1: copy the root targets and update the root slots.
     for (Addr slot : root_slots) {
-        const LoadResult p = machine_.load(slot, wordBytes);
+        const AccessResult p = machine_.access(Access::load(slot, wordBytes));
         if (p.value != 0 && inActiveSpace(static_cast<Addr>(p.value))) {
             const Addr moved =
                 copyObject(static_cast<Addr>(p.value), to_cursor);
-            machine_.store(slot, wordBytes, moved);
+            machine_.access(Access::store(slot, wordBytes, moved));
         }
     }
 
@@ -125,7 +125,7 @@ CompactingHeap::collect(const std::vector<Addr> &root_slots)
     Addr scan = to_base;
     while (scan < to_cursor) {
         const std::uint64_t header =
-            machine_.load(scan, wordBytes).value;
+            machine_.access(Access::load(scan, wordBytes)).value;
         const unsigned payload_words =
             static_cast<unsigned>(header & 0xff);
         const std::uint64_t mask = header >> 8;
@@ -133,13 +133,13 @@ CompactingHeap::collect(const std::vector<Addr> &root_slots)
             if (!(mask & (std::uint64_t(1) << i)))
                 continue;
             const Addr faddr = field(scan, i);
-            const LoadResult p = machine_.load(faddr, wordBytes);
+            const AccessResult p = machine_.access(Access::load(faddr, wordBytes));
             if (p.value == 0)
                 continue;
             if (inActiveSpace(static_cast<Addr>(p.value))) {
                 const Addr moved =
                     copyObject(static_cast<Addr>(p.value), to_cursor);
-                machine_.store(faddr, wordBytes, moved);
+                machine_.access(Access::store(faddr, wordBytes, moved));
             }
         }
         scan += Addr(payload_words + 1) * wordBytes;

@@ -31,14 +31,14 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
     // linearized before, in which case the head points at current
     // locations and no forwarding occurs.
     std::vector<Addr> old_nodes;
-    LoadResult cur = machine.load(head_handle, wordBytes);
+    AccessResult cur = machine.access(Access::load(head_handle, wordBytes));
     while (cur.value != desc.list_end) {
         old_nodes.push_back(static_cast<Addr>(cur.value));
         memfwd_assert(old_nodes.size() <= max_nodes,
                       "listLinearize: list longer than max_nodes "
                       "(corrupt list or cycle?)");
-        cur = machine.load(static_cast<Addr>(cur.value) + desc.next_offset,
-                           wordBytes, cur.ready);
+        cur = machine.access(Access::load(static_cast<Addr>(cur.value) + desc.next_offset,
+                           wordBytes, cur.ready));
     }
 
     if (old_nodes.empty())
@@ -87,13 +87,13 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
         const Addr me = chunk + static_cast<Addr>(i) * node_bytes;
         const Addr next = chunk + static_cast<Addr>(i + 1) * node_bytes;
         if (raw_next)
-            machine.unforwardedWrite(me + desc.next_offset, next, false);
+            machine.access(Access::unforwardedWrite(me + desc.next_offset, next, false));
         else
-            machine.store(me + desc.next_offset, wordBytes, next);
+            machine.access(Access::store(me + desc.next_offset, wordBytes, next));
     }
 
     // Update the head through its handle, as Figure 4(b) requires.
-    machine.store(head_handle, wordBytes, chunk);
+    machine.access(Access::store(head_handle, wordBytes, chunk));
 
     return {chunk, static_cast<unsigned>(old_nodes.size()),
             static_cast<Addr>(node_bytes) * old_nodes.size()};

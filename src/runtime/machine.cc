@@ -1,8 +1,11 @@
 #include "runtime/machine.hh"
 
+#include <algorithm>
+
 #include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
+#include "runtime/ref_stream.hh"
 
 namespace memfwd
 {
@@ -17,6 +20,28 @@ Machine::Machine(const MachineConfig &cfg)
     fwd_->setTracer(&tracer_);
     prefetcher_ = std::make_unique<Prefetcher>(*hierarchy_);
     tlb_ = std::make_unique<Tlb>(cfg_.tlb);
+
+    for (const std::string &r : cfg_.fast_forward_regions)
+        ff_all_ = ff_all_ || r == "all";
+    ff_active_ = ff_all_;
+}
+
+void
+Machine::enterRegion(std::string_view name)
+{
+    if (regionFastForwarded(name))
+        ++ff_depth_;
+    ff_active_ = ff_all_ || ff_depth_ > 0;
+}
+
+void
+Machine::exitRegion(std::string_view name)
+{
+    if (regionFastForwarded(name)) {
+        memfwd_assert(ff_depth_ > 0, "exitRegion() without enterRegion()");
+        --ff_depth_;
+    }
+    ff_active_ = ff_all_ || ff_depth_ > 0;
 }
 
 Machine::~Machine() = default;
@@ -44,130 +69,335 @@ Machine::translate(Addr addr, Cycles now)
     return tlb_->access(addr, now);
 }
 
+template <bool Traced>
+AccessResult
+Machine::accessImpl(const Access &a)
+{
+    ++refs_;
+    switch (a.kind) {
+      case RefKind::load: {
+        const std::uint64_t traps_before = fwd_->traps().delivered();
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, true);
+        const WalkResult w = fwd_->resolve(a.addr, AccessType::load,
+                                           mi.issue, a.site,
+                                           a.pointer_slot);
+        const Cycles translated = translate(w.final_addr, w.ready);
+        const HierarchyResult r =
+            hierarchy_->access(w.final_addr, AccessType::load, translated);
+        const std::uint64_t value = mem_.readBytes(w.final_addr, a.size);
+
+        ++loads_;
+        if (w.forwarded)
+            ++loads_forwarded_;
+
+        const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
+        if constexpr (Traced) {
+            tracer_.emit({obs::EventKind::reference, AccessType::load,
+                          mi.issue, a.addr, w.final_addr, w.hops, a.size});
+            if (w.hops > 0)
+                tracer_.emit({obs::EventKind::chain_walk, AccessType::load,
+                              mi.issue, a.addr, w.final_addr, w.hops,
+                              a.size});
+            if (r.l1 != MissKind::hit)
+                tracer_.emit({obs::EventKind::cache_miss, AccessType::load,
+                              mi.issue, a.addr, w.final_addr, 0, a.size});
+        }
+        const Cycles done =
+            cpu_->finishLoad(mi, r.ready, w.forward_cycles, missed,
+                             wordAlign(a.addr), wordAlign(w.final_addr), 1);
+        return {value, done, w.hops, w.final_addr,
+                fwd_->traps().delivered() != traps_before};
+      }
+
+      case RefKind::store: {
+        const std::uint64_t traps_before = fwd_->traps().delivered();
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, false);
+        const WalkResult w = fwd_->resolve(a.addr, AccessType::store,
+                                           mi.issue, a.site,
+                                           a.pointer_slot);
+        const Cycles translated = translate(w.final_addr, w.ready);
+        const HierarchyResult r =
+            hierarchy_->access(w.final_addr, AccessType::store, translated);
+        mem_.writeBytes(w.final_addr, a.size, a.value);
+
+        ++stores_;
+        if (w.forwarded)
+            ++stores_forwarded_;
+        if constexpr (Traced) {
+            tracer_.emit({obs::EventKind::reference, AccessType::store,
+                          mi.issue, a.addr, w.final_addr, w.hops, a.size});
+            if (w.hops > 0)
+                tracer_.emit({obs::EventKind::chain_walk,
+                              AccessType::store, mi.issue, a.addr,
+                              w.final_addr, w.hops, a.size});
+            if (r.l1 != MissKind::hit)
+                tracer_.emit({obs::EventKind::cache_miss,
+                              AccessType::store, mi.issue, a.addr,
+                              w.final_addr, 0, a.size});
+        }
+
+        const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
+        const Cycles done =
+            cpu_->finishStore(mi, r.ready, w.forward_cycles, missed,
+                              wordAlign(a.addr), wordAlign(w.final_addr),
+                              1);
+        return {a.value, done, w.hops, w.final_addr,
+                fwd_->traps().delivered() != traps_before};
+      }
+
+      case RefKind::read_fbit: {
+        // The forwarding bit cannot be tested until the word is in the
+        // primary cache (Section 3.2), so Read_FBit is a timed
+        // load-class access — just one that does not follow forwarding.
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, true);
+        const HierarchyResult r =
+            hierarchy_->access(wordAlign(a.addr), AccessType::load,
+                               mi.issue);
+        const bool bit = mem_.fbit(a.addr);
+        const Cycles done =
+            cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
+                             wordAlign(a.addr), wordAlign(a.addr), 1);
+        return {bit ? 1u : 0u, done, 0, a.addr, false};
+      }
+
+      case RefKind::unforwarded_read: {
+        if (gate_ && gate_->enforcing())
+            gate_->checkUnforwardedRead(a.addr, mem_);
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, true);
+        const HierarchyResult r =
+            hierarchy_->access(wordAlign(a.addr), AccessType::load,
+                               mi.issue);
+        const std::uint64_t value = mem_.rawReadWord(a.addr);
+        const Cycles done =
+            cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
+                             wordAlign(a.addr), wordAlign(a.addr), 1);
+        return {value, done, 0, a.addr, false};
+      }
+
+      case RefKind::unforwarded_write: {
+        if (gate_ && gate_->enforcing())
+            gate_->checkUnforwardedWrite(a.addr, a.value, a.fbit, mem_);
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, false);
+        const HierarchyResult r =
+            hierarchy_->access(wordAlign(a.addr), AccessType::store,
+                               mi.issue);
+        mem_.unforwardedWrite(a.addr, a.value, a.fbit);
+        const Cycles done =
+            cpu_->finishStore(mi, r.ready, 0, r.l1 != MissKind::hit,
+                              wordAlign(a.addr), wordAlign(a.addr), 1);
+        return {a.value, done, 0, a.addr, false};
+      }
+
+      case RefKind::prefetch: {
+        const MemIssue mi = cpu_->issueMem(a.addr_ready, true);
+        // Prefetches are non-binding: they do not follow forwarding (a
+        // prefetch of a forwarded word harmlessly pulls in the
+        // forwarding word itself) and never block graduation.
+        prefetcher_->issue(a.addr, static_cast<unsigned>(a.value),
+                           mi.issue);
+        cpu_->finishNonBlocking(mi);
+        return {0, 0, 0, a.addr, false};
+      }
+
+      case RefKind::compute:
+        cpu_->alu(a.value);
+        return {0, 0, 0, 0, false};
+    }
+    memfwd_panic("bad RefKind %u", static_cast<unsigned>(a.kind));
+}
+
+AccessResult
+Machine::accessFunctional(const Access &a, std::uint64_t &alu_acc)
+{
+    // Functional fast-forward: forwarding semantics (chain resolution,
+    // traps, quarantine, cycle policy) stay exact; cache and CPU timing
+    // are skipped and every reference retires as one ALU instruction so
+    // instruction counts stay meaningful.
+    ++refs_;
+    switch (a.kind) {
+      case RefKind::load: {
+        const std::uint64_t traps_before = fwd_->traps().delivered();
+        const WalkResult w = fwd_->resolveFunctional(
+            a.addr, AccessType::load, a.site, a.pointer_slot);
+        const std::uint64_t value = mem_.readBytes(w.final_addr, a.size);
+        ++loads_;
+        if (w.forwarded)
+            ++loads_forwarded_;
+        ++alu_acc;
+        return {value, cpu_->cycles(), w.hops, w.final_addr,
+                fwd_->traps().delivered() != traps_before};
+      }
+
+      case RefKind::store: {
+        const std::uint64_t traps_before = fwd_->traps().delivered();
+        const WalkResult w = fwd_->resolveFunctional(
+            a.addr, AccessType::store, a.site, a.pointer_slot);
+        mem_.writeBytes(w.final_addr, a.size, a.value);
+        ++stores_;
+        if (w.forwarded)
+            ++stores_forwarded_;
+        ++alu_acc;
+        return {a.value, cpu_->cycles(), w.hops, w.final_addr,
+                fwd_->traps().delivered() != traps_before};
+      }
+
+      case RefKind::read_fbit: {
+        const bool bit = mem_.fbit(a.addr);
+        ++alu_acc;
+        return {bit ? 1u : 0u, cpu_->cycles(), 0, a.addr, false};
+      }
+
+      case RefKind::unforwarded_read: {
+        if (gate_ && gate_->enforcing())
+            gate_->checkUnforwardedRead(a.addr, mem_);
+        const std::uint64_t value = mem_.rawReadWord(a.addr);
+        ++alu_acc;
+        return {value, cpu_->cycles(), 0, a.addr, false};
+      }
+
+      case RefKind::unforwarded_write: {
+        if (gate_ && gate_->enforcing())
+            gate_->checkUnforwardedWrite(a.addr, a.value, a.fbit, mem_);
+        mem_.unforwardedWrite(a.addr, a.value, a.fbit);
+        ++alu_acc;
+        return {a.value, cpu_->cycles(), 0, a.addr, false};
+      }
+
+      case RefKind::prefetch:
+        // Non-binding and timing-only: a no-op when timing is skipped.
+        ++alu_acc;
+        return {0, 0, 0, a.addr, false};
+
+      case RefKind::compute:
+        alu_acc += a.value;
+        return {0, 0, 0, 0, false};
+    }
+    memfwd_panic("bad RefKind %u", static_cast<unsigned>(a.kind));
+}
+
+AccessResult
+Machine::accessFast(const Access &a)
+{
+    std::uint64_t alu_acc = 0;
+    AccessResult r = accessFunctional(a, alu_acc);
+    cpu_->alu(alu_acc);
+    if (a.kind != RefKind::prefetch && a.kind != RefKind::compute)
+        r.ready = cpu_->cycles();
+    return r;
+}
+
+AccessResult
+Machine::access(const Access &a)
+{
+    if (ff_active_)
+        return accessFast(a);
+    return tracer_.active() ? accessImpl<true>(a) : accessImpl<false>(a);
+}
+
+template <bool Traced>
+void
+Machine::runRefs(MemRef *refs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        MemRef &r = refs[i];
+        if (r.dep >= 0) {
+            Access a = r.acc;
+            a.addr_ready = std::max(
+                a.addr_ready,
+                refs[static_cast<std::size_t>(r.dep)].res.ready);
+            r.res = accessImpl<Traced>(a);
+        } else {
+            r.res = accessImpl<Traced>(r.acc);
+        }
+    }
+}
+
+void
+Machine::runRefsFast(MemRef *refs, std::size_t n)
+{
+    // ALU retirement is order-independent, so the whole batch's count
+    // retires in one Rob pass; per-reference `ready` cycles are not
+    // meaningful while timing is skipped (docs/API.md).
+    std::uint64_t alu_acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        refs[i].res = accessFunctional(refs[i].acc, alu_acc);
+    cpu_->alu(alu_acc);
+}
+
+void
+Machine::run(AccessBatch &batch)
+{
+    // The dispatch (fast-forward? tracer?) is decided once per batch —
+    // this is the branch hoisting the batched API exists for.
+    MemRef *refs = batch.data();
+    const std::size_t n = batch.size();
+    if (ff_active_)
+        runRefsFast(refs, n);
+    else if (tracer_.active())
+        runRefs<true>(refs, n);
+    else
+        runRefs<false>(refs, n);
+}
+
+void
+Machine::run(RefStream &stream)
+{
+    AccessBatch batch;
+    for (;;) {
+        batch.clear();
+        if (!stream.fill(batch))
+            break;
+        run(batch);
+    }
+}
+
 LoadResult
 Machine::load(Addr addr, unsigned size, Cycles addr_ready, SiteId site,
               Addr pointer_slot)
 {
-    const MemIssue mi = cpu_->issueMem(addr_ready, true);
-    const WalkResult w =
-        fwd_->resolve(addr, AccessType::load, mi.issue, site, pointer_slot);
-    const Cycles translated = translate(w.final_addr, w.ready);
-    const HierarchyResult r =
-        hierarchy_->access(w.final_addr, AccessType::load, translated);
-    const std::uint64_t value = mem_.readBytes(w.final_addr, size);
-
-    ++loads_;
-    if (w.forwarded)
-        ++loads_forwarded_;
-
-    const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
-    if (tracer_.active()) {
-        tracer_.emit({obs::EventKind::reference, AccessType::load,
-                      mi.issue, addr, w.final_addr, w.hops, size});
-        if (w.hops > 0)
-            tracer_.emit({obs::EventKind::chain_walk, AccessType::load,
-                          mi.issue, addr, w.final_addr, w.hops, size});
-        if (r.l1 != MissKind::hit)
-            tracer_.emit({obs::EventKind::cache_miss, AccessType::load,
-                          mi.issue, addr, w.final_addr, 0, size});
-    }
-    const Cycles done =
-        cpu_->finishLoad(mi, r.ready, w.forward_cycles, missed,
-                         wordAlign(addr), wordAlign(w.final_addr), 1);
-    return {value, done, w.hops, w.final_addr};
+    const AccessResult r =
+        access(Access::load(addr, size, addr_ready, site, pointer_slot));
+    return {r.value, r.ready, r.hops, r.final_addr};
 }
 
 StoreResult
 Machine::store(Addr addr, unsigned size, std::uint64_t value,
                Cycles addr_ready, SiteId site, Addr pointer_slot)
 {
-    const MemIssue mi = cpu_->issueMem(addr_ready, false);
-    const WalkResult w = fwd_->resolve(addr, AccessType::store, mi.issue,
-                                       site, pointer_slot);
-    const Cycles translated = translate(w.final_addr, w.ready);
-    const HierarchyResult r =
-        hierarchy_->access(w.final_addr, AccessType::store, translated);
-    mem_.writeBytes(w.final_addr, size, value);
-
-    ++stores_;
-    if (w.forwarded)
-        ++stores_forwarded_;
-    if (tracer_.active()) {
-        tracer_.emit({obs::EventKind::reference, AccessType::store,
-                      mi.issue, addr, w.final_addr, w.hops, size});
-        if (w.hops > 0)
-            tracer_.emit({obs::EventKind::chain_walk, AccessType::store,
-                          mi.issue, addr, w.final_addr, w.hops, size});
-        if (r.l1 != MissKind::hit)
-            tracer_.emit({obs::EventKind::cache_miss, AccessType::store,
-                          mi.issue, addr, w.final_addr, 0, size});
-    }
-
-    const bool missed = (r.l1 != MissKind::hit) || w.hop_missed_l1;
-    const Cycles done =
-        cpu_->finishStore(mi, r.ready, w.forward_cycles, missed,
-                          wordAlign(addr), wordAlign(w.final_addr), 1);
-    return {done, w.hops, w.final_addr};
+    const AccessResult r = access(
+        Access::store(addr, size, value, addr_ready, site, pointer_slot));
+    return {r.ready, r.hops, r.final_addr};
 }
 
 bool
 Machine::readFBit(Addr addr, Cycles addr_ready)
 {
-    // The forwarding bit cannot be tested until the word is in the
-    // primary cache (Section 3.2), so Read_FBit is a timed load-class
-    // access — just one that does not follow forwarding.
-    const MemIssue mi = cpu_->issueMem(addr_ready, true);
-    const HierarchyResult r =
-        hierarchy_->access(wordAlign(addr), AccessType::load, mi.issue);
-    const bool bit = mem_.fbit(addr);
-    cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
-                     wordAlign(addr), wordAlign(addr), 1);
-    return bit;
+    return access(Access::readFBit(addr, addr_ready)).value != 0;
 }
 
 std::uint64_t
 Machine::unforwardedRead(Addr addr, Cycles addr_ready)
 {
-    if (gate_ && gate_->enforcing())
-        gate_->checkUnforwardedRead(addr, mem_);
-    const MemIssue mi = cpu_->issueMem(addr_ready, true);
-    const HierarchyResult r =
-        hierarchy_->access(wordAlign(addr), AccessType::load, mi.issue);
-    const std::uint64_t value = mem_.rawReadWord(addr);
-    cpu_->finishLoad(mi, r.ready, 0, r.l1 != MissKind::hit,
-                     wordAlign(addr), wordAlign(addr), 1);
-    return value;
+    return access(Access::unforwardedRead(addr, addr_ready)).value;
 }
 
 void
 Machine::unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
                           Cycles addr_ready)
 {
-    if (gate_ && gate_->enforcing())
-        gate_->checkUnforwardedWrite(addr, value, fbit, mem_);
-    const MemIssue mi = cpu_->issueMem(addr_ready, false);
-    const HierarchyResult r =
-        hierarchy_->access(wordAlign(addr), AccessType::store, mi.issue);
-    mem_.unforwardedWrite(addr, value, fbit);
-    cpu_->finishStore(mi, r.ready, 0, r.l1 != MissKind::hit,
-                      wordAlign(addr), wordAlign(addr), 1);
+    access(Access::unforwardedWrite(addr, value, fbit, addr_ready));
 }
 
 void
 Machine::prefetch(Addr addr, unsigned lines, Cycles addr_ready)
 {
-    const MemIssue mi = cpu_->issueMem(addr_ready, true);
-    // Prefetches are non-binding: they do not follow forwarding (a
-    // prefetch of a forwarded word harmlessly pulls in the forwarding
-    // word itself) and never block graduation.
-    prefetcher_->issue(addr, lines, mi.issue);
-    cpu_->finishNonBlocking(mi);
+    access(Access::prefetch(addr, lines, addr_ready));
 }
 
 void
 Machine::compute(std::uint64_t n)
 {
-    cpu_->alu(n);
+    access(Access::compute(n));
 }
 
 std::uint64_t

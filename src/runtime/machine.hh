@@ -24,6 +24,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cache/prefetcher.hh"
@@ -66,6 +69,15 @@ struct MachineConfig
 
     /** Size of the simulated heap region. */
     Addr heap_span = 1ULL << 32;
+
+    /**
+     * Workload regions executed in functional fast-forward mode:
+     * references inside a matching Machine::enterRegion/exitRegion
+     * bracket skip cache/CPU timing while keeping forwarding semantics
+     * (chain walks, traps, quarantine, cycle detection) exact.  The
+     * special name "all" fast-forwards everything.
+     */
+    std::vector<std::string> fast_forward_regions{};
 
     // ----- fluent setters (each returns *this for chaining) ------------
 
@@ -175,6 +187,157 @@ struct MachineConfig
         heap_span = span;
         return *this;
     }
+
+    /** Fast-forward @p region ("all" = the whole run). */
+    MachineConfig &
+    fastForward(std::string region = "all")
+    {
+        fast_forward_regions.push_back(std::move(region));
+        return *this;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Unified access API
+// ---------------------------------------------------------------------
+
+/** Kinds of reference the unified access entry point accepts. */
+enum class RefKind : std::uint8_t
+{
+    load,             ///< ordinary load, subject to forwarding
+    store,            ///< ordinary store, subject to forwarding
+    read_fbit,        ///< Read_FBit (Figure 3)
+    unforwarded_read, ///< Unforwarded_Read (Figure 3)
+    unforwarded_write, ///< Unforwarded_Write (Figure 3)
+    prefetch,         ///< non-binding block prefetch
+    compute,          ///< N single-cycle ALU instructions
+};
+
+/**
+ * One reference in the unified access API.  Build instances with the
+ * named constructors (Access::load, Access::store, ...) — they keep the
+ * call sites as readable as the old per-kind methods while funnelling
+ * everything through one entry point that the batched loop shares.
+ */
+struct Access
+{
+    Addr addr = 0;
+    /** Store data / Unforwarded_Write payload / prefetch line count /
+     *  compute instruction count. */
+    std::uint64_t value = 0;
+    /** Cycle the address operand becomes available (dep threading). */
+    Cycles addr_ready = 0;
+    /** Slot holding the pointer being dereferenced (trap fixup). */
+    Addr pointer_slot = 0;
+    /** Static reference site for user-level traps. */
+    SiteId site = no_site;
+    RefKind kind = RefKind::load;
+    std::uint8_t size = wordBytes;
+    /** Forwarding bit written by an unforwarded_write. */
+    bool fbit = false;
+
+    static Access
+    load(Addr addr, unsigned size, Cycles addr_ready = 0,
+         SiteId site = no_site, Addr pointer_slot = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.addr_ready = addr_ready;
+        a.pointer_slot = pointer_slot;
+        a.site = site;
+        a.kind = RefKind::load;
+        a.size = static_cast<std::uint8_t>(size);
+        return a;
+    }
+
+    static Access
+    store(Addr addr, unsigned size, std::uint64_t value,
+          Cycles addr_ready = 0, SiteId site = no_site,
+          Addr pointer_slot = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.value = value;
+        a.addr_ready = addr_ready;
+        a.pointer_slot = pointer_slot;
+        a.site = site;
+        a.kind = RefKind::store;
+        a.size = static_cast<std::uint8_t>(size);
+        return a;
+    }
+
+    static Access
+    readFBit(Addr addr, Cycles addr_ready = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.addr_ready = addr_ready;
+        a.kind = RefKind::read_fbit;
+        return a;
+    }
+
+    static Access
+    unforwardedRead(Addr addr, Cycles addr_ready = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.addr_ready = addr_ready;
+        a.kind = RefKind::unforwarded_read;
+        return a;
+    }
+
+    static Access
+    unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
+                     Cycles addr_ready = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.value = value;
+        a.addr_ready = addr_ready;
+        a.kind = RefKind::unforwarded_write;
+        a.fbit = fbit;
+        return a;
+    }
+
+    static Access
+    prefetch(Addr addr, unsigned lines, Cycles addr_ready = 0)
+    {
+        Access a;
+        a.addr = addr;
+        a.value = lines;
+        a.addr_ready = addr_ready;
+        a.kind = RefKind::prefetch;
+        return a;
+    }
+
+    static Access
+    compute(std::uint64_t n)
+    {
+        Access a;
+        a.value = n;
+        a.kind = RefKind::compute;
+        return a;
+    }
+};
+
+/**
+ * Result of one reference through the unified entry point.  The leading
+ * four fields deliberately mirror the legacy LoadResult so positional
+ * initialization carries over.
+ */
+struct AccessResult
+{
+    /** Loaded value; the forwarding bit (0/1) for read_fbit; the raw
+     *  payload for unforwarded_read. */
+    std::uint64_t value = 0;
+    /** Completion cycle of the reference. */
+    Cycles ready = 0;
+    /** Forwarding hops this reference took. */
+    unsigned hops = 0;
+    /** Address the data was actually found (or landed) at. */
+    Addr final_addr = 0;
+    /** True if a user-level trap was delivered for this reference. */
+    bool trapped = false;
 };
 
 /** Result of a timed load. */
@@ -194,6 +357,10 @@ struct StoreResult
     Addr final_addr; ///< address the data actually landed at
 };
 
+class AccessBatch;
+class RefStream;
+struct MemRef;
+
 /** One simulated CPU + forwarding memory system. */
 class Machine
 {
@@ -204,39 +371,101 @@ class Machine
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
-    // ----- ordinary (forwardable) references --------------------------
+    // ----- unified access entry point ----------------------------------
+
+    /**
+     * Execute one reference of any kind (runtime/ref_stream.hh has the
+     * batched form).  This is the single timed entry point; the legacy
+     * per-kind methods below are thin wrappers over it.
+     */
+    AccessResult access(const Access &a);
+
+    /**
+     * Drain @p batch in order, filling each MemRef's result.  The
+     * tracer/fast-forward dispatch is hoisted out of the per-reference
+     * loop, so large batches pay one branch per batch instead of
+     * several per reference.
+     */
+    void run(AccessBatch &batch);
+
+    /** Pull batches from @p stream until it is exhausted. */
+    void run(RefStream &stream);
+
+    // ----- fast-forward regions ----------------------------------------
+
+    /**
+     * Bracket a named workload phase (prefer RegionGuard).  While any
+     * region named in MachineConfig::fast_forward_regions (or "all") is
+     * open, references execute functionally: forwarding semantics —
+     * chain walks, traps, quarantine, cycle detection — stay exact,
+     * but cache/CPU timing is skipped and each reference retires as one
+     * ALU instruction.
+     */
+    void enterRegion(std::string_view name);
+    void exitRegion(std::string_view name);
+
+    /** True while references are being fast-forwarded. */
+    bool fastForwardActive() const { return ff_active_; }
+
+    // ----- legacy per-kind entry points (deprecated) -------------------
+    //
+    // Thin wrappers over access(), kept for one release for
+    // out-of-tree callers; every in-repo call site uses access() or
+    // the batched API (docs/API.md has the migration table).
 
     /**
      * Timed load of @p size bytes at @p addr.  @p addr_ready is the
      * cycle the address operand becomes available (loads feeding
      * loads); @p site and @p pointer_slot feed user-level traps.
+     * @deprecated Use access(Access::load(...)).
      */
+    [[deprecated("use access(Access::load(...))")]]
     LoadResult load(Addr addr, unsigned size, Cycles addr_ready = 0,
                     SiteId site = no_site, Addr pointer_slot = 0);
 
-    /** Timed store of @p size bytes; mirrors load(). */
+    /**
+     * Timed store of @p size bytes; mirrors load().
+     * @deprecated Use access(Access::store(...)).
+     */
+    [[deprecated("use access(Access::store(...))")]]
     StoreResult store(Addr addr, unsigned size, std::uint64_t value,
                       Cycles addr_ready = 0, SiteId site = no_site,
                       Addr pointer_slot = 0);
 
-    // ----- ISA extensions (Figure 3) ----------------------------------
-
-    /** Read_FBit: forwarding bit of the word containing @p addr. */
+    /**
+     * Read_FBit: forwarding bit of the word containing @p addr.
+     * @deprecated Use access(Access::readFBit(...)).value != 0.
+     */
+    [[deprecated("use access(Access::readFBit(...))")]]
     bool readFBit(Addr addr, Cycles addr_ready = 0);
 
-    /** Unforwarded_Read: raw word payload, forwarding disabled. */
+    /**
+     * Unforwarded_Read: raw word payload, forwarding disabled.
+     * @deprecated Use access(Access::unforwardedRead(...)).value.
+     */
+    [[deprecated("use access(Access::unforwardedRead(...))")]]
     std::uint64_t unforwardedRead(Addr addr, Cycles addr_ready = 0);
 
-    /** Unforwarded_Write: atomic word + forwarding-bit write. */
+    /**
+     * Unforwarded_Write: atomic word + forwarding-bit write.
+     * @deprecated Use access(Access::unforwardedWrite(...)).
+     */
+    [[deprecated("use access(Access::unforwardedWrite(...))")]]
     void unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
                           Cycles addr_ready = 0);
 
-    // ----- other instructions ------------------------------------------
-
-    /** Block prefetch of @p lines consecutive lines (non-binding). */
+    /**
+     * Block prefetch of @p lines consecutive lines (non-binding).
+     * @deprecated Use access(Access::prefetch(...)).
+     */
+    [[deprecated("use access(Access::prefetch(...))")]]
     void prefetch(Addr addr, unsigned lines, Cycles addr_ready = 0);
 
-    /** Execute @p n single-cycle ALU instructions. */
+    /**
+     * Execute @p n single-cycle ALU instructions.
+     * @deprecated Use access(Access::compute(n)).
+     */
+    [[deprecated("use access(Access::compute(n))")]]
     void compute(std::uint64_t n);
 
     // ----- untimed (debug/test) access ---------------------------------
@@ -306,6 +535,13 @@ class Machine
     std::uint64_t storesForwarded() const { return stores_forwarded_; }
 
     /**
+     * References executed through the unified entry point (every kind,
+     * including compute).  The host.refs_per_sec gauge divides the delta
+     * of this counter by host wall time.
+     */
+    std::uint64_t refsExecuted() const { return refs_; }
+
+    /**
      * The machine's full hierarchical metrics tree: every component's
      * counters, gauges and distributions under stable dotted names
      * (docs/METRICS.md).  `metrics().flatten(reg, prefix)` reproduces
@@ -316,6 +552,36 @@ class Machine
   private:
     /** TLB lookup applied to a reference's final address. */
     Cycles translate(Addr addr, Cycles now);
+
+    /** Timed execution of one reference; Traced hoists the tracer test. */
+    template <bool Traced> AccessResult accessImpl(const Access &a);
+
+    /**
+     * Functional (fast-forward) execution of one reference.  ALU
+     * retirement is accumulated into @p alu_acc instead of hitting the
+     * Rob per reference — pure-ALU retirement is order-independent, so
+     * a batch may retire its whole count in one aluBurst() with
+     * bit-identical cycle results.
+     */
+    AccessResult accessFunctional(const Access &a, std::uint64_t &alu_acc);
+
+    /** accessFunctional() + immediate ALU retirement (per-call path). */
+    AccessResult accessFast(const Access &a);
+
+    template <bool Traced> void runRefs(MemRef *refs, std::size_t n);
+    void runRefsFast(MemRef *refs, std::size_t n);
+
+    bool
+    regionFastForwarded(std::string_view name) const
+    {
+        if (ff_all_)
+            return true;
+        for (const std::string &r : cfg_.fast_forward_regions) {
+            if (r == name)
+                return true;
+        }
+        return false;
+    }
 
     MachineConfig cfg_;
     TaggedMemory mem_;
@@ -331,8 +597,33 @@ class Machine
     std::uint64_t stores_ = 0;
     std::uint64_t loads_forwarded_ = 0;
     std::uint64_t stores_forwarded_ = 0;
+    std::uint64_t refs_ = 0;
+
+    bool ff_all_ = false;     ///< "all" appears in fast_forward_regions
+    unsigned ff_depth_ = 0;   ///< open fast-forwarded regions
+    bool ff_active_ = false;  ///< ff_depth_ > 0 || ff_all_
 
     obs::Tracer tracer_;
+};
+
+/** RAII bracket for Machine::enterRegion/exitRegion. */
+class RegionGuard
+{
+  public:
+    RegionGuard(Machine &machine, std::string_view name)
+        : machine_(machine), name_(name)
+    {
+        machine_.enterRegion(name_);
+    }
+
+    ~RegionGuard() { machine_.exitRegion(name_); }
+
+    RegionGuard(const RegionGuard &) = delete;
+    RegionGuard &operator=(const RegionGuard &) = delete;
+
+  private:
+    Machine &machine_;
+    std::string name_;
 };
 
 } // namespace memfwd

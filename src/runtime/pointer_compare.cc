@@ -13,12 +13,12 @@ pointersEqual(Machine &machine, Addr a, Addr b)
     // addresses are always equal finally (a chain is deterministic),
     // and the full lookup is only needed on mismatch.
     if (a == b) {
-        machine.compute(1);
+        machine.access(Access::compute(1));
         return true;
     }
     const Addr fa = chaseChain(machine, a);
     const Addr fb = chaseChain(machine, b);
-    machine.compute(1);
+    machine.access(Access::compute(1));
     return fa == fb;
 }
 
@@ -27,7 +27,7 @@ pointerCompare(Machine &machine, Addr a, Addr b)
 {
     const Addr fa = chaseChain(machine, a);
     const Addr fb = chaseChain(machine, b);
-    machine.compute(1);
+    machine.access(Access::compute(1));
     if (fa < fb)
         return -1;
     if (fa > fb)

@@ -1,0 +1,22 @@
+#include "runtime/ref_stream.hh"
+
+#include <cstdlib>
+
+namespace memfwd
+{
+
+std::size_t
+defaultBatchCapacity()
+{
+    static const std::size_t cap = [] {
+        if (const char *env = std::getenv("MEMFWD_BATCH_CAP")) {
+            const long v = std::atol(env);
+            if (v > 0)
+                return static_cast<std::size_t>(v);
+        }
+        return static_cast<std::size_t>(256);
+    }();
+    return cap;
+}
+
+} // namespace memfwd

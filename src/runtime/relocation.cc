@@ -35,8 +35,8 @@ chaseChain(Machine &machine, Addr addr)
     // with its forwarding bit set, and a forwarding word's payload is
     // the one thing a raw read of it legitimately fetches.
     ScopedUnforwardedAnnotation chase_ok(machine.analysisGate());
-    while (machine.readFBit(word)) {
-        word = wordAlign(machine.unforwardedRead(word));
+    while ((machine.access(Access::readFBit(word)).value != 0)) {
+        word = wordAlign(machine.access(Access::unforwardedRead(word)).value);
         if (++guard > chase_soft_limit) {
             const CycleCheckResult chk =
                 accurateCycleCheck(machine.mem(), addr);
@@ -131,15 +131,15 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
 
             // Copy the payload to its new home, then atomically turn
             // the chain tail into a forwarding address.
-            const std::uint64_t value = machine.unforwardedRead(tail);
-            machine.store(t, wordBytes, value);
+            const std::uint64_t value = machine.access(Access::unforwardedRead(tail)).value;
+            machine.access(Access::store(t, wordBytes, value));
             {
                 // The append target is the *dynamic* chain tail, which
                 // lies outside the plan's declared source range whenever
                 // the object was relocated before; the chase above is
                 // the proof the write is the legal chain append.
                 ScopedUnforwardedAnnotation append_ok(gate);
-                machine.unforwardedWrite(tail, t, true);
+                machine.access(Access::unforwardedWrite(tail, t, true));
             }
         }
         if (machine.tracer().active()) {
@@ -154,10 +154,10 @@ relocate(Machine &machine, Addr src, Addr tgt, unsigned n_words)
         // hand-proven raw sequence, annotated as such.
         ScopedUnforwardedAnnotation rollback_ok(gate);
         for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
-            machine.unforwardedWrite(it->tail, it->tail_payload,
-                                     it->tail_fbit);
-            machine.unforwardedWrite(it->dest, it->dest_payload,
-                                     it->dest_fbit);
+            machine.access(Access::unforwardedWrite(it->tail, it->tail_payload,
+                                     it->tail_fbit));
+            machine.access(Access::unforwardedWrite(it->dest, it->dest_payload,
+                                     it->dest_fbit));
         }
         if (machine.tracer().active()) {
             machine.tracer().emit(

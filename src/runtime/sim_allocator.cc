@@ -110,7 +110,7 @@ SimAllocator::alloc(Addr bytes, Placement placement, Addr align)
     // (Section 3.3); the sweep is functional, the allocator's own work
     // is charged as compute.
     machine_.mem().initializeRegion(addr, bytes);
-    machine_.compute(alloc_compute_cost);
+    machine_.access(Access::compute(alloc_compute_cost));
 
     ++alloc_calls_;
     bytes_live_ += bytes;
@@ -144,8 +144,8 @@ SimAllocator::free(Addr addr)
     // Hand-proven chain walk: each raw read targets a word just
     // observed with its forwarding bit set.
     ScopedUnforwardedAnnotation walk_ok(machine_.analysisGate());
-    while (machine_.readFBit(cur)) {
-        cur = wordAlign(machine_.unforwardedRead(cur));
+    while ((machine_.access(Access::readFBit(cur)).value != 0)) {
+        cur = wordAlign(machine_.access(Access::unforwardedRead(cur)).value);
         if (auto it = blocks_.find(cur); it != blocks_.end()) {
             bytes_live_ -= it->second - it->first;
             blocks_.erase(it);
@@ -160,7 +160,7 @@ SimAllocator::free(Addr addr)
     bytes_live_ -= it->second - it->first;
     blocks_.erase(it);
 
-    machine_.compute(alloc_compute_cost);
+    machine_.access(Access::compute(alloc_compute_cost));
     ++free_calls_;
 }
 

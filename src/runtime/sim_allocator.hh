@@ -31,6 +31,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -131,8 +132,19 @@ class SimAllocator
     Addr span_;
     Rng rng_;
 
+    /**
+     * Backing store for the block map's tree nodes: one node per live
+     * simulated object, so pooling them kills the per-simulated-malloc
+     * host malloc and keeps the tree dense in host memory.  Declared
+     * before blocks_ so the map is destroyed first.
+     */
+    ArenaPool node_pool_;
+
+    using BlockMap = std::map<Addr, Addr, std::less<Addr>,
+                              PoolAllocator<std::pair<const Addr, Addr>>>;
+
     /** start -> end of every live block, ordered by start. */
-    std::map<Addr, Addr> blocks_;
+    BlockMap blocks_{PoolAllocator<std::pair<const Addr, Addr>>(node_pool_)};
 
     Addr bump_ = 0;
     Addr bytes_live_ = 0;

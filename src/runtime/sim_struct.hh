@@ -68,8 +68,8 @@ class ObjRef
     T
     load(Field<T> f) const
     {
-        const LoadResult r = machine_->load(addr_ + f.offset, sizeof(T),
-                                            ready_);
+        const AccessResult r = machine_->access(Access::load(addr_ + f.offset, sizeof(T),
+                                            ready_));
         return static_cast<T>(r.value);
     }
 
@@ -78,8 +78,8 @@ class ObjRef
     void
     store(Field<T> f, T value) const
     {
-        machine_->store(addr_ + f.offset, sizeof(T),
-                        static_cast<std::uint64_t>(value), ready_);
+        machine_->access(Access::store(addr_ + f.offset, sizeof(T),
+                        static_cast<std::uint64_t>(value), ready_));
     }
 
     /**
@@ -90,8 +90,8 @@ class ObjRef
     ObjRef
     follow(Field<Addr> f) const
     {
-        const LoadResult r =
-            machine_->load(addr_ + f.offset, sizeof(Addr), ready_);
+        const AccessResult r =
+            machine_->access(Access::load(addr_ + f.offset, sizeof(Addr), ready_));
         return ObjRef(*machine_, static_cast<Addr>(r.value), r.ready);
     }
 
@@ -106,7 +106,7 @@ class ObjRef
     void
     prefetch(unsigned lines) const
     {
-        machine_->prefetch(addr_, lines, ready_);
+        machine_->access(Access::prefetch(addr_, lines, ready_));
     }
 
   private:

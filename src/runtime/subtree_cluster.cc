@@ -38,7 +38,7 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
     if (capacity == 0)
         capacity = 1;
 
-    const LoadResult root = machine.load(root_handle, wordBytes);
+    const AccessResult root = machine.access(Access::load(root_handle, wordBytes));
     if (root.value == desc.null_child)
         return {desc.null_child, 0, 0, 0};
 
@@ -46,8 +46,8 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
     auto isLeaf = [&](Addr addr, Cycles dep) {
         if (desc.leaf_tag_offset == ~0u)
             return false;
-        const LoadResult tag =
-            machine.load(addr + desc.leaf_tag_offset, wordBytes, dep);
+        const AccessResult tag =
+            machine.access(Access::load(addr + desc.leaf_tag_offset, wordBytes, dep));
         return tag.value == desc.leaf_tag_value;
     };
 
@@ -84,8 +84,8 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
             pn.old_addr = addr;
             pn.ready = dep;
             for (unsigned off : desc.child_offsets) {
-                const LoadResult c =
-                    machine.load(addr + off, wordBytes, dep);
+                const AccessResult c =
+                    machine.access(Access::load(addr + off, wordBytes, dep));
                 if (c.value == desc.null_child)
                     continue;
                 pn.children.push_back(static_cast<Addr>(c.value));
@@ -157,22 +157,22 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
             // Re-read the copied child value directly at the new home
             // (an unforwarded read: home is fresh memory).
             const std::uint64_t cur =
-                raw_read ? machine.unforwardedRead(home + off)
-                         : machine.load(home + off, wordBytes).value;
+                raw_read ? machine.access(Access::unforwardedRead(home + off)).value
+                         : machine.access(Access::load(home + off, wordBytes)).value;
             if (cur == desc.null_child)
                 continue;
             auto it = new_addr.find(static_cast<Addr>(cur));
             if (it == new_addr.end())
                 continue;
             if (raw_write)
-                machine.unforwardedWrite(home + off, it->second, false);
+                machine.access(Access::unforwardedWrite(home + off, it->second, false));
             else
-                machine.store(home + off, wordBytes, it->second);
+                machine.access(Access::store(home + off, wordBytes, it->second));
         }
     }
 
     const Addr nr = new_addr.at(static_cast<Addr>(root.value));
-    machine.store(root_handle, wordBytes, nr);
+    machine.access(Access::store(root_handle, wordBytes, nr));
 
     return {nr, static_cast<unsigned>(nodes.size()), clusters, pool_used};
 }

@@ -21,6 +21,7 @@
 
 #include "common/logging.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
 #include "runtime/subtree_cluster.hh"
 #include "workloads/workload_util.hh"
@@ -134,35 +135,49 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
         pool = std::make_unique<RelocationPool>(alloc, Addr(64) << 20);
 
     // ----- create bodies (scattered) and the body list -----------------
+    // Store-dominated: emit through a BatchEmitter, flushing before
+    // each alloc so program order (and hence timing) is unchanged.
+    machine.enterRegion("build");
     const Addr body_list_head = alloc.alloc(wordBytes);
-    machine.store(body_list_head, wordBytes, 0);
 
     std::vector<Addr> bodies(n_bodies);
     std::vector<std::uint64_t> body_pos_native(n_bodies);
-    for (unsigned i = 0; i < n_bodies; ++i) {
-        const Addr b = alloc.alloc(body_bytes, Placement::scattered);
-        bodies[i] = b;
-        const std::uint64_t pos =
-            packPos(mix64(params_.seed, i * 3 + 0) & coord_mask,
-                    mix64(params_.seed, i * 3 + 1) & coord_mask,
-                    mix64(params_.seed, i * 3 + 2) & coord_mask);
-        body_pos_native[i] = pos;
-        machine.store(b + body_tag, wordBytes, tag_body);
-        machine.store(b + body_mass, wordBytes,
-                      1 + mix64(i, params_.seed) % 97);
-        machine.store(b + body_pos, wordBytes, pos);
-        machine.store(b + body_acc, wordBytes, 0);
-        const LoadResult head = machine.load(body_list_head, wordBytes);
-        machine.store(b + body_next, wordBytes, head.value);
-        machine.store(body_list_head, wordBytes, b);
+    {
+        BatchEmitter em(machine);
+        em.store(body_list_head, wordBytes, 0);
+        for (unsigned i = 0; i < n_bodies; ++i) {
+            em.flush();
+            const Addr b = alloc.alloc(body_bytes, Placement::scattered);
+            bodies[i] = b;
+            const std::uint64_t pos =
+                packPos(mix64(params_.seed, i * 3 + 0) & coord_mask,
+                        mix64(params_.seed, i * 3 + 1) & coord_mask,
+                        mix64(params_.seed, i * 3 + 2) & coord_mask);
+            body_pos_native[i] = pos;
+            em.store(b + body_tag, wordBytes, tag_body);
+            em.store(b + body_mass, wordBytes,
+                     1 + mix64(i, params_.seed) % 97);
+            em.store(b + body_pos, wordBytes, pos);
+            em.store(b + body_acc, wordBytes, 0);
+            const AccessResult head = em.load(body_list_head, wordBytes);
+            em.store(b + body_next, wordBytes, head.value);
+            em.store(body_list_head, wordBytes, b);
+        }
+        em.flush();
     }
 
     const Addr root_handle = alloc.alloc(wordBytes);
+    machine.exitRegion("build");
 
     checksum_ = 0;
     for (unsigned step = 0; step < n_steps; ++step) {
         // ----- build the octree depth-first --------------------------
-        machine.store(root_handle, wordBytes, 0);
+        // Construction and the aggregate pass are bracketed as the
+        // "build" fast-forward region; stores go through a BatchEmitter
+        // (loads flush through it, so program order is exact).
+        machine.enterRegion("build");
+        BatchEmitter em(machine);
+        em.store(root_handle, wordBytes, 0);
 
         // insert(body): descend from the root by octant until an empty
         // slot is found; when a body collides, split the cell.
@@ -177,13 +192,13 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
         };
 
         auto newCell = [&](unsigned level, std::uint64_t anchor) {
+            em.flush();
             const Addr c = alloc.alloc(cell_bytes, Placement::scattered);
-            machine.store(c + cell_tag, wordBytes, tag_cell);
-            machine.store(c + cell_mass, wordBytes, 0);
-            machine.store(c + cell_pos, wordBytes, anchor);
+            em.store(c + cell_tag, wordBytes, tag_cell);
+            em.store(c + cell_mass, wordBytes, 0);
+            em.store(c + cell_pos, wordBytes, anchor);
             for (unsigned k = 0; k < cell_children; ++k)
-                machine.store(c + cell_child0 + k * wordBytes, wordBytes,
-                              0);
+                em.store(c + cell_child0 + k * wordBytes, wordBytes, 0);
             (void)level;
             return c;
         };
@@ -192,40 +207,40 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
             const std::uint64_t pos = body_pos_native[i];
             Addr slot = root_handle;
             unsigned level = 0;
-            LoadResult cur = machine.load(slot, wordBytes);
+            AccessResult cur = em.load(slot, wordBytes);
             for (;;) {
                 if (cur.value == 0) {
-                    machine.store(slot, wordBytes, bodies[i]);
+                    em.store(slot, wordBytes, bodies[i]);
                     break;
                 }
                 const Addr node = static_cast<Addr>(cur.value);
-                const LoadResult tag =
-                    machine.load(node + cell_tag, wordBytes, cur.ready);
+                const AccessResult tag =
+                    em.load(node + cell_tag, wordBytes, cur.ready);
                 if (tag.value == tag_cell) {
                     // Descend into the matching octant.
                     const unsigned o = octant(pos, level);
                     slot = node + cell_child0 + o * wordBytes;
                     ++level;
-                    cur = machine.load(slot, wordBytes, tag.ready);
+                    cur = em.load(slot, wordBytes, tag.ready);
                     continue;
                 }
                 // Collision with a body: split.
-                const LoadResult other_pos =
-                    machine.load(node + body_pos, wordBytes, tag.ready);
+                const AccessResult other_pos =
+                    em.load(node + body_pos, wordBytes, tag.ready);
                 const Addr cell = newCell(level, pos);
-                machine.store(slot, wordBytes, cell);
+                em.store(slot, wordBytes, cell);
                 const unsigned oo = octant(other_pos.value, level);
-                machine.store(cell + cell_child0 + oo * wordBytes,
-                              wordBytes, node);
+                em.store(cell + cell_child0 + oo * wordBytes, wordBytes,
+                         node);
                 slot = cell + cell_child0 +
                        octant(pos, level) * wordBytes;
                 ++level;
                 memfwd_assert(level < coord_bits + 8,
                               "bh: insertion depth overflow "
                               "(coincident bodies?)");
-                cur = machine.load(slot, wordBytes);
+                cur = em.load(slot, wordBytes);
             }
-            machine.compute(8);
+            em.compute(8);
         }
 
         // ----- compute cell aggregates (post-order, depth-first) ------
@@ -239,7 +254,7 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
         std::vector<std::pair<Addr, Cycles>> stack;
         std::vector<Addr> postorder;
         {
-            const LoadResult root = machine.load(root_handle, wordBytes);
+            const AccessResult root = em.load(root_handle, wordBytes);
             if (root.value != 0)
                 stack.emplace_back(static_cast<Addr>(root.value),
                                    root.ready);
@@ -248,13 +263,13 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
         while (!stack.empty()) {
             auto [node, dep] = stack.back();
             stack.pop_back();
-            const LoadResult tag =
-                machine.load(node + cell_tag, wordBytes, dep);
+            const AccessResult tag =
+                em.load(node + cell_tag, wordBytes, dep);
             if (tag.value != tag_cell)
                 continue;
             postorder.push_back(node);
             for (unsigned k = 0; k < cell_children; ++k) {
-                const LoadResult ch = machine.load(
+                const AccessResult ch = em.load(
                     node + cell_child0 + k * wordBytes, wordBytes,
                     tag.ready);
                 if (ch.value != 0)
@@ -270,31 +285,34 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
             std::uint64_t pos_sum[3] = {0, 0, 0};
             std::uint64_t count = 0;
             for (unsigned k = 0; k < cell_children; ++k) {
-                const LoadResult ch = machine.load(
+                const AccessResult ch = em.load(
                     node + cell_child0 + k * wordBytes, wordBytes);
                 if (ch.value == 0)
                     continue;
                 const Addr c = static_cast<Addr>(ch.value);
-                const LoadResult m =
-                    machine.load(c + cell_mass, wordBytes, ch.ready);
-                const LoadResult p =
-                    machine.load(c + cell_pos, wordBytes, ch.ready);
+                const AccessResult m =
+                    em.load(c + cell_mass, wordBytes, ch.ready);
+                const AccessResult p =
+                    em.load(c + cell_pos, wordBytes, ch.ready);
                 mass += m.value;
                 for (unsigned axis = 0; axis < 3; ++axis)
                     pos_sum[axis] += coordOf(p.value, axis);
                 ++count;
             }
-            machine.compute(16);
+            em.compute(16);
             const std::uint64_t com =
                 count ? packPos(pos_sum[0] / count, pos_sum[1] / count,
                                 pos_sum[2] / count)
                       : 0;
-            machine.store(node + cell_mass, wordBytes, mass);
-            machine.store(node + cell_pos, wordBytes, com);
+            em.store(node + cell_mass, wordBytes, mass);
+            em.store(node + cell_pos, wordBytes, com);
         }
+        em.flush();
+        machine.exitRegion("build");
 
         // ----- layout optimization ------------------------------------
         if (variant.layout_opt) {
+            machine.enterRegion("opt");
             TreeDesc desc;
             desc.node_bytes = cell_bytes;
             for (unsigned k = 0; k < cell_children; ++k)
@@ -307,31 +325,33 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
             const ClusterResult r = subtreeCluster(
                 machine, root_handle, desc, *pool, cluster_bytes);
             space_overhead_ += r.pool_bytes;
+            machine.exitRegion("opt");
         }
 
         // ----- force walk over the body list --------------------------
         // Two acceleration evaluations per step (leapfrog half-steps),
         // so the walk dominates the per-step construction work.
+        machine.enterRegion("kernel");
         for (unsigned pass = 0; pass < 2; ++pass) {
-        LoadResult cur = machine.load(body_list_head, wordBytes);
+        AccessResult cur = machine.access(Access::load(body_list_head, wordBytes));
         while (cur.value != 0) {
             const Addr b = static_cast<Addr>(cur.value);
-            const LoadResult next =
-                machine.load(b + body_next, wordBytes, cur.ready);
+            const AccessResult next =
+                machine.access(Access::load(b + body_next, wordBytes, cur.ready));
             if (variant.prefetch && next.value != 0) {
-                machine.prefetch(static_cast<Addr>(next.value),
-                                 variant.prefetch_block, next.ready);
+                machine.access(Access::prefetch(static_cast<Addr>(next.value),
+                                 variant.prefetch_block, next.ready));
             }
 
-            const LoadResult bpos =
-                machine.load(b + body_pos, wordBytes, cur.ready);
+            const AccessResult bpos =
+                machine.access(Access::load(b + body_pos, wordBytes, cur.ready));
             std::uint64_t acc = 0;
 
             // Tree walk with the opening criterion.
             std::vector<std::pair<Addr, std::pair<unsigned, Cycles>>> st;
             {
-                const LoadResult root =
-                    machine.load(root_handle, wordBytes);
+                const AccessResult root =
+                    machine.access(Access::load(root_handle, wordBytes));
                 if (root.value != 0)
                     st.push_back({static_cast<Addr>(root.value),
                                   {0, root.ready}});
@@ -340,13 +360,13 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
                 auto [node, lvl_dep] = st.back();
                 auto [lvl, dep] = lvl_dep;
                 st.pop_back();
-                const LoadResult tag =
-                    machine.load(node + cell_tag, wordBytes, dep);
-                const LoadResult npos =
-                    machine.load(node + cell_pos, wordBytes, dep);
-                const LoadResult nmass =
-                    machine.load(node + cell_mass, wordBytes, dep);
-                machine.compute(12);
+                const AccessResult tag =
+                    machine.access(Access::load(node + cell_tag, wordBytes, dep));
+                const AccessResult npos =
+                    machine.access(Access::load(node + cell_pos, wordBytes, dep));
+                const AccessResult nmass =
+                    machine.access(Access::load(node + cell_mass, wordBytes, dep));
+                machine.access(Access::compute(12));
 
                 const std::uint64_t d2 = dist2(bpos.value, npos.value);
                 const std::uint64_t size =
@@ -358,14 +378,14 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
                         acc += nmass.value * 4096 / d2;
                 } else if (tag.value == tag_cell) {
                     for (unsigned k = 0; k < cell_children; ++k) {
-                        const LoadResult ch = machine.load(
+                        const AccessResult ch = machine.access(Access::load(
                             node + cell_child0 + k * wordBytes,
-                            wordBytes, tag.ready);
+                            wordBytes, tag.ready));
                         if (ch.value != 0) {
                             if (variant.prefetch) {
-                                machine.prefetch(
+                                machine.access(Access::prefetch(
                                     static_cast<Addr>(ch.value),
-                                    variant.prefetch_block, ch.ready);
+                                    variant.prefetch_block, ch.ready));
                             }
                             st.push_back(
                                 {static_cast<Addr>(ch.value),
@@ -375,11 +395,12 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
                 }
             }
 
-            machine.store(b + body_acc, wordBytes, acc);
+            machine.access(Access::store(b + body_acc, wordBytes, acc));
             checksum_ += acc;
-            cur = LoadResult{next.value, next.ready, 0, next.final_addr};
+            cur = AccessResult{next.value, next.ready, 0, next.final_addr};
         }
         }
+        machine.exitRegion("kernel");
     }
 }
 

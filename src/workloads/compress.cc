@@ -28,6 +28,7 @@
 
 #include "common/logging.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
@@ -91,8 +92,10 @@ Compress::run(Machine &machine, const WorkloadVariant &variant)
         pool = std::make_unique<RelocationPool>(alloc, Addr(8) << 20);
 
     // ----- allocate the two parallel tables -----------------------------
+    machine.enterRegion("build");
     const Addr htab0 = alloc.alloc(Addr(cap) * wordBytes);
     const Addr codetab0 = alloc.alloc(Addr(cap) * 2);
+    machine.exitRegion("build");
 
     bool merged_layout = false;
     Addr merged = 0;
@@ -110,6 +113,7 @@ Compress::run(Machine &machine, const WorkloadVariant &variant)
 
     // ----- layout optimization (invoked once, up front) -----------------
     if (variant.layout_opt) {
+        machine.enterRegion("opt");
         const Addr bytes = Addr(cap / 4) * group_bytes;
         merged = pool->take(bytes);
         space_overhead_ += bytes;
@@ -120,59 +124,66 @@ Compress::run(Machine &machine, const WorkloadVariant &variant)
                      1);
         }
         merged_layout = true;
+        machine.exitRegion("opt");
     }
 
     // cl_hash(): sequential reset of htab alone — the htab-only scan
     // whose locality the merged layout dilutes.
     const unsigned line_bytes = machine.config().hierarchy.l1d.line_bytes;
+    // Store-only scan: emit through a batch so the reset sweeps run at
+    // host speed without changing program order.
     auto clHash = [&] {
+        BatchEmitter em(machine);
         for (unsigned i = 0; i < hsize; ++i) {
             if (variant.prefetch && (i & 7) == 0) {
-                machine.prefetch(htabAddr(i) + line_bytes,
-                                 variant.prefetch_block);
+                em.prefetch(htabAddr(i) + line_bytes,
+                            variant.prefetch_block);
             }
-            machine.store(htabAddr(i), wordBytes, ~std::uint64_t(0));
+            em.store(htabAddr(i), wordBytes, ~std::uint64_t(0));
         }
     };
+    machine.enterRegion("build");
     clHash();
+    machine.exitRegion("build");
 
     // ----- the LZW loop ---------------------------------------------------
     std::uint64_t free_ent = 257;
     std::uint64_t ent = 0;
     checksum_ = 0;
 
+    machine.enterRegion("kernel");
     for (unsigned s = 0; s < n_symbols; ++s) {
         // Markov-ish deterministic input: small alphabet with locality.
         const std::uint64_t c =
             mix64(params_.seed, (std::uint64_t(s) >> 3)) % 61;
         const std::uint64_t fcode = (c << 16) | ent;
         std::uint64_t i = ((c << 8) ^ ent) % hsize;
-        machine.compute(8);
+        machine.access(Access::compute(8));
 
         bool found = false;
         // Probe: read htab[i]; on collision, secondary probing with a
         // fixed displacement, as in compress.
         const std::uint64_t disp = (i == 0) ? 1 : hsize - i;
         for (unsigned probes = 0; probes < 8; ++probes) {
-            const LoadResult h = machine.load(htabAddr(i), wordBytes);
+            const AccessResult h = machine.access(Access::load(htabAddr(i), wordBytes));
             if (h.value == fcode) {
-                const LoadResult code =
-                    machine.load(codetabAddr(i), 2, h.ready);
+                const AccessResult code =
+                    machine.access(Access::load(codetabAddr(i), 2, h.ready));
                 ent = code.value;
                 found = true;
                 break;
             }
             if (h.value == ~std::uint64_t(0))
                 break; // empty slot: not in table
-            machine.compute(3);
+            machine.access(Access::compute(3));
             i = (i + disp) % hsize;
         }
 
         if (!found) {
             // Emit code, insert the new entry (touches both tables).
             checksum_ += ent * 2654435761u + c;
-            machine.store(codetabAddr(i), 2, free_ent & 0xffff);
-            machine.store(htabAddr(i), wordBytes, fcode);
+            machine.access(Access::store(codetabAddr(i), 2, free_ent & 0xffff));
+            machine.access(Access::store(htabAddr(i), wordBytes, fcode));
             ++free_ent;
             ent = c;
         }
@@ -182,6 +193,7 @@ Compress::run(Machine &machine, const WorkloadVariant &variant)
             free_ent = 257;
         }
     }
+    machine.exitRegion("kernel");
     checksum_ += free_ent;
 }
 

@@ -48,6 +48,7 @@ runWorkload(const RunConfig &cfg)
 
     r.checksum = workload->checksum();
     r.space_overhead_bytes = workload->spaceOverheadBytes();
+    r.refs = machine.refsExecuted();
 
     r.prefetches_issued = machine.prefetcher().issued();
     r.useful_prefetches = l1.useful_prefetches;

@@ -74,6 +74,10 @@ struct RunResult
     std::uint64_t checksum = 0;
     Addr space_overhead_bytes = 0;
 
+    // Host-speed accounting (docs/METRICS.md "host" family): total
+    // simulated references executed, for refs-per-wall-second gauges.
+    std::uint64_t refs = 0;
+
     // Prefetching
     std::uint64_t prefetches_issued = 0;
     std::uint64_t useful_prefetches = 0;

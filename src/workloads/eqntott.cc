@@ -22,6 +22,7 @@
 
 #include "common/logging.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
@@ -94,36 +95,48 @@ Eqntott::run(Machine &machine, const WorkloadVariant &variant)
     // The table itself is a dense array of pointers (that part is
     // already contiguous); the records and arrays it points to are
     // scattered, interleaved by construction order.
+    // Store-dominated: emit through a BatchEmitter, flushing before
+    // each alloc so program order (and hence timing) is unchanged.
+    machine.enterRegion("build");
     const Addr table = alloc.alloc(Addr(n_pterms) * wordBytes);
 
-    for (unsigned i = 0; i < n_pterms; ++i) {
-        const Addr rec = alloc.alloc(pt_bytes, Placement::scattered);
-        const Addr arr = alloc.alloc(array_bytes, Placement::scattered);
-        machine.store(rec + pt_array, wordBytes, arr);
-        machine.store(rec + pt_nvars, wordBytes, n_vars);
-        machine.store(rec + pt_index, wordBytes, i);
-        for (unsigned v = 0; v < n_vars; ++v) {
-            // 2-bit literal values packed in shorts, as in eqntott.
-            // Mostly a shared pattern with sparse per-PTERM deviations,
-            // so comparisons walk deep into the arrays (as cmppt does
-            // on the mostly-similar PTERMs of real inputs).
-            std::uint64_t val = mix64(params_.seed, v) % 3;
-            if (hashChance(mix64(i, v ^ params_.seed), 50, 1000))
-                val = (val + 1) % 3;
-            machine.store(arr + v * 2, 2, val);
+    {
+        BatchEmitter em(machine);
+        for (unsigned i = 0; i < n_pterms; ++i) {
+            em.flush();
+            const Addr rec = alloc.alloc(pt_bytes, Placement::scattered);
+            em.flush();
+            const Addr arr =
+                alloc.alloc(array_bytes, Placement::scattered);
+            em.store(rec + pt_array, wordBytes, arr);
+            em.store(rec + pt_nvars, wordBytes, n_vars);
+            em.store(rec + pt_index, wordBytes, i);
+            for (unsigned v = 0; v < n_vars; ++v) {
+                // 2-bit literal values packed in shorts, as in eqntott.
+                // Mostly a shared pattern with sparse per-PTERM
+                // deviations, so comparisons walk deep into the arrays
+                // (as cmppt does on the mostly-similar PTERMs of real
+                // inputs).
+                std::uint64_t val = mix64(params_.seed, v) % 3;
+                if (hashChance(mix64(i, v ^ params_.seed), 50, 1000))
+                    val = (val + 1) % 3;
+                em.store(arr + v * 2, 2, val);
+            }
+            em.store(table + Addr(i) * wordBytes, wordBytes, rec);
         }
-        machine.store(table + Addr(i) * wordBytes, wordBytes, rec);
     }
+    machine.exitRegion("build");
 
     // ----- layout optimization (invoked once, Figure 8(b)) -------------
     if (variant.layout_opt) {
+        machine.enterRegion("opt");
         const unsigned chunk_bytes = pt_bytes + array_bytes;
         for (unsigned i = 0; i < n_pterms; ++i) {
-            const LoadResult rec =
-                machine.load(table + Addr(i) * wordBytes, wordBytes);
+            const AccessResult rec =
+                machine.access(Access::load(table + Addr(i) * wordBytes, wordBytes));
             const Addr old_rec = static_cast<Addr>(rec.value);
-            const LoadResult arr =
-                machine.load(old_rec + pt_array, wordBytes, rec.ready);
+            const AccessResult arr =
+                machine.access(Access::load(old_rec + pt_array, wordBytes, rec.ready));
             const Addr old_arr = static_cast<Addr>(arr.value);
 
             const Addr chunk = pool->take(chunk_bytes);
@@ -136,40 +149,42 @@ Eqntott::run(Machine &machine, const WorkloadVariant &variant)
 
             // The optimizer updates the pointers it knows about: the
             // record's array pointer and the hash-table entry.
-            machine.store(chunk + pt_array, wordBytes, chunk + pt_bytes);
-            machine.store(table + Addr(i) * wordBytes, wordBytes, chunk);
+            machine.access(Access::store(chunk + pt_array, wordBytes, chunk + pt_bytes));
+            machine.access(Access::store(table + Addr(i) * wordBytes, wordBytes, chunk));
         }
+        machine.exitRegion("opt");
     }
 
     // ----- cmppt kernel: hash-order pairwise comparisons ----------------
     checksum_ = 0;
+    machine.enterRegion("kernel");
     for (unsigned sweep = 0; sweep < n_sweeps; ++sweep) {
-        LoadResult prev_rec =
-            machine.load(table + 0 * wordBytes, wordBytes);
-        LoadResult prev_arr = machine.load(
+        AccessResult prev_rec =
+            machine.access(Access::load(table + 0 * wordBytes, wordBytes));
+        AccessResult prev_arr = machine.access(Access::load(
             static_cast<Addr>(prev_rec.value) + pt_array, wordBytes,
-            prev_rec.ready);
+            prev_rec.ready));
 
         for (unsigned i = 1; i < n_pterms; ++i) {
-            const LoadResult rec =
-                machine.load(table + Addr(i) * wordBytes, wordBytes);
+            const AccessResult rec =
+                machine.access(Access::load(table + Addr(i) * wordBytes, wordBytes));
             if (variant.prefetch) {
-                machine.prefetch(static_cast<Addr>(rec.value),
-                                 variant.prefetch_block, rec.ready);
+                machine.access(Access::prefetch(static_cast<Addr>(rec.value),
+                                 variant.prefetch_block, rec.ready));
             }
-            const LoadResult arr = machine.load(
+            const AccessResult arr = machine.access(Access::load(
                 static_cast<Addr>(rec.value) + pt_array, wordBytes,
-                rec.ready);
+                rec.ready));
 
             // cmppt: compare the two short arrays.
             int cmp = 0;
             for (unsigned v = 0; v < n_vars; ++v) {
-                const LoadResult a = machine.load(
+                const AccessResult a = machine.access(Access::load(
                     static_cast<Addr>(prev_arr.value) + v * 2, 2,
-                    prev_arr.ready);
-                const LoadResult b = machine.load(
-                    static_cast<Addr>(arr.value) + v * 2, 2, arr.ready);
-                machine.compute(3);
+                    prev_arr.ready));
+                const AccessResult b = machine.access(Access::load(
+                    static_cast<Addr>(arr.value) + v * 2, 2, arr.ready));
+                machine.access(Access::compute(3));
                 if (a.value != b.value) {
                     cmp = a.value < b.value ? -1 : 1;
                     break;
@@ -182,6 +197,7 @@ Eqntott::run(Machine &machine, const WorkloadVariant &variant)
             prev_arr = arr;
         }
     }
+    machine.exitRegion("kernel");
     (void)line_bytes;
 }
 

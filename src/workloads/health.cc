@@ -29,6 +29,7 @@
 #include "common/random.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
 
@@ -121,33 +122,43 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
     std::vector<VillageInfo> villages;
 
     // Breadth-first construction so the leaf range is easy to track.
-    const Addr root = alloc.alloc(vil_bytes, Placement::scattered);
-    machine.store(root + vil_parent, wordBytes, 0);
-    machine.store(root + vil_waiting, wordBytes, 0);
-    machine.store(root + vil_label, wordBytes, 0);
-    villages.push_back({root, 0, 0});
+    // Store-dominated: emit through a BatchEmitter, flushing before
+    // each alloc so program order (and hence timing) is unchanged.
+    machine.enterRegion("build");
+    std::size_t leaf_count = 0;
+    {
+        BatchEmitter em(machine);
+        const Addr root = alloc.alloc(vil_bytes, Placement::scattered);
+        em.store(root + vil_parent, wordBytes, 0);
+        em.store(root + vil_waiting, wordBytes, 0);
+        em.store(root + vil_label, wordBytes, 0);
+        villages.push_back({root, 0, 0});
 
-    std::uint64_t label = 1;
-    std::vector<std::size_t> current_idx{0};
-    for (unsigned level = 1; level < depth; ++level) {
-        std::vector<std::size_t> next_level;
-        for (std::size_t pi : current_idx) {
-            const Addr parent = villages[pi].addr;
-            for (unsigned c = 0; c < branching; ++c) {
-                const Addr v =
-                    alloc.alloc(vil_bytes, Placement::scattered);
-                machine.store(v + vil_parent, wordBytes, parent);
-                machine.store(v + vil_waiting, wordBytes, 0);
-                machine.store(v + vil_label, wordBytes, label++);
-                machine.store(parent + vil_child0 + c * wordBytes,
-                              wordBytes, v);
-                next_level.push_back(villages.size());
-                villages.push_back({v, level, pi});
+        std::uint64_t label = 1;
+        std::vector<std::size_t> current_idx{0};
+        for (unsigned level = 1; level < depth; ++level) {
+            std::vector<std::size_t> next_level;
+            for (std::size_t pi : current_idx) {
+                const Addr parent = villages[pi].addr;
+                for (unsigned c = 0; c < branching; ++c) {
+                    em.flush();
+                    const Addr v =
+                        alloc.alloc(vil_bytes, Placement::scattered);
+                    em.store(v + vil_parent, wordBytes, parent);
+                    em.store(v + vil_waiting, wordBytes, 0);
+                    em.store(v + vil_label, wordBytes, label++);
+                    em.store(parent + vil_child0 + c * wordBytes,
+                             wordBytes, v);
+                    next_level.push_back(villages.size());
+                    villages.push_back({v, level, pi});
+                }
             }
+            current_idx = std::move(next_level);
         }
-        current_idx = std::move(next_level);
+        leaf_count = current_idx.size();
     }
-    const std::size_t first_leaf = villages.size() - current_idx.size();
+    machine.exitRegion("build");
+    const std::size_t first_leaf = villages.size() - leaf_count;
 
     // Iterate villages leaves-first so patients climb one level per
     // step at most (deterministic order).
@@ -159,6 +170,7 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
     checksum_ = 0;
 
     // ----- simulation ---------------------------------------------------
+    machine.enterRegion("kernel");
     for (unsigned step = 0; step < steps; ++step) {
         // Arrivals at leaves.
         for (std::size_t vi = first_leaf; vi < villages.size(); ++vi) {
@@ -170,13 +182,13 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
             const Addr p = alloc.alloc(pat_bytes, Placement::scattered);
             const std::uint64_t id = next_patient_id++;
             // Prepend to the waiting list.
-            const LoadResult head =
-                machine.load(v.addr + vil_waiting, wordBytes);
-            machine.store(p + pat_next, wordBytes, head.value);
-            machine.store(p + pat_time, 2, 0);
-            machine.store(p + pat_visits, 2, 0);
-            machine.store(p + pat_id, 4, id);
-            machine.store(v.addr + vil_waiting, wordBytes, p);
+            const AccessResult head =
+                machine.access(Access::load(v.addr + vil_waiting, wordBytes));
+            machine.access(Access::store(p + pat_next, wordBytes, head.value));
+            machine.access(Access::store(p + pat_time, 2, 0));
+            machine.access(Access::store(p + pat_visits, 2, 0));
+            machine.access(Access::store(p + pat_id, 4, id));
+            machine.access(Access::store(v.addr + vil_waiting, wordBytes, p));
             ++v.churn;
             ++v.list_len;
         }
@@ -185,28 +197,28 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
         for (std::size_t oi : order) {
             VillageInfo &v = villages[oi];
             const bool is_root = (v.level == 0);
-            const LoadResult parent =
-                machine.load(v.addr + vil_parent, wordBytes);
+            const AccessResult parent =
+                machine.access(Access::load(v.addr + vil_parent, wordBytes));
 
             Addr prev_slot = v.addr + vil_waiting;
-            LoadResult cur = machine.load(prev_slot, wordBytes);
+            AccessResult cur = machine.access(Access::load(prev_slot, wordBytes));
             while (cur.value != 0) {
                 const Addr p = static_cast<Addr>(cur.value);
 
                 // Touch the patient: advance treatment time.
-                const LoadResult t =
-                    machine.load(p + pat_time, 2, cur.ready);
-                machine.store(p + pat_time, 2, t.value + 1,
-                              t.ready);
-                const LoadResult id =
-                    machine.load(p + pat_id, 4, cur.ready);
-                machine.compute(6);
+                const AccessResult t =
+                    machine.access(Access::load(p + pat_time, 2, cur.ready));
+                machine.access(Access::store(p + pat_time, 2, t.value + 1,
+                              t.ready));
+                const AccessResult id =
+                    machine.access(Access::load(p + pat_id, 4, cur.ready));
+                machine.access(Access::compute(6));
 
-                const LoadResult next =
-                    machine.load(p + pat_next, wordBytes, cur.ready);
+                const AccessResult next =
+                    machine.access(Access::load(p + pat_next, wordBytes, cur.ready));
                 if (variant.prefetch && next.value != 0) {
-                    machine.prefetch(static_cast<Addr>(next.value),
-                                     variant.prefetch_block, next.ready);
+                    machine.access(Access::prefetch(static_cast<Addr>(next.value),
+                                     variant.prefetch_block, next.ready));
                 }
 
                 // Move up after enough treatment, probabilistically.
@@ -216,7 +228,7 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
                                110, 1000);
                 if (done) {
                     // Unlink from this list.
-                    machine.store(prev_slot, wordBytes, next.value);
+                    machine.access(Access::store(prev_slot, wordBytes, next.value));
                     ++v.churn;
                     --v.list_len;
                     if (is_root) {
@@ -226,21 +238,21 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
                         // freed; the heap only grows.
                     } else {
                         // Prepend to the parent's waiting list.
-                        const LoadResult ph = machine.load(
+                        const AccessResult ph = machine.access(Access::load(
                             static_cast<Addr>(parent.value) + vil_waiting,
-                            wordBytes, parent.ready);
-                        machine.store(p + pat_next, wordBytes, ph.value);
-                        machine.store(p + pat_visits, 2, v.level);
-                        machine.store(static_cast<Addr>(parent.value) +
+                            wordBytes, parent.ready));
+                        machine.access(Access::store(p + pat_next, wordBytes, ph.value));
+                        machine.access(Access::store(p + pat_visits, 2, v.level));
+                        machine.access(Access::store(static_cast<Addr>(parent.value) +
                                           vil_waiting,
-                                      wordBytes, p);
+                                      wordBytes, p));
                         ++villages[v.parent_idx].churn;
                         ++villages[v.parent_idx].list_len;
                     }
                 } else {
                     prev_slot = p + pat_next;
                 }
-                cur = LoadResult{next.value, next.ready, 0,
+                cur = AccessResult{next.value, next.ready, 0,
                                  next.final_addr};
             }
 
@@ -260,21 +272,23 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
     // Final sweep: fold every remaining patient into the checksum so
     // the full lists' contents are verified N-vs-L.
     for (const VillageInfo &v : villages) {
-        LoadResult cur = machine.load(v.addr + vil_waiting, wordBytes);
+        AccessResult cur = machine.access(Access::load(v.addr + vil_waiting, wordBytes));
         while (cur.value != 0) {
             const Addr p = static_cast<Addr>(cur.value);
-            const LoadResult id =
-                machine.load(p + pat_id, 4, cur.ready);
-            const LoadResult t =
-                machine.load(p + pat_time, 2, cur.ready);
+            const AccessResult id =
+                machine.access(Access::load(p + pat_id, 4, cur.ready));
+            const AccessResult t =
+                machine.access(Access::load(p + pat_time, 2, cur.ready));
             checksum_ += mix64(id.value, t.value);
             if (variant.prefetch) {
-                machine.prefetch(p + line_bytes, variant.prefetch_block,
-                                 cur.ready);
+                machine.access(Access::prefetch(p + line_bytes, variant.prefetch_block,
+                                 cur.ready));
             }
-            cur = machine.load(p + pat_next, wordBytes, cur.ready);
+            cur = machine.access(
+                Access::load(p + pat_next, wordBytes, cur.ready));
         }
     }
+    machine.exitRegion("kernel");
 }
 
 } // namespace

@@ -24,6 +24,7 @@
 #include "common/logging.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
 
@@ -98,22 +99,29 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
 
     // ----- build the graph ---------------------------------------------
     // Vertices go on a list (head kept in simulated memory so the list
-    // head handle can be passed to listLinearize).
+    // head handle can be passed to listLinearize).  Construction is
+    // store-dominated, so it emits through a BatchEmitter; the explicit
+    // flush before every alloc keeps program order exact (the allocator
+    // times the machine directly).
+    machine.enterRegion("build");
+    BatchEmitter em(machine);
+
     const Addr vlist_head = alloc.alloc(wordBytes);
-    machine.store(vlist_head, wordBytes, 0);
+    em.store(vlist_head, wordBytes, 0);
 
     std::vector<Addr> vertex_addr(n_vertices);
     for (unsigned i = 0; i < n_vertices; ++i) {
+        em.flush();
         const Addr v = alloc.alloc(vtx_bytes, Placement::scattered);
         vertex_addr[i] = v;
-        machine.store(v + vtx_id, wordBytes, i);
-        machine.store(v + vtx_dist, wordBytes, infinite_dist);
+        em.store(v + vtx_id, wordBytes, i);
+        em.store(v + vtx_dist, wordBytes, infinite_dist);
         for (unsigned b = 0; b < n_buckets; ++b)
-            machine.store(v + vtx_buckets + b * wordBytes, wordBytes, 0);
+            em.store(v + vtx_buckets + b * wordBytes, wordBytes, 0);
         // Prepend to the vertex list.
-        const LoadResult head = machine.load(vlist_head, wordBytes);
-        machine.store(v + vtx_next, wordBytes, head.value);
-        machine.store(vlist_head, wordBytes, v);
+        const AccessResult head = em.load(vlist_head, wordBytes);
+        em.store(v + vtx_next, wordBytes, head.value);
+        em.store(vlist_head, wordBytes, v);
     }
 
     // Undirected edges: vertex i connects to `degree` earlier vertices;
@@ -125,12 +133,13 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
         const Addr v = vertex_addr[from];
         const Addr bucket =
             v + vtx_buckets + (to % n_buckets) * wordBytes;
+        em.flush();
         const Addr e = alloc.alloc(ent_bytes, Placement::scattered);
-        const LoadResult head = machine.load(bucket, wordBytes);
-        machine.store(e + ent_next, wordBytes, head.value);
-        machine.store(e + ent_key, wordBytes, to);
-        machine.store(e + ent_weight, wordBytes, weight);
-        machine.store(bucket, wordBytes, e);
+        const AccessResult head = em.load(bucket, wordBytes);
+        em.store(e + ent_next, wordBytes, head.value);
+        em.store(e + ent_key, wordBytes, to);
+        em.store(e + ent_weight, wordBytes, weight);
+        em.store(bucket, wordBytes, e);
     };
 
     for (unsigned i = 1; i < n_vertices; ++i) {
@@ -143,6 +152,9 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
             insertEdge(j, i, w);
         }
     }
+    em.flush();
+    machine.exitRegion("build");
+    machine.enterRegion("opt");
 
     // ----- layout optimization (one-shot, after construction) ----------
     if (variant.layout_opt) {
@@ -152,7 +164,8 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
         space_overhead_ += lv.pool_bytes;
         // ...then every bucket chain of every vertex, walking the list
         // at its new addresses.
-        LoadResult cur = machine.load(vlist_head, wordBytes);
+        AccessResult cur =
+            machine.access(Access::load(vlist_head, wordBytes));
         while (cur.value != 0) {
             const Addr v = static_cast<Addr>(cur.value);
             for (unsigned b = 0; b < n_buckets; ++b) {
@@ -161,9 +174,12 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
                     {ent_bytes, ent_next, 0}, *pool);
                 space_overhead_ += le.pool_bytes;
             }
-            cur = machine.load(v + vtx_next, wordBytes, cur.ready);
+            cur = machine.access(
+                Access::load(v + vtx_next, wordBytes, cur.ready));
         }
     }
+    machine.exitRegion("opt");
+    machine.enterRegion("kernel");
 
     // ----- Bentley's MST -------------------------------------------------
     // hashLookup(v, key): walk the bucket chain for `key`, return the
@@ -172,17 +188,17 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
                           Cycles dep) -> std::uint64_t {
         const Addr bucket =
             v + vtx_buckets + (key % n_buckets) * wordBytes;
-        LoadResult cur = machine.load(bucket, wordBytes, dep);
+        AccessResult cur = machine.access(Access::load(bucket, wordBytes, dep));
         while (cur.value != 0) {
             const Addr e = static_cast<Addr>(cur.value);
-            const LoadResult k =
-                machine.load(e + ent_key, wordBytes, cur.ready);
+            const AccessResult k =
+                machine.access(Access::load(e + ent_key, wordBytes, cur.ready));
             if (k.value == key) {
-                const LoadResult w =
-                    machine.load(e + ent_weight, wordBytes, cur.ready);
+                const AccessResult w =
+                    machine.access(Access::load(e + ent_weight, wordBytes, cur.ready));
                 return w.value;
             }
-            cur = machine.load(e + ent_next, wordBytes, cur.ready);
+            cur = machine.access(Access::load(e + ent_next, wordBytes, cur.ready));
         }
         return 0;
     };
@@ -190,19 +206,19 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
     // Remove vertex 0 (the initial tree) from the list.
     {
         Addr prev_slot = vlist_head;
-        LoadResult cur = machine.load(vlist_head, wordBytes);
+        AccessResult cur = machine.access(Access::load(vlist_head, wordBytes));
         while (cur.value != 0) {
             const Addr v = static_cast<Addr>(cur.value);
-            const LoadResult id =
-                machine.load(v + vtx_id, wordBytes, cur.ready);
-            const LoadResult nxt =
-                machine.load(v + vtx_next, wordBytes, cur.ready);
+            const AccessResult id =
+                machine.access(Access::load(v + vtx_id, wordBytes, cur.ready));
+            const AccessResult nxt =
+                machine.access(Access::load(v + vtx_next, wordBytes, cur.ready));
             if (id.value == 0) {
-                machine.store(prev_slot, wordBytes, nxt.value);
+                machine.access(Access::store(prev_slot, wordBytes, nxt.value));
                 break;
             }
             prev_slot = v + vtx_next;
-            cur = LoadResult{nxt.value, nxt.ready, 0, nxt.final_addr};
+            cur = AccessResult{nxt.value, nxt.ready, 0, nxt.final_addr};
         }
     }
 
@@ -221,50 +237,51 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
         std::uint64_t best_id = 0;
 
         Addr prev_slot = vlist_head;
-        LoadResult cur = machine.load(vlist_head, wordBytes);
+        AccessResult cur = machine.access(Access::load(vlist_head, wordBytes));
         while (cur.value != 0) {
             const Addr v = static_cast<Addr>(cur.value);
 
-            const LoadResult nxt =
-                machine.load(v + vtx_next, wordBytes, cur.ready);
+            const AccessResult nxt =
+                machine.access(Access::load(v + vtx_next, wordBytes, cur.ready));
             if (variant.prefetch && nxt.value != 0) {
-                machine.prefetch(static_cast<Addr>(nxt.value),
-                                 variant.prefetch_block, nxt.ready);
+                machine.access(Access::prefetch(static_cast<Addr>(nxt.value),
+                                 variant.prefetch_block, nxt.ready));
             }
 
             const std::uint64_t w = hashLookup(v, last_added, cur.ready);
-            const LoadResult dist =
-                machine.load(v + vtx_dist, wordBytes, cur.ready);
+            const AccessResult dist =
+                machine.access(Access::load(v + vtx_dist, wordBytes, cur.ready));
             std::uint64_t d = dist.value;
             if (w != 0 && w < d) {
                 d = w;
-                machine.store(v + vtx_dist, wordBytes, d, dist.ready);
+                machine.access(Access::store(v + vtx_dist, wordBytes, d, dist.ready));
             }
-            machine.compute(4);
+            machine.access(Access::compute(4));
 
             if (d < best_dist) {
                 best_dist = d;
                 best_vertex = v;
                 best_prev_slot = prev_slot;
-                const LoadResult id =
-                    machine.load(v + vtx_id, wordBytes, cur.ready);
+                const AccessResult id =
+                    machine.access(Access::load(v + vtx_id, wordBytes, cur.ready));
                 best_id = id.value;
             }
 
             prev_slot = v + vtx_next;
-            cur = LoadResult{nxt.value, nxt.ready, 0, nxt.final_addr};
+            cur = AccessResult{nxt.value, nxt.ready, 0, nxt.final_addr};
         }
 
         memfwd_assert(best_vertex != 0,
                       "mst: graph disconnected (round %u)", round);
 
         // Add the best vertex to the tree: unlink it from the list.
-        const LoadResult bn =
-            machine.load(best_vertex + vtx_next, wordBytes);
-        machine.store(best_prev_slot, wordBytes, bn.value);
+        const AccessResult bn =
+            machine.access(Access::load(best_vertex + vtx_next, wordBytes));
+        machine.access(Access::store(best_prev_slot, wordBytes, bn.value));
         total_weight += best_dist;
         last_added = best_id;
     }
+    machine.exitRegion("kernel");
 
     checksum_ = total_weight;
 }

@@ -23,6 +23,7 @@
 #include "common/logging.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
 
@@ -102,30 +103,37 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
         pool = std::make_unique<RelocationPool>(alloc, Addr(128) << 20);
 
     // ----- build elements and initial interaction lists ----------------
+    // Store-dominated: emit through a BatchEmitter, flushing before
+    // each alloc so program order (and hence timing) is unchanged.
+    machine.enterRegion("build");
     std::vector<Addr> elems(n_elems);
     std::vector<std::uint64_t> churn(n_elems, 0);
-    for (unsigned i = 0; i < n_elems; ++i) {
-        const Addr e = alloc.alloc(elem_bytes, Placement::scattered);
-        elems[i] = e;
-        machine.store(e + elem_rad, wordBytes,
-                      1000 + mix64(params_.seed, i) % 1000);
-        machine.store(e + elem_gather, wordBytes, 0);
-        machine.store(e + elem_id, wordBytes, i);
-        machine.store(e + elem_ilist, wordBytes, 0);
+    {
+        BatchEmitter em(machine);
+        for (unsigned i = 0; i < n_elems; ++i) {
+            em.flush();
+            const Addr e = alloc.alloc(elem_bytes, Placement::scattered);
+            elems[i] = e;
+            em.store(e + elem_rad, wordBytes,
+                     1000 + mix64(params_.seed, i) % 1000);
+            em.store(e + elem_gather, wordBytes, 0);
+            em.store(e + elem_id, wordBytes, i);
+            em.store(e + elem_ilist, wordBytes, 0);
+        }
     }
 
     std::uint64_t interaction_id = 1;
     auto addInteraction = [&](unsigned elem_idx, unsigned partner_idx) {
         const Addr e = elems[elem_idx];
         const Addr node = alloc.alloc(int_bytes, Placement::scattered);
-        const LoadResult head =
-            machine.load(e + elem_ilist, wordBytes);
-        machine.store(node + int_next, wordBytes, head.value);
-        machine.store(node + int_partner, wordBytes, elems[partner_idx]);
-        machine.store(node + int_ff, 2,
-                      1 + mix64(elem_idx, partner_idx) % 256);
-        machine.store(node + int_id, 4, interaction_id++);
-        machine.store(e + elem_ilist, wordBytes, node);
+        const AccessResult head =
+            machine.access(Access::load(e + elem_ilist, wordBytes));
+        machine.access(Access::store(node + int_next, wordBytes, head.value));
+        machine.access(Access::store(node + int_partner, wordBytes, elems[partner_idx]));
+        machine.access(Access::store(node + int_ff, 2,
+                      1 + mix64(elem_idx, partner_idx) % 256));
+        machine.access(Access::store(node + int_id, 4, interaction_id++));
+        machine.access(Access::store(e + elem_ilist, wordBytes, node));
         ++churn[elem_idx];
     };
 
@@ -138,9 +146,11 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
                 addInteraction(i, partner);
         }
     }
+    machine.exitRegion("build");
 
     // ----- iterate: gather, then refine --------------------------------
     checksum_ = 0;
+    machine.enterRegion("kernel");
     for (unsigned iter = 0; iter < n_iters; ++iter) {
         // Gather phase: the hot loop (solvers sweep the interaction
         // lists several times per refinement step).
@@ -148,42 +158,42 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
         for (unsigned i = 0; i < n_elems; ++i) {
             const Addr e = elems[i];
             std::uint64_t gathered = 0;
-            LoadResult cur = machine.load(e + elem_ilist, wordBytes);
+            AccessResult cur = machine.access(Access::load(e + elem_ilist, wordBytes));
             while (cur.value != 0) {
                 const Addr node = static_cast<Addr>(cur.value);
-                const LoadResult next =
-                    machine.load(node + int_next, wordBytes, cur.ready);
+                const AccessResult next =
+                    machine.access(Access::load(node + int_next, wordBytes, cur.ready));
                 if (variant.prefetch && next.value != 0) {
-                    machine.prefetch(static_cast<Addr>(next.value),
-                                     variant.prefetch_block, next.ready);
+                    machine.access(Access::prefetch(static_cast<Addr>(next.value),
+                                     variant.prefetch_block, next.ready));
                 }
-                const LoadResult partner = machine.load(
-                    node + int_partner, wordBytes, cur.ready);
-                const LoadResult ff =
-                    machine.load(node + int_ff, 2, cur.ready);
+                const AccessResult partner = machine.access(Access::load(
+                    node + int_partner, wordBytes, cur.ready));
+                const AccessResult ff =
+                    machine.access(Access::load(node + int_ff, 2, cur.ready));
                 // Data-dependent partner access.
-                const LoadResult prad = machine.load(
+                const AccessResult prad = machine.access(Access::load(
                     static_cast<Addr>(partner.value) + elem_rad,
-                    wordBytes, partner.ready);
+                    wordBytes, partner.ready));
                 gathered += prad.value * ff.value / 256;
-                machine.compute(6);
-                cur = LoadResult{next.value, next.ready, 0,
+                machine.access(Access::compute(6));
+                cur = AccessResult{next.value, next.ready, 0,
                                  next.final_addr};
             }
-            machine.store(e + elem_gather, wordBytes, gathered);
+            machine.access(Access::store(e + elem_gather, wordBytes, gathered));
         }
 
         // Update radiosities from gathered energy.
         for (unsigned i = 0; i < n_elems; ++i) {
             const Addr e = elems[i];
-            const LoadResult g =
-                machine.load(e + elem_gather, wordBytes);
-            const LoadResult r =
-                machine.load(e + elem_rad, wordBytes);
+            const AccessResult g =
+                machine.access(Access::load(e + elem_gather, wordBytes));
+            const AccessResult r =
+                machine.access(Access::load(e + elem_rad, wordBytes));
             const std::uint64_t nr =
                 (r.value * 3 + g.value / 16) / 4 + 1;
-            machine.store(e + elem_rad, wordBytes, nr);
-            machine.compute(4);
+            machine.access(Access::store(e + elem_rad, wordBytes, nr));
+            machine.access(Access::compute(4));
             checksum_ += nr;
         }
 
@@ -194,20 +204,20 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
             // Remove interactions whose id hashes "refined".
             const Addr e = elems[i];
             Addr prev_slot = e + elem_ilist;
-            LoadResult cur = machine.load(prev_slot, wordBytes);
+            AccessResult cur = machine.access(Access::load(prev_slot, wordBytes));
             while (cur.value != 0) {
                 const Addr node = static_cast<Addr>(cur.value);
-                const LoadResult next =
-                    machine.load(node + int_next, wordBytes, cur.ready);
-                const LoadResult nid =
-                    machine.load(node + int_id, 4, cur.ready);
+                const AccessResult next =
+                    machine.access(Access::load(node + int_next, wordBytes, cur.ready));
+                const AccessResult nid =
+                    machine.access(Access::load(node + int_id, 4, cur.ready));
                 if (hashChance(mix64(key, nid.value), 150, 1000)) {
-                    machine.store(prev_slot, wordBytes, next.value);
+                    machine.access(Access::store(prev_slot, wordBytes, next.value));
                     ++churn[i];
                 } else {
                     prev_slot = node + int_next;
                 }
-                cur = LoadResult{next.value, next.ready, 0,
+                cur = AccessResult{next.value, next.ready, 0,
                                  next.final_addr};
             }
             // Insert a few new (finer) interactions.
@@ -230,6 +240,7 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
             }
         }
     }
+    machine.exitRegion("kernel");
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "common/logging.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
+#include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/smv_hooks.hh"
 #include "workloads/workload_util.hh"
@@ -126,9 +127,14 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
         pool = std::make_unique<RelocationPool>(alloc, Addr(64) << 20);
 
     // ----- unique table --------------------------------------------------
+    // Construction is store-dominated: emit through a BatchEmitter,
+    // flushing before each alloc so program order (and hence timing) is
+    // unchanged.
+    machine.enterRegion("build");
     const Addr buckets = alloc.alloc(Addr(n_buckets) * wordBytes);
+    BatchEmitter em(machine);
     for (unsigned b = 0; b < n_buckets; ++b)
-        machine.store(buckets + Addr(b) * wordBytes, wordBytes, 0);
+        em.store(buckets + Addr(b) * wordBytes, wordBytes, 0);
 
     // Bucket choice hashes functional node ids, never addresses, so
     // the N and L variants populate identical chains.
@@ -147,17 +153,18 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
 
     auto addNode = [&](std::uint64_t var, std::uint64_t lo_id,
                        std::uint64_t hi_id) {
+        em.flush();
         const Addr n = alloc.alloc(bdd_bytes, Placement::scattered);
-        machine.store(n + bdd_var, wordBytes, var);
-        machine.store(n + bdd_low, wordBytes,
-                      lo_id < nodes.size() ? nodes[lo_id] : 0);
-        machine.store(n + bdd_high, wordBytes,
-                      hi_id < nodes.size() ? nodes[hi_id] : 0);
+        em.store(n + bdd_var, wordBytes, var);
+        em.store(n + bdd_low, wordBytes,
+                 lo_id < nodes.size() ? nodes[lo_id] : 0);
+        em.store(n + bdd_high, wordBytes,
+                 hi_id < nodes.size() ? nodes[hi_id] : 0);
         const Addr bslot =
             buckets + bucketOf(var, lo_id, hi_id) * wordBytes;
-        const LoadResult head = machine.load(bslot, wordBytes);
-        machine.store(n + bdd_next, wordBytes, head.value);
-        machine.store(bslot, wordBytes, n);
+        const AccessResult head = em.load(bslot, wordBytes);
+        em.store(n + bdd_next, wordBytes, head.value);
+        em.store(bslot, wordBytes, n);
         nodes.push_back(n);
         return n;
     };
@@ -176,53 +183,60 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
             mix64(nodes.size(), 0x123456) % nodes.size();
         addNode(var, lo_id, hi_id);
     }
+    em.flush();
+    machine.exitRegion("build");
 
     checksum_ = 0;
     for (unsigned round = 0; round < n_rounds; ++round) {
         // ----- hash-heavy phase: unique-table lookups ------------------
         // (These dominate cache misses, which is why the paper chose to
         // linearize the hash chains.)
+        machine.enterRegion("kernel");
         for (unsigned l = 0; l < lookups_per_round; ++l) {
             const std::uint64_t key =
                 mix64(params_.seed,
                       (std::uint64_t(round) << 32) | l);
             const Addr bslot =
                 buckets + (key % n_buckets) * wordBytes;
-            LoadResult cur = machine.load(bslot, wordBytes);
+            AccessResult cur = machine.access(Access::load(bslot, wordBytes));
             std::uint64_t walked = 0;
             while (cur.value != 0) {
                 const Addr n = static_cast<Addr>(cur.value);
-                const LoadResult var = machine.load(
-                    n + bdd_var, wordBytes, cur.ready, site_hash_walk);
+                const AccessResult var = machine.access(Access::load(
+                    n + bdd_var, wordBytes, cur.ready, site_hash_walk));
                 walked += var.value;
-                machine.compute(3);
-                const LoadResult nx = machine.load(
-                    n + bdd_next, wordBytes, cur.ready, site_hash_walk);
+                machine.access(Access::compute(3));
+                const AccessResult nx = machine.access(Access::load(
+                    n + bdd_next, wordBytes, cur.ready, site_hash_walk));
                 if (variant.prefetch && nx.value != 0) {
-                    machine.prefetch(static_cast<Addr>(nx.value),
-                                     variant.prefetch_block, nx.ready);
+                    machine.access(Access::prefetch(static_cast<Addr>(nx.value),
+                                     variant.prefetch_block, nx.ready));
                 }
-                cur = LoadResult{nx.value, nx.ready, 0, nx.final_addr};
+                cur = AccessResult{nx.value, nx.ready, 0, nx.final_addr};
             }
             checksum_ += walked & 0xff;
         }
+        machine.exitRegion("kernel");
 
         // ----- layout optimization: linearize the hash chains ----------
         // Invoked once, after the first hash-heavy phase has shown
         // where the misses are: chains become one-hop stale for graph
         // pointers, matching the paper's "one forwarding hop" profile.
         if (variant.layout_opt && round == 0) {
+            machine.enterRegion("opt");
             for (unsigned b = 0; b < n_buckets; ++b) {
                 const LinearizeResult lr = listLinearize(
                     machine, buckets + Addr(b) * wordBytes,
                     {bdd_bytes, bdd_next, 0}, *pool);
                 space_overhead_ += lr.pool_bytes;
             }
+            machine.exitRegion("opt");
         }
 
         // ----- graph-traversal phase: walks via low/high ----------------
         // After linearization these pointers are stale: every node
         // dereference forwards (one hop per linearization round).
+        machine.enterRegion("kernel");
         for (unsigned t = 0; t < traversals_per_round; ++t) {
             const std::uint64_t key =
                 mix64(0x5eed ^ params_.seed,
@@ -234,20 +248,20 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
             Cycles dep = 0;
             std::uint64_t path = 0;
             for (unsigned d = 0; d < 24; ++d) {
-                const LoadResult var = machine.load(
+                const AccessResult var = machine.access(Access::load(
                     cur + bdd_var, wordBytes, dep, site_tree_low,
-                    cur_slot);
+                    cur_slot));
                 if (var.value >= n_vars)
                     break; // terminal
                 const bool go_high = (key >> (d & 63)) & 1;
                 const unsigned off = go_high ? bdd_high : bdd_low;
                 const SiteId site =
                     go_high ? site_tree_high : site_tree_low;
-                const LoadResult child =
-                    machine.load(cur + off, wordBytes, var.ready, site,
-                                 cur_slot);
+                const AccessResult child =
+                    machine.access(Access::load(cur + off, wordBytes, var.ready, site,
+                                 cur_slot));
                 path = path * 2 + go_high;
-                machine.compute(4);
+                machine.access(Access::compute(4));
                 if (child.value == 0)
                     break;
                 cur_slot = cur + off;
@@ -260,11 +274,12 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
             // via the (possibly stale) graph pointer — the forwarded
             // *stores* of Figure 10(c).
             if (hashChance(key, 600, 1000)) {
-                machine.store(cur + bdd_var, wordBytes,
+                machine.access(Access::store(cur + bdd_var, wordBytes,
                               machine.peek(cur + bdd_var, wordBytes),
-                              dep, site_tree_low, cur_slot);
+                              dep, site_tree_low, cur_slot));
             }
         }
+        machine.exitRegion("kernel");
     }
 }
 

@@ -122,33 +122,33 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
     // ----- library: primitive list operations --------------------------
 
     auto bumpCounter = [&](Addr head) {
-        const LoadResult c = machine.load(head + head_counter, wordBytes);
-        machine.store(head + head_counter, wordBytes, c.value + 1,
-                      c.ready);
+        const AccessResult c = machine.access(Access::load(head + head_counter, wordBytes));
+        machine.access(Access::store(head + head_counter, wordBytes, c.value + 1,
+                      c.ready));
         return c.value + 1;
     };
 
     auto maybeLinearize = [&](Addr head) {
         if (!variant.layout_opt)
             return;
-        const LoadResult c = machine.load(head + head_counter, wordBytes);
+        const AccessResult c = machine.access(Access::load(head + head_counter, wordBytes));
         if (c.value <= vis_linearize_threshold)
             return;
         const LinearizeResult lr = listLinearize(
             machine, head + head_ptr, {node_bytes, node_next, 0}, *pool);
         space_overhead_ += lr.pool_bytes;
-        machine.store(head + head_counter, wordBytes, 0);
+        machine.access(Access::store(head + head_counter, wordBytes, 0));
     };
 
     std::uint64_t next_key = 1;
     auto listInsert = [&](Addr head) {
         const Addr n = alloc.alloc(node_bytes, Placement::scattered);
         const std::uint64_t key = next_key++;
-        const LoadResult h = machine.load(head + head_ptr, wordBytes);
-        machine.store(n + node_next, wordBytes, h.value);
-        machine.store(n + node_key, wordBytes, key);
-        machine.store(n + node_payload, wordBytes, mix64(key));
-        machine.store(head + head_ptr, wordBytes, n);
+        const AccessResult h = machine.access(Access::load(head + head_ptr, wordBytes));
+        machine.access(Access::store(n + node_next, wordBytes, h.value));
+        machine.access(Access::store(n + node_key, wordBytes, key));
+        machine.access(Access::store(n + node_payload, wordBytes, mix64(key)));
+        machine.access(Access::store(head + head_ptr, wordBytes, n));
         bumpCounter(head);
         maybeLinearize(head);
         return n;
@@ -157,50 +157,51 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
     // Delete the first node whose key hashes with `salt`.
     auto listDeleteOne = [&](Addr head, std::uint64_t salt) {
         Addr prev_slot = head + head_ptr;
-        LoadResult cur = machine.load(prev_slot, wordBytes);
+        AccessResult cur = machine.access(Access::load(prev_slot, wordBytes));
         while (cur.value != 0) {
             const Addr n = static_cast<Addr>(cur.value);
-            const LoadResult k =
-                machine.load(n + node_key, wordBytes, cur.ready);
-            const LoadResult nx =
-                machine.load(n + node_next, wordBytes, cur.ready);
+            const AccessResult k =
+                machine.access(Access::load(n + node_key, wordBytes, cur.ready));
+            const AccessResult nx =
+                machine.access(Access::load(n + node_next, wordBytes, cur.ready));
             if (hashChance(mix64(k.value, salt), 60, 1000)) {
-                machine.store(prev_slot, wordBytes, nx.value);
+                machine.access(Access::store(prev_slot, wordBytes, nx.value));
                 bumpCounter(head);
                 maybeLinearize(head);
                 return;
             }
             prev_slot = n + node_next;
-            cur = LoadResult{nx.value, nx.ready, 0, nx.final_addr};
+            cur = AccessResult{nx.value, nx.ready, 0, nx.final_addr};
         }
     };
 
     auto listTraverse = [&](Addr head) {
         std::uint64_t acc = 0;
-        LoadResult cur = machine.load(head + head_ptr, wordBytes);
+        AccessResult cur = machine.access(Access::load(head + head_ptr, wordBytes));
         while (cur.value != 0) {
             const Addr n = static_cast<Addr>(cur.value);
-            const LoadResult nx =
-                machine.load(n + node_next, wordBytes, cur.ready);
+            const AccessResult nx =
+                machine.access(Access::load(n + node_next, wordBytes, cur.ready));
             if (variant.prefetch && nx.value != 0) {
-                machine.prefetch(static_cast<Addr>(nx.value),
-                                 variant.prefetch_block, nx.ready);
+                machine.access(Access::prefetch(static_cast<Addr>(nx.value),
+                                 variant.prefetch_block, nx.ready));
             }
-            const LoadResult p =
-                machine.load(n + node_payload, wordBytes, cur.ready);
+            const AccessResult p =
+                machine.access(Access::load(n + node_payload, wordBytes, cur.ready));
             acc += p.value;
-            machine.compute(3);
-            cur = LoadResult{nx.value, nx.ready, 0, nx.final_addr};
+            machine.access(Access::compute(3));
+            cur = AccessResult{nx.value, nx.ready, 0, nx.final_addr};
         }
         return acc;
     };
 
     // ----- build the lists ----------------------------------------------
+    machine.enterRegion("build");
     std::vector<Addr> heads(n_lists);
     for (unsigned i = 0; i < n_lists; ++i) {
         heads[i] = alloc.alloc(head_bytes, Placement::scattered);
-        machine.store(heads[i] + head_ptr, wordBytes, 0);
-        machine.store(heads[i] + head_counter, wordBytes, 0);
+        machine.access(Access::store(heads[i] + head_ptr, wordBytes, 0));
+        machine.access(Access::store(heads[i] + head_counter, wordBytes, 0));
         for (unsigned k = 0; k < init_len; ++k)
             listInsert(heads[i]);
     }
@@ -211,19 +212,21 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
     // dereference them each phase — memory forwarding makes this safe.
     std::vector<Addr> stale;
     for (unsigned i = 0; i < n_lists; ++i) {
-        LoadResult cur = machine.load(heads[i] + head_ptr, wordBytes);
+        AccessResult cur = machine.access(Access::load(heads[i] + head_ptr, wordBytes));
         unsigned hop = 0;
         while (cur.value != 0 && hop < 10) {
             if (hop % 5 == 4)
                 stale.push_back(static_cast<Addr>(cur.value));
-            cur = machine.load(static_cast<Addr>(cur.value) + node_next,
-                               wordBytes, cur.ready);
+            cur = machine.access(Access::load(static_cast<Addr>(cur.value) + node_next,
+                               wordBytes, cur.ready));
             ++hop;
         }
     }
+    machine.exitRegion("build");
 
     // ----- drive the operation mix ---------------------------------------
     checksum_ = 0;
+    machine.enterRegion("kernel");
     for (unsigned phase = 0; phase < n_phases; ++phase) {
         for (unsigned i = 0; i < n_lists; ++i) {
             for (unsigned t = 0; t < traversals_per_phase; ++t)
@@ -243,11 +246,12 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
 
         // Dereference the stale pointers (possible forwarding).
         for (std::size_t s = phase % 4; s < stale.size(); s += 4) {
-            const LoadResult p =
-                machine.load(stale[s] + node_payload, wordBytes);
+            const AccessResult p =
+                machine.access(Access::load(stale[s] + node_payload, wordBytes));
             checksum_ += p.value & 0xffff;
         }
     }
+    machine.exitRegion("kernel");
 }
 
 } // namespace

@@ -104,9 +104,9 @@ TEST(Enforcement, CleanRawAccessesAreAlwaysLegal)
     Machine m;
     AnalysisGate gate(AnalyzeMode::enforce);
     m.setAnalysisGate(&gate);
-    m.store(0x1000, 8, 42);
-    EXPECT_EQ(m.unforwardedRead(0x1000), 42u);
-    EXPECT_NO_THROW(m.unforwardedWrite(0x1000, 43, false));
+    m.access(Access::store(0x1000, 8, 42));
+    EXPECT_EQ(m.access(Access::unforwardedRead(0x1000)).value, 42u);
+    EXPECT_NO_THROW(m.access(Access::unforwardedWrite(0x1000, 43, false)));
     EXPECT_EQ(gate.stats().enforce_checks, 2u);
     EXPECT_EQ(gate.stats().enforce_violations, 0u);
 }
@@ -116,9 +116,9 @@ TEST(Enforcement, RawReadOfLiveForwardingWordOutsidePlanThrows)
     Machine m;
     AnalysisGate gate(AnalyzeMode::enforce);
     m.setAnalysisGate(&gate);
-    m.store(0x1000, 8, 42);
+    m.access(Access::store(0x1000, 8, 42));
     relocate(m, 0x1000, 0x9000, 1); // 0x1000 now forwards
-    EXPECT_THROW(m.unforwardedRead(0x1000), EnforcementError);
+    EXPECT_THROW(m.access(Access::unforwardedRead(0x1000)).value, EnforcementError);
     EXPECT_EQ(gate.stats().enforce_violations, 1u);
 }
 
@@ -129,7 +129,7 @@ TEST(Enforcement, InstallingAnUndeclaredForwardingWordThrows)
     m.setAnalysisGate(&gate);
     // A raw write that flips a clean word into a forwarding word the
     // analyzer never saw: the classic hand-rolled-relocation bug.
-    EXPECT_THROW(m.unforwardedWrite(0x2000, 0x9000, true),
+    EXPECT_THROW(m.access(Access::unforwardedWrite(0x2000, 0x9000, true)),
                  EnforcementError);
 }
 
@@ -144,7 +144,7 @@ TEST(Enforcement, HandForgedBadPlanIsCaughtWhenStaticAnalysisBypassed)
     gate.setKeepGoing(true);
     m.setAnalysisGate(&gate);
 
-    m.store(0x1000, 8, 7);
+    m.access(Access::store(0x1000, 8, 7));
     relocate(m, 0x1000, 0x9000, 1); // legal; 0x1000 is a live fwd word
 
     // The forged plan claims it only touches [0x4000,...), hiding the
@@ -156,7 +156,7 @@ TEST(Enforcement, HandForgedBadPlanIsCaughtWhenStaticAnalysisBypassed)
     EXPECT_EQ(gate.stats().plans_rejected, 1u);
 
     // Execute what the plan hid: clobber the live chain raw.
-    EXPECT_THROW(m.unforwardedWrite(0x1000, 0xdead, false),
+    EXPECT_THROW(m.access(Access::unforwardedWrite(0x1000, 0xdead, false)),
                  EnforcementError);
     EXPECT_GE(gate.stats().enforce_violations, 1u);
     gate.planDone();
@@ -167,7 +167,7 @@ TEST(Enforcement, ActivePlanSourceRangesAndAnnotationsAreLegal)
     Machine m;
     AnalysisGate gate(AnalyzeMode::enforce);
     m.setAnalysisGate(&gate);
-    m.store(0x1000, 8, 7);
+    m.access(Access::store(0x1000, 8, 7));
     relocate(m, 0x1000, 0x9000, 1);
 
     // Inside a plan whose source range covers the word: legal.
@@ -175,14 +175,14 @@ TEST(Enforcement, ActivePlanSourceRangesAndAnnotationsAreLegal)
     plan.move(0x1000, 0xa000, 1);
     {
         PlanScope scope(&gate, plan);
-        EXPECT_NO_THROW(m.unforwardedRead(0x1000));
+        EXPECT_NO_THROW(m.access(Access::unforwardedRead(0x1000)).value);
     }
     // Outside again: illegal...
-    EXPECT_THROW(m.unforwardedRead(0x1000), EnforcementError);
+    EXPECT_THROW(m.access(Access::unforwardedRead(0x1000)).value, EnforcementError);
     // ...unless annotated as hand-proven.
     {
         ScopedUnforwardedAnnotation ok(&gate);
-        EXPECT_NO_THROW(m.unforwardedRead(0x1000));
+        EXPECT_NO_THROW(m.access(Access::unforwardedRead(0x1000)).value);
     }
 }
 
@@ -194,13 +194,13 @@ TEST(Enforcement, OptimizersRunCleanUnderEnforce)
     AnalysisGate gate(AnalyzeMode::enforce);
     m.setAnalysisGate(&gate);
     for (unsigned w = 0; w < 4; ++w)
-        m.store(0x1000 + w * 8, 8, 100 + w);
+        m.access(Access::store(0x1000 + w * 8, 8, 100 + w));
     relocate(m, 0x1000, 0x9000, 4);
     relocate(m, 0x9000, 0xa000, 4); // chain append through the tails
     EXPECT_EQ(gate.stats().plans_submitted, 2u);
     EXPECT_EQ(gate.stats().plans_verified, 2u);
     EXPECT_EQ(gate.stats().enforce_violations, 0u);
-    EXPECT_EQ(m.load(0x1000, 8).value, 100u); // stale read still resolves
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 100u); // stale read still resolves
 }
 
 TEST(Enforcement, MetricsExposeTheGateCounters)
@@ -208,7 +208,7 @@ TEST(Enforcement, MetricsExposeTheGateCounters)
     Machine m;
     AnalysisGate gate(AnalyzeMode::enforce);
     m.setAnalysisGate(&gate);
-    m.store(0x1000, 8, 1);
+    m.access(Access::store(0x1000, 8, 1));
     relocate(m, 0x1000, 0x9000, 1);
 
     StatsRegistry reg;
@@ -224,7 +224,7 @@ TEST(Enforcement, PlanTraceEventIsEmitted)
     m.setAnalysisGate(&gate);
     obs::RingBufferSink sink;
     m.tracer().addSink(&sink);
-    m.store(0x1000, 8, 1);
+    m.access(Access::store(0x1000, 8, 1));
     relocate(m, 0x1000, 0x9000, 1);
     bool saw_plan = false;
     for (const obs::TraceEvent &ev : sink.events())

@@ -118,5 +118,46 @@ TEST(RobDeathTest, BadGeometry)
     EXPECT_DEATH(Rob(8, 4), "geometry");
 }
 
+TEST(Rob, AluBurstMatchesSingleOpsExactly)
+{
+    // aluBurst(n) is defined as n dispatch()/graduate(d+1) pairs; the
+    // fast-forward engine retires whole batches through it, so any
+    // divergence silently skews mixed fast-forward/timed cycle counts.
+    // Interleave bursts with long-latency graduations to exercise
+    // window pressure and stall attribution from non-trivial states.
+    for (const auto &[width, window] : {std::pair<unsigned, unsigned>{4, 64},
+                                        {1, 1}, {2, 8}, {8, 128}}) {
+        Rob burst(width, window);
+        Rob singles(width, window);
+
+        std::uint64_t salt = 0x9e3779b97f4a7c15ull;
+        for (int round = 0; round < 20; ++round) {
+            salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+            const std::uint64_t n = salt % 300;
+
+            burst.aluBurst(n);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const Cycles d = singles.dispatch();
+                singles.graduate(d + 1, WaitKind::none);
+            }
+
+            // A straggling "load" with a big completion delay.
+            const Cycles delay = 1 + salt % 97;
+            burst.graduate(burst.dispatch() + delay, WaitKind::load_miss);
+            singles.graduate(singles.dispatch() + delay,
+                             WaitKind::load_miss);
+
+            ASSERT_EQ(burst.currentCycle(), singles.currentCycle())
+                << "w" << width << "/" << window << " round " << round;
+            ASSERT_EQ(burst.instructions(), singles.instructions());
+            ASSERT_EQ(burst.stalls().busy, singles.stalls().busy);
+            ASSERT_EQ(burst.stalls().load_stall,
+                      singles.stalls().load_stall);
+            ASSERT_EQ(burst.stalls().inst_stall,
+                      singles.stalls().inst_stall);
+        }
+    }
+}
+
 } // namespace
 } // namespace memfwd

@@ -158,6 +158,67 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------
+// Fast-forward mode: timing dropped, architecture intact.
+// ---------------------------------------------------------------------
+
+/**
+ * Functional fast-forward skips cache/CPU timing but must keep every
+ * architectural outcome: checksums, reference counts, forwarded-ref
+ * counts and the canonical heap all match a fully timed run — both
+ * when the whole program is fast-forwarded and when only the build
+ * phase is (the memfwd_sim --fast-forward=build use case, where the
+ * measured kernel still runs timed).
+ */
+class FastForwardDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(FastForwardDifferential, MatchesTimedRunArchitecturally)
+{
+    setVerbose(false);
+    const auto &[name, region] = GetParam();
+    WorkloadParams params;
+    params.seed = testSeed(params.seed);
+    params.scale = 0.1;
+    WorkloadVariant variant;
+    variant.layout_opt = true;
+
+    Machine m_timed((MachineConfig()));
+    auto w_timed = makeWorkload(name, params);
+    w_timed->run(m_timed, variant);
+
+    Machine m_ff(MachineConfig{}.fastForward(region));
+    auto w_ff = makeWorkload(name, params);
+    w_ff->run(m_ff, variant);
+
+    EXPECT_EQ(w_timed->checksum(), w_ff->checksum());
+    EXPECT_EQ(m_timed.refsExecuted(), m_ff.refsExecuted());
+    EXPECT_EQ(m_timed.loads(), m_ff.loads());
+    EXPECT_EQ(m_timed.stores(), m_ff.stores());
+    EXPECT_EQ(m_timed.loadsForwarded(), m_ff.loadsForwarded());
+    EXPECT_EQ(m_timed.storesForwarded(), m_ff.storesForwarded());
+    expectCanonicalHeapsEqual(m_timed.mem(), m_ff.mem());
+
+    // Whole-program fast-forward must actually skip time.  Partial
+    // fast-forward carries no such guarantee: skipping the build phase
+    // also skips its cache warm-up, so the still-timed kernel starts
+    // cold and can legitimately cost *more* total cycles.
+    if (region == "all")
+        EXPECT_LT(m_ff.cycles(), m_timed.cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, FastForwardDifferential,
+    ::testing::Combine(::testing::ValuesIn(workloadNames()),
+                       ::testing::Values(std::string("all"),
+                                         std::string("build"))),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_ff_" + std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------
 // Randomized op sequences over a pool of relocated objects.
 // ---------------------------------------------------------------------
 
@@ -206,7 +267,7 @@ runCleanSequence(const MachineConfig &cfg, std::uint64_t seed)
 
     for (unsigned i = 0; i < obj_count; ++i)
         for (unsigned w = 0; w < obj_words; ++w)
-            m.store(objAddr(i) + w * wordBytes, 8, seed ^ (i * 131 + w));
+            m.access(Access::store(objAddr(i) + w * wordBytes, 8, seed ^ (i * 131 + w)));
 
     Addr reloc_bump = reloc_base;
     Addr scratch_bump = scratch_base;
@@ -216,26 +277,26 @@ runCleanSequence(const MachineConfig &cfg, std::uint64_t seed)
         const Addr addr = objAddr(obj) + word * wordBytes;
         const std::uint64_t pick = rng.below(100);
         if (pick < 45) {
-            const LoadResult r = m.load(addr, 8, 0, SiteId(op));
+            const AccessResult r = m.access(Access::load(addr, 8, 0, SiteId(op)));
             out.log.push_back(r.value);
             out.log.push_back(r.final_addr);
         } else if (pick < 70) {
-            const StoreResult s =
-                m.store(addr, 8, rng.next(), 0, SiteId(op));
+            const AccessResult s =
+                m.access(Access::store(addr, 8, rng.next(), 0, SiteId(op)));
             out.log.push_back(s.final_addr);
         } else if (pick < 85) {
             relocate(m, objAddr(obj), reloc_bump, obj_words);
             reloc_bump += obj_words * wordBytes + 0x40;
         } else if (pick < 90) {
-            out.log.push_back(m.readFBit(addr) ? 1 : 0);
+            out.log.push_back((m.access(Access::readFBit(addr)).value != 0) ? 1 : 0);
         } else if (pick < 95) {
-            const LoadResult r = m.load(addr + 4, 4, 0, SiteId(op));
+            const AccessResult r = m.access(Access::load(addr + 4, 4, 0, SiteId(op)));
             out.log.push_back(r.value);
             out.log.push_back(r.final_addr);
         } else {
             m.mem().initializeRegion(scratch_bump, 64);
-            m.store(scratch_bump + 8, 8, op);
-            out.log.push_back(m.load(scratch_bump + 8, 8).value);
+            m.access(Access::store(scratch_bump + 8, 8, op));
+            out.log.push_back(m.access(Access::load(scratch_bump + 8, 8)).value);
             scratch_bump += 0x1000;
         }
     }
@@ -339,7 +400,7 @@ runFaultySequence(const MachineConfig &cfg, std::uint64_t seed)
     Addr bump = reloc_base;
     for (unsigned i = 0; i < chains; ++i) {
         for (unsigned w = 0; w < obj_words; ++w)
-            m.store(objAddr(i) + w * wordBytes, 8, seed + i * 7 + w);
+            m.access(Access::store(objAddr(i) + w * wordBytes, 8, seed + i * 7 + w));
         const unsigned relocs = 2 + unsigned(rng.below(2));
         for (unsigned r = 0; r < relocs; ++r) {
             relocate(m, objAddr(i), bump, obj_words);
@@ -352,19 +413,19 @@ runFaultySequence(const MachineConfig &cfg, std::uint64_t seed)
     for (unsigned i = 0; i < 2; ++i) {
         const Addr head = objAddr(i);
         const Addr tail = chaseChain(m, head);
-        m.unforwardedWrite(tail, head, true);
+        m.access(Access::unforwardedWrite(tail, head, true));
     }
     {
         const Addr tail = chaseChain(m, objAddr(2));
-        m.unforwardedWrite(tail, 0x6661, true); // misaligned payload
+        m.access(Access::unforwardedWrite(tail, 0x6661, true)); // misaligned payload
     }
 
     // Reference everything, twice (the second pass rides the pins).
     for (unsigned pass = 0; pass < 2; ++pass) {
         for (unsigned i = 0; i < chains; ++i) {
             for (unsigned w = 0; w < obj_words; ++w) {
-                const LoadResult r =
-                    m.load(objAddr(i) + w * wordBytes, 8);
+                const AccessResult r =
+                    m.access(Access::load(objAddr(i) + w * wordBytes, 8));
                 if (i >= 3) {
                     out.clean_values.push_back(r.value);
                     out.clean_values.push_back(r.final_addr);

@@ -141,9 +141,9 @@ TEST(EndToEnd, TrapFixupEliminatesRepeatForwarding)
 
     // A one-node "list" referenced by a stale pointer slot in memory.
     const Addr node = alloc.alloc(16);
-    m.store(node + 8, 8, 1234);
+    m.access(Access::store(node + 8, 8, 1234));
     const Addr slot = alloc.alloc(8);
-    m.store(slot, 8, node);
+    m.access(Access::store(slot, 8, node));
 
     relocate(m, node, pool.take(16), 2);
 
@@ -160,15 +160,15 @@ TEST(EndToEnd, TrapFixupEliminatesRepeatForwarding)
     });
 
     // First dereference: forwards once and fixes the pointer.
-    const LoadResult p1 = m.load(
-        static_cast<Addr>(m.load(slot, 8).value) + 8, 8, 0, 1, slot);
+    const AccessResult p1 = m.access(Access::load(
+        static_cast<Addr>(m.access(Access::load(slot, 8)).value) + 8, 8, 0, 1, slot));
     EXPECT_EQ(p1.value, 1234u);
     EXPECT_EQ(p1.hops, 1u);
     EXPECT_EQ(m.forwarding().traps().pointersFixed(), 1u);
 
     // Second dereference through the slot: direct, no forwarding.
-    const LoadResult p2 = m.load(
-        static_cast<Addr>(m.load(slot, 8).value) + 8, 8);
+    const AccessResult p2 = m.access(Access::load(
+        static_cast<Addr>(m.access(Access::load(slot, 8)).value) + 8, 8));
     EXPECT_EQ(p2.value, 1234u);
     EXPECT_EQ(p2.hops, 0u);
 }
@@ -182,7 +182,7 @@ TEST(EndToEnd, ObjectLifecycleWithRelocation)
 
     const Addr obj = alloc.alloc(48);
     for (unsigned w = 0; w < 6; ++w)
-        m.store(obj + w * 8, 8, w * 11);
+        m.access(Access::store(obj + w * 8, 8, w * 11));
 
     const Addr home1 = alloc.alloc(48);
     relocate(m, obj, home1, 6);
@@ -191,9 +191,9 @@ TEST(EndToEnd, ObjectLifecycleWithRelocation)
 
     // All three views agree.
     for (unsigned w = 0; w < 6; ++w) {
-        EXPECT_EQ(m.load(obj + w * 8, 8).value, w * 11);
-        EXPECT_EQ(m.load(home1 + w * 8, 8).value, w * 11);
-        EXPECT_EQ(m.load(home2 + w * 8, 8).value, w * 11);
+        EXPECT_EQ(m.access(Access::load(obj + w * 8, 8)).value, w * 11);
+        EXPECT_EQ(m.access(Access::load(home1 + w * 8, 8)).value, w * 11);
+        EXPECT_EQ(m.access(Access::load(home2 + w * 8, 8)).value, w * 11);
     }
 
     // Chain-aware free reclaims the whole family.

@@ -64,33 +64,33 @@ TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
     RelocationPool pool(alloc, 8 << 20);
 
     const Addr root_handle = alloc.alloc(8);
-    m.store(root_handle, 8, 0);
+    m.access(Access::store(root_handle, 8, 0));
 
     // Random BST insertion of 120 keys.
     std::vector<std::uint64_t> keys;
     for (int i = 0; i < 120; ++i) {
         const std::uint64_t key = rng.below(1 << 20);
         const Addr node = alloc.alloc(t_node, Placement::scattered);
-        m.store(node + t_left, 8, 0);
-        m.store(node + t_right, 8, 0);
-        m.store(node + t_key, 8, key);
+        m.access(Access::store(node + t_left, 8, 0));
+        m.access(Access::store(node + t_right, 8, 0));
+        m.access(Access::store(node + t_key, 8, key));
         Addr slot = root_handle;
         bool dup = false;
-        LoadResult cur = m.load(slot, 8);
+        AccessResult cur = m.access(Access::load(slot, 8));
         while (cur.value != 0) {
             const std::uint64_t k =
-                m.load(cur.value + t_key, 8, cur.ready).value;
+                m.access(Access::load(cur.value + t_key, 8, cur.ready)).value;
             if (k == key) {
                 dup = true;
                 break;
             }
             slot = static_cast<Addr>(cur.value) +
                    (key < k ? t_left : t_right);
-            cur = m.load(slot, 8, cur.ready);
+            cur = m.access(Access::load(slot, 8, cur.ready));
         }
         if (dup)
             continue;
-        m.store(slot, 8, node);
+        m.access(Access::store(slot, 8, node));
         keys.push_back(key);
     }
     std::sort(keys.begin(), keys.end());
@@ -98,16 +98,16 @@ TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
     auto inorder = [&] {
         std::vector<std::uint64_t> out;
         std::vector<Addr> stack;
-        Addr cur = static_cast<Addr>(m.load(root_handle, 8).value);
+        Addr cur = static_cast<Addr>(m.access(Access::load(root_handle, 8)).value);
         while (cur != 0 || !stack.empty()) {
             while (cur != 0) {
                 stack.push_back(cur);
-                cur = static_cast<Addr>(m.load(cur + t_left, 8).value);
+                cur = static_cast<Addr>(m.access(Access::load(cur + t_left, 8)).value);
             }
             cur = stack.back();
             stack.pop_back();
-            out.push_back(m.load(cur + t_key, 8).value);
-            cur = static_cast<Addr>(m.load(cur + t_right, 8).value);
+            out.push_back(m.access(Access::load(cur + t_key, 8)).value);
+            cur = static_cast<Addr>(m.access(Access::load(cur + t_right, 8)).value);
         }
         return out;
     };
@@ -150,15 +150,15 @@ TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
     RelocationPool pool(alloc, 16 << 20);
 
     const Addr head = alloc.alloc(8);
-    m.store(head, 8, 0);
+    m.access(Access::store(head, 8, 0));
     std::vector<std::uint64_t> model; // front = list head
 
     auto checkAgainstModel = [&] {
         std::vector<std::uint64_t> got;
-        LoadResult cur = m.load(head, 8);
+        AccessResult cur = m.access(Access::load(head, 8));
         while (cur.value != 0) {
-            got.push_back(m.load(cur.value + 8, 8, cur.ready).value);
-            cur = m.load(cur.value + 0, 8, cur.ready);
+            got.push_back(m.access(Access::load(cur.value + 8, 8, cur.ready)).value);
+            cur = m.access(Access::load(cur.value + 0, 8, cur.ready));
         }
         ASSERT_EQ(got, model);
     };
@@ -171,29 +171,29 @@ TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
             const std::size_t pos =
                 model.empty() ? 0 : rng.below(model.size() + 1);
             const Addr node = alloc.alloc(16, Placement::scattered);
-            m.store(node + 8, 8, next_val);
+            m.access(Access::store(node + 8, 8, next_val));
             Addr slot = head;
-            LoadResult cur = m.load(slot, 8);
+            AccessResult cur = m.access(Access::load(slot, 8));
             for (std::size_t i = 0; i < pos; ++i) {
                 slot = static_cast<Addr>(cur.value) + 0;
-                cur = m.load(slot, 8, cur.ready);
+                cur = m.access(Access::load(slot, 8, cur.ready));
             }
-            m.store(node + 0, 8, cur.value);
-            m.store(slot, 8, node);
+            m.access(Access::store(node + 0, 8, cur.value));
+            m.access(Access::store(slot, 8, node));
             model.insert(model.begin() + pos, next_val);
             ++next_val;
         } else if (pick < 8 && !model.empty()) {
             // Delete at a random position.
             const std::size_t pos = rng.below(model.size());
             Addr slot = head;
-            LoadResult cur = m.load(slot, 8);
+            AccessResult cur = m.access(Access::load(slot, 8));
             for (std::size_t i = 0; i < pos; ++i) {
                 slot = static_cast<Addr>(cur.value) + 0;
-                cur = m.load(slot, 8, cur.ready);
+                cur = m.access(Access::load(slot, 8, cur.ready));
             }
-            const LoadResult nx =
-                m.load(static_cast<Addr>(cur.value) + 0, 8, cur.ready);
-            m.store(slot, 8, nx.value);
+            const AccessResult nx =
+                m.access(Access::load(static_cast<Addr>(cur.value) + 0, 8, cur.ready));
+            m.access(Access::store(slot, 8, nx.value));
             model.erase(model.begin() + pos);
         } else {
             listLinearize(m, head, {16, 0, 0}, pool);
@@ -241,7 +241,7 @@ TEST_P(ChainInterleavingFuzz, QuarantinedCyclesNeverDerailCleanChains)
     std::vector<bool> poisoned(n_objects, false);
     for (unsigned k = 0; k < n_objects; ++k) {
         model[k] = seed ^ (k * 977);
-        m.store(base + k * 0x80, 8, model[k]);
+        m.access(Access::store(base + k * 0x80, 8, model[k]));
     }
 
     unsigned cycles_made = 0;
@@ -253,13 +253,13 @@ TEST_P(ChainInterleavingFuzz, QuarantinedCyclesNeverDerailCleanChains)
             // A load through the (possibly long, possibly collapsed)
             // chain: clean objects must match the model; poisoned ones
             // must simply keep resolving without throwing.
-            const LoadResult r = m.load(head, 8);
+            const AccessResult r = m.access(Access::load(head, 8));
             if (!poisoned[k])
                 EXPECT_EQ(r.value, model[k]) << "object " << k;
         } else if (pick < 65) {
             if (!poisoned[k]) {
                 const std::uint64_t v = rng.next();
-                m.store(head, 8, v);
+                m.access(Access::store(head, 8, v));
                 model[k] = v;
             }
         } else if (pick < 90) {
@@ -273,10 +273,10 @@ TEST_P(ChainInterleavingFuzz, QuarantinedCyclesNeverDerailCleanChains)
         } else {
             // Close the chain into a cycle: tail re-forwarded at the
             // head.  Resolution quarantines it and execution continues.
-            if (!poisoned[k] && m.readFBit(head)) {
+            if (!poisoned[k] && (m.access(Access::readFBit(head)).value != 0)) {
                 const Addr tail = chaseChain(m, head);
                 if (tail != head) {
-                    m.unforwardedWrite(tail, head, true);
+                    m.access(Access::unforwardedWrite(tail, head, true));
                     poisoned[k] = true;
                     ++cycles_made;
                 }
@@ -287,7 +287,7 @@ TEST_P(ChainInterleavingFuzz, QuarantinedCyclesNeverDerailCleanChains)
     // Every healthy object still reads its model value; every poisoned
     // one resolves from its pin without throwing.
     for (unsigned k = 0; k < n_objects; ++k) {
-        const LoadResult r = m.load(base + k * 0x80, 8);
+        const AccessResult r = m.access(Access::load(base + k * 0x80, 8));
         if (!poisoned[k])
             EXPECT_EQ(r.value, model[k]) << "object " << k;
     }

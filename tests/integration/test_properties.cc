@@ -74,7 +74,7 @@ TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
     for (unsigned k = 0; k < n_objects; ++k) {
         const Addr a = alloc.alloc(8, Placement::scattered);
         history[k].push_back(a);
-        m.store(a, 8, 0);
+        m.access(Access::store(a, 8, 0));
     }
 
     for (unsigned op = 0; op < 600; ++op) {
@@ -86,12 +86,12 @@ TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
         switch (rng.below(4)) {
           case 0: { // store through a random historical pointer
             const std::uint64_t v = rng.next();
-            m.store(via, 8, v);
+            m.access(Access::store(via, 8, v));
             reference[k] = v;
             break;
           }
           case 1: { // load through a random historical pointer
-            EXPECT_EQ(m.load(via, 8).value, reference[k])
+            EXPECT_EQ(m.access(Access::load(via, 8)).value, reference[k])
                 << "object " << k << " via " << std::hex << via;
             break;
           }
@@ -120,7 +120,7 @@ TEST_P(RandomOpsProperty, StalePointersAlwaysSeeCurrentValues)
     // reference value.
     for (unsigned k = 0; k < n_objects; ++k) {
         for (Addr via : history[k])
-            EXPECT_EQ(m.load(via, 8).value, reference[k]);
+            EXPECT_EQ(m.access(Access::load(via, 8)).value, reference[k]);
     }
 }
 
@@ -151,9 +151,9 @@ TEST(Properties, TimeIsMonotone)
     for (unsigned i = 0; i < 2000; ++i) {
         const Addr a = 0x1000 + rng.below(1 << 16) * 8;
         if (rng.chance(0.5))
-            m.load(a, 8);
+            m.access(Access::load(a, 8));
         else
-            m.store(a, 8, i);
+            m.access(Access::store(a, 8, i));
         EXPECT_GE(m.cycles(), last);
         last = m.cycles();
     }
@@ -232,7 +232,7 @@ TEST(Properties, HopHistogramConsistent)
     std::vector<Addr> heads;
     for (int i = 0; i < 20; ++i) {
         Addr a = alloc.alloc(8, Placement::scattered);
-        m.store(a, 8, i);
+        m.access(Access::store(a, 8, i));
         // Build chains of random length.
         const unsigned len = static_cast<unsigned>(rng.below(5));
         for (unsigned h = 0; h < len; ++h) {

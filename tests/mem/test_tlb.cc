@@ -75,7 +75,7 @@ TEST(TlbDeathTest, BadConfig)
 TEST(TlbMachine, DisabledByDefaultAndFree)
 {
     Machine m;
-    m.load(0x1000, 8);
+    m.access(Access::load(0x1000, 8));
     EXPECT_EQ(m.tlb().hits() + m.tlb().misses(), 0u);
 }
 
@@ -89,8 +89,8 @@ TEST(TlbMachine, EnabledTlbChargesWalks)
     Cycles da = 0, db = 0;
     for (unsigned p = 0; p < 64; ++p) {
         const Addr addr = 0x100000 + Addr(p) * 4096;
-        da = a.load(addr, 8, da).ready;
-        db = b.load(addr, 8, db).ready;
+        da = a.access(Access::load(addr, 8, da)).ready;
+        db = b.access(Access::load(addr, 8, db)).ready;
     }
     EXPECT_GT(a.cycles(), b.cycles());
     EXPECT_EQ(a.tlb().misses(), 64u);
@@ -107,7 +107,7 @@ TEST(TlbMachine, LinearizedDataNeedsFewerTranslations)
         Cycles dep = 0;
         for (int pass = 0; pass < 3; ++pass)
             for (Addr a : addrs)
-                dep = m.load(a, 8, dep).ready;
+                dep = m.access(Access::load(a, 8, dep)).ready;
         return m.tlb().misses();
     };
 

@@ -100,11 +100,11 @@ goldenMachineMetrics()
 {
     Machine m;
     for (unsigned i = 0; i < 16; ++i)
-        m.store(0x1000 + i * 8, 8, i + 1);
+        m.access(Access::store(0x1000 + i * 8, 8, i + 1));
     relocate(m, 0x1000, 0x8000, 16);
     Cycles dep = 0;
     for (unsigned i = 0; i < 16; ++i)
-        dep = m.load(0x1000 + i * 8, 8, dep).ready;
+        dep = m.access(Access::load(0x1000 + i * 8, 8, dep)).ready;
     return m.metrics();
 }
 
@@ -145,9 +145,9 @@ TEST(FlattenedMetrics, KeepsLegacyNames)
     // keep falling out of metrics().flatten() — downstream scripts key
     // on them (docs/METRICS.md name-stability policy).
     Machine m;
-    m.store(0x3000, 8, 1);
+    m.access(Access::store(0x3000, 8, 1));
     relocate(m, 0x3000, 0xa000, 1);
-    m.load(0x3000, 8);
+    m.access(Access::load(0x3000, 8));
 
     StatsRegistry reg;
     m.metrics().flatten(reg, "");
@@ -175,12 +175,12 @@ TEST(FtcMetrics, CountersExportAndRoundTrip)
     // collapse), the second is an FTC hit.  The counters must survive
     // the JSON export/parse round-trip exactly.
     Machine m(MachineConfig{}.ftcGeometry(16, 2).collapseThreshold(2));
-    m.store(0x1000, 8, 42);
+    m.access(Access::store(0x1000, 8, 42));
     relocate(m, 0x1000, 0x2000, 1);
     relocate(m, 0x2000, 0x3000, 1);
     relocate(m, 0x3000, 0x4000, 1);
-    EXPECT_EQ(m.load(0x1000, 8).value, 42u);
-    EXPECT_EQ(m.load(0x1000, 8).value, 42u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 42u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 42u);
 
     const MetricsNode root = m.metrics();
     const MetricsNode *fwd = root.findChild("fwd");
@@ -208,9 +208,9 @@ TEST(FtcMetrics, CountersExportAndRoundTrip)
 TEST(SubsystemMetrics, MachineTreeComposesComponents)
 {
     Machine m;
-    m.store(0x4000, 8, 5);
+    m.access(Access::store(0x4000, 8, 5));
     relocate(m, 0x4000, 0xb000, 1);
-    m.load(0x4000, 8);
+    m.access(Access::load(0x4000, 8));
 
     const MetricsNode root = m.metrics();
     ASSERT_NE(root.findChild("fwd"), nullptr);

@@ -134,9 +134,9 @@ TEST(MachineTracing, EmitsReferenceWalkAndRelocationEvents)
     RingBufferSink ring;
     m.tracer().addSink(&ring);
 
-    m.store(0x1000, 8, 77);
+    m.access(Access::store(0x1000, 8, 77));
     relocate(m, 0x1000, 0x5000, 1);
-    const LoadResult r = m.load(0x1000, 8);
+    const AccessResult r = m.access(Access::load(0x1000, 8));
     EXPECT_EQ(r.value, 77u);
     EXPECT_EQ(r.hops, 1u);
 
@@ -158,7 +158,7 @@ TEST(MachineTracing, EmitsReferenceWalkAndRelocationEvents)
 
     m.tracer().removeSink(&ring);
     const std::uint64_t total = ring.total();
-    m.load(0x1000, 8);
+    m.access(Access::load(0x1000, 8));
     EXPECT_EQ(ring.total(), total) << "no events after removal";
 }
 
@@ -168,8 +168,8 @@ TEST(MachineTracing, EmitsRollbackOnFailedRelocation)
     RingBufferSink ring;
     m.tracer().addSink(&ring);
 
-    m.store(0x1000, 8, 1);
-    m.store(0x1008, 8, 2);
+    m.access(Access::store(0x1000, 8, 1));
+    m.access(Access::store(0x1008, 8, 2));
     FaultInjector faults;
     faults.armSpec("allocfail@relocate:nth=2");
     m.setFaultInjector(&faults);
@@ -189,11 +189,11 @@ TEST(MachineTracing, EmitsTrapEvents)
     RingBufferSink ring;
     m.tracer().addSink(&ring);
 
-    m.store(0x1000, 8, 9);
+    m.access(Access::store(0x1000, 8, 9));
     relocate(m, 0x1000, 0x6000, 1);
     m.forwarding().traps().install(
         [](const TrapInfo &) { return TrapAction::resume; });
-    m.load(0x1000, 8);
+    m.access(Access::load(0x1000, 8));
 
     const auto traps = eventsOfKind(ring, EventKind::trap);
     ASSERT_EQ(traps.size(), 1u);
@@ -232,11 +232,11 @@ TEST(ReferenceSink, ObservesFinalAddresses)
     m.tracer().addSink(&rec);
 
     for (unsigned i = 0; i < 4; ++i)
-        m.store(0x1000 + i * 8, 8, i);
+        m.access(Access::store(0x1000 + i * 8, 8, i));
     relocate(m, 0x1000, 0x7000, 4);
     const std::size_t before_loads = seen.size();
     for (unsigned i = 0; i < 4; ++i)
-        m.load(0x1000 + i * 8, 4);
+        m.access(Access::load(0x1000 + i * 8, 4));
     m.tracer().removeSink(&rec);
 
     ASSERT_EQ(seen.size(), before_loads + 4);
@@ -248,7 +248,7 @@ TEST(ReferenceSink, ObservesFinalAddresses)
     }
 
     const std::size_t total = seen.size();
-    m.load(0x1000, 8);
+    m.access(Access::load(0x1000, 8));
     EXPECT_EQ(seen.size(), total) << "no events after sink removal";
     EXPECT_FALSE(m.tracer().active());
 }
@@ -259,10 +259,10 @@ TEST(MachineTracing, EmitsFtcEventsOnHits)
     RingBufferSink ring;
     m.tracer().addSink(&ring);
 
-    m.store(0x1000, 8, 5);
+    m.access(Access::store(0x1000, 8, 5));
     relocate(m, 0x1000, 0x5000, 1);
-    m.load(0x1000, 8); // walk + FTC fill
-    m.load(0x1000, 8); // FTC hit
+    m.access(Access::load(0x1000, 8)); // walk + FTC fill
+    m.access(Access::load(0x1000, 8)); // FTC hit
 
     const auto hits = eventsOfKind(ring, EventKind::ftc);
     ASSERT_EQ(hits.size(), 1u);

@@ -21,7 +21,7 @@ struct GcRig
     GcRig()
     {
         root_slot = alloc.alloc(8);
-        m.store(root_slot, 8, 0);
+        m.access(Access::store(root_slot, 8, 0));
     }
 };
 
@@ -42,24 +42,24 @@ TEST(CompactingHeap, CollectPreservesReachableData)
     GcRig rig;
     // root -> a -> b, with payloads.
     const Addr b = rig.heap.alloc(2, 0);
-    rig.m.store(CompactingHeap::field(b, 0), 8, 222);
+    rig.m.access(Access::store(CompactingHeap::field(b, 0), 8, 222));
     const Addr a = rig.heap.alloc(2, 0b001); // word 0 is a pointer
-    rig.m.store(CompactingHeap::field(a, 0), 8, b);
-    rig.m.store(CompactingHeap::field(a, 1), 8, 111);
-    rig.m.store(rig.root_slot, 8, a);
+    rig.m.access(Access::store(CompactingHeap::field(a, 0), 8, b));
+    rig.m.access(Access::store(CompactingHeap::field(a, 1), 8, 111));
+    rig.m.access(Access::store(rig.root_slot, 8, a));
 
     rig.heap.collect({rig.root_slot});
 
     const Addr new_a =
-        static_cast<Addr>(rig.m.load(rig.root_slot, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(rig.root_slot, 8)).value);
     EXPECT_NE(new_a, a);
     EXPECT_TRUE(rig.heap.inActiveSpace(new_a));
-    EXPECT_EQ(rig.m.load(CompactingHeap::field(new_a, 1), 8).value,
+    EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(new_a, 1), 8)).value,
               111u);
     const Addr new_b = static_cast<Addr>(
-        rig.m.load(CompactingHeap::field(new_a, 0), 8).value);
+        rig.m.access(Access::load(CompactingHeap::field(new_a, 0), 8)).value);
     EXPECT_TRUE(rig.heap.inActiveSpace(new_b));
-    EXPECT_EQ(rig.m.load(CompactingHeap::field(new_b, 0), 8).value,
+    EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(new_b, 0), 8)).value,
               222u);
 }
 
@@ -67,10 +67,10 @@ TEST(CompactingHeap, GarbageIsNotCopied)
 {
     GcRig rig;
     const Addr live = rig.heap.alloc(1, 0);
-    rig.m.store(CompactingHeap::field(live, 0), 8, 1);
+    rig.m.access(Access::store(CompactingHeap::field(live, 0), 8, 1));
     for (int i = 0; i < 10; ++i)
         rig.heap.alloc(4, 0); // unreachable
-    rig.m.store(rig.root_slot, 8, live);
+    rig.m.access(Access::store(rig.root_slot, 8, live));
 
     const Addr used_before = rig.heap.used();
     rig.heap.collect({rig.root_slot});
@@ -84,16 +84,16 @@ TEST(CompactingHeap, SharedObjectCopiedOnce)
     GcRig rig;
     // Two roots point at the same object (a DAG, not a tree).
     const Addr shared = rig.heap.alloc(1, 0);
-    rig.m.store(CompactingHeap::field(shared, 0), 8, 77);
+    rig.m.access(Access::store(CompactingHeap::field(shared, 0), 8, 77));
     const Addr r2 = rig.alloc.alloc(8);
-    rig.m.store(rig.root_slot, 8, shared);
-    rig.m.store(r2, 8, shared);
+    rig.m.access(Access::store(rig.root_slot, 8, shared));
+    rig.m.access(Access::store(r2, 8, shared));
 
     rig.heap.collect({rig.root_slot, r2});
     EXPECT_EQ(rig.heap.stats().objects_copied, 1u);
     // Both roots updated to the SAME new address.
-    EXPECT_EQ(rig.m.load(rig.root_slot, 8).value,
-              rig.m.load(r2, 8).value);
+    EXPECT_EQ(rig.m.access(Access::load(rig.root_slot, 8)).value,
+              rig.m.access(Access::load(r2, 8)).value);
 }
 
 TEST(CompactingHeap, CyclicGraphsTerminate)
@@ -101,17 +101,17 @@ TEST(CompactingHeap, CyclicGraphsTerminate)
     GcRig rig;
     const Addr a = rig.heap.alloc(1, 0b001);
     const Addr b = rig.heap.alloc(1, 0b001);
-    rig.m.store(CompactingHeap::field(a, 0), 8, b);
-    rig.m.store(CompactingHeap::field(b, 0), 8, a); // cycle
-    rig.m.store(rig.root_slot, 8, a);
+    rig.m.access(Access::store(CompactingHeap::field(a, 0), 8, b));
+    rig.m.access(Access::store(CompactingHeap::field(b, 0), 8, a)); // cycle
+    rig.m.access(Access::store(rig.root_slot, 8, a));
 
     rig.heap.collect({rig.root_slot});
     EXPECT_EQ(rig.heap.stats().objects_copied, 2u);
     const Addr na =
-        static_cast<Addr>(rig.m.load(rig.root_slot, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(rig.root_slot, 8)).value);
     const Addr nb = static_cast<Addr>(
-        rig.m.load(CompactingHeap::field(na, 0), 8).value);
-    EXPECT_EQ(rig.m.load(CompactingHeap::field(nb, 0), 8).value, na);
+        rig.m.access(Access::load(CompactingHeap::field(na, 0), 8)).value);
+    EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(nb, 0), 8)).value, na);
 }
 
 TEST(CompactingHeap, StalePointersForwardAfterCollection)
@@ -120,14 +120,14 @@ TEST(CompactingHeap, StalePointersForwardAfterCollection)
     // still works after the flip.
     GcRig rig;
     const Addr obj = rig.heap.alloc(1, 0);
-    rig.m.store(CompactingHeap::field(obj, 0), 8, 1234);
-    rig.m.store(rig.root_slot, 8, obj);
+    rig.m.access(Access::store(CompactingHeap::field(obj, 0), 8, 1234));
+    rig.m.access(Access::store(rig.root_slot, 8, obj));
     const Addr hidden = obj; // a pointer in a register somewhere
 
     rig.heap.collect({rig.root_slot});
 
-    const LoadResult r =
-        rig.m.load(CompactingHeap::field(hidden, 0), 8);
+    const AccessResult r =
+        rig.m.access(Access::load(CompactingHeap::field(hidden, 0), 8));
     EXPECT_EQ(r.value, 1234u);
     EXPECT_EQ(r.hops, 1u);
 }
@@ -136,18 +136,18 @@ TEST(CompactingHeap, GraceWindowEndsAtNextCollection)
 {
     GcRig rig;
     const Addr obj = rig.heap.alloc(1, 0);
-    rig.m.store(CompactingHeap::field(obj, 0), 8, 55);
-    rig.m.store(rig.root_slot, 8, obj);
+    rig.m.access(Access::store(CompactingHeap::field(obj, 0), 8, 55));
+    rig.m.access(Access::store(rig.root_slot, 8, obj));
 
     rig.heap.collect({rig.root_slot}); // obj's space vacated
     rig.heap.collect({rig.root_slot}); // ...and now reused: words wiped
 
     // The doubly-stale pointer no longer forwards (its space was
     // reinitialized); the CURRENT root still reads correctly.
-    EXPECT_FALSE(rig.m.readFBit(obj));
+    EXPECT_FALSE((rig.m.access(Access::readFBit(obj)).value != 0));
     const Addr cur =
-        static_cast<Addr>(rig.m.load(rig.root_slot, 8).value);
-    EXPECT_EQ(rig.m.load(CompactingHeap::field(cur, 0), 8).value, 55u);
+        static_cast<Addr>(rig.m.access(Access::load(rig.root_slot, 8)).value);
+    EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(cur, 0), 8)).value, 55u);
 }
 
 TEST(CompactingHeap, CompactionRestoresContiguity)
@@ -159,11 +159,11 @@ TEST(CompactingHeap, CompactionRestoresContiguity)
     std::vector<Addr> live_slots;
     for (int i = 0; i < 8; ++i) {
         const Addr o = rig.heap.alloc(1, 0);
-        rig.m.store(CompactingHeap::field(o, 0), 8, i);
+        rig.m.access(Access::store(CompactingHeap::field(o, 0), 8, i));
         live.push_back(o);
         rig.heap.alloc(5, 0); // garbage spacer
         const Addr slot = rig.alloc.alloc(8);
-        rig.m.store(slot, 8, o);
+        rig.m.access(Access::store(slot, 8, o));
         live_slots.push_back(slot);
     }
 
@@ -172,8 +172,8 @@ TEST(CompactingHeap, CompactionRestoresContiguity)
     Addr prev = 0;
     for (int i = 0; i < 8; ++i) {
         const Addr cur =
-            static_cast<Addr>(rig.m.load(live_slots[i], 8).value);
-        EXPECT_EQ(rig.m.load(CompactingHeap::field(cur, 0), 8).value,
+            static_cast<Addr>(rig.m.access(Access::load(live_slots[i], 8)).value);
+        EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(cur, 0), 8)).value,
                   static_cast<std::uint64_t>(i));
         if (prev) {
             EXPECT_EQ(cur, prev + 16); // header + 1 payload word
@@ -188,27 +188,27 @@ TEST(CompactingHeap, ManyCollectionsStayConsistent)
     // A persistent linked structure surviving repeated collections
     // amid garbage churn.
     Addr head = rig.heap.alloc(2, 0b001);
-    rig.m.store(CompactingHeap::field(head, 1), 8, 0);
-    rig.m.store(rig.root_slot, 8, head);
+    rig.m.access(Access::store(CompactingHeap::field(head, 1), 8, 0));
+    rig.m.access(Access::store(rig.root_slot, 8, head));
     for (int n = 1; n <= 6; ++n) {
         // Prepend a node.
         const Addr node = rig.heap.alloc(2, 0b001);
-        rig.m.store(CompactingHeap::field(node, 0), 8,
-                    rig.m.load(rig.root_slot, 8).value);
-        rig.m.store(CompactingHeap::field(node, 1), 8, n);
-        rig.m.store(rig.root_slot, 8, node);
+        rig.m.access(Access::store(CompactingHeap::field(node, 0), 8,
+                    rig.m.access(Access::load(rig.root_slot, 8)).value));
+        rig.m.access(Access::store(CompactingHeap::field(node, 1), 8, n));
+        rig.m.access(Access::store(rig.root_slot, 8, node));
         // Garbage.
         for (int g = 0; g < 5; ++g)
             rig.heap.alloc(3, 0);
         rig.heap.collect({rig.root_slot});
     }
     // Walk: values 6,5,4,3,2,1,0-tail.
-    Addr cur = static_cast<Addr>(rig.m.load(rig.root_slot, 8).value);
+    Addr cur = static_cast<Addr>(rig.m.access(Access::load(rig.root_slot, 8)).value);
     for (int expect = 6; expect >= 1; --expect) {
-        EXPECT_EQ(rig.m.load(CompactingHeap::field(cur, 1), 8).value,
+        EXPECT_EQ(rig.m.access(Access::load(CompactingHeap::field(cur, 1), 8)).value,
                   static_cast<std::uint64_t>(expect));
         cur = static_cast<Addr>(
-            rig.m.load(CompactingHeap::field(cur, 0), 8).value);
+            rig.m.access(Access::load(CompactingHeap::field(cur, 0), 8)).value);
     }
     EXPECT_EQ(rig.heap.stats().collections, 6u);
 }

@@ -40,7 +40,7 @@ struct ColorRig
             const Addr a = base + Addr(i) * cache;
             items.push_back(a);
             for (unsigned off = 0; off < bytes; off += 8)
-                m.store(a + off, 8, i * 1000 + off);
+                m.access(Access::store(a + off, 8, i * 1000 + off));
         }
         return items;
     }
@@ -70,7 +70,7 @@ TEST(DataColoring, ContentsPreservedThroughStalePointers)
     colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 6);
     for (unsigned i = 0; i < 6; ++i) {
         for (unsigned off = 0; off < 64; off += 8) {
-            EXPECT_EQ(rig.m.load(items[i] + off, 8).value,
+            EXPECT_EQ(rig.m.access(Access::load(items[i] + off, 8)).value,
                       i * 1000 + off);
         }
     }
@@ -88,11 +88,11 @@ TEST(DataColoring, RemovesConflictMisses)
         rig.m.hierarchy().reset();
         for (int pass = 0; pass < 30; ++pass) {
             for (Addr a : addrs)
-                rig.m.load(a, 8);
+                rig.m.access(Access::load(a, 8));
             // Space the passes out so fills finish; otherwise
             // re-references combine with in-flight fills instead of
             // exposing the conflict refetches.
-            rig.m.compute(600);
+            rig.m.access(Access::compute(600));
         }
         return rig.m.hierarchy().l1d().stats().load_full_misses;
     };
@@ -130,17 +130,17 @@ TEST(CopyTile, ContiguousAndIntact)
     const Addr matrix = rig.alloc.alloc(Addr(cache) * 9);
     for (unsigned r = 0; r < 8; ++r)
         for (unsigned off = 0; off < 128; off += 8)
-            rig.m.store(matrix + Addr(r) * cache + off, 8, r * 7 + off);
+            rig.m.access(Access::store(matrix + Addr(r) * cache + off, 8, r * 7 + off));
 
     const Addr buf =
         copyTile(rig.m, matrix, 8, 128, cache, rig.pool);
     for (unsigned r = 0; r < 8; ++r) {
         for (unsigned off = 0; off < 128; off += 8) {
-            EXPECT_EQ(rig.m.load(buf + Addr(r) * 128 + off, 8).value,
+            EXPECT_EQ(rig.m.access(Access::load(buf + Addr(r) * 128 + off, 8)).value,
                       r * 7 + off);
             // Old address still works through forwarding.
             EXPECT_EQ(
-                rig.m.load(matrix + Addr(r) * cache + off, 8).value,
+                rig.m.access(Access::load(matrix + Addr(r) * cache + off, 8)).value,
                 r * 7 + off);
         }
     }

@@ -32,8 +32,8 @@ TEST(HeapVerifier, CountsChainsFromHeads)
 {
     Machine m;
     // Two chains: 0x1000 -> 0x2000 -> 0x3000, and 0x8000 -> 0x9000.
-    m.store(0x1000, 8, 1);
-    m.store(0x8000, 8, 2);
+    m.access(Access::store(0x1000, 8, 1));
+    m.access(Access::store(0x8000, 8, 2));
     relocate(m, 0x1000, 0x2000, 1);
     relocate(m, 0x1000, 0x3000, 1);
     relocate(m, 0x8000, 0x9000, 1);
@@ -122,7 +122,7 @@ TEST(HeapVerifier, DetectsEveryInjectedCorruption)
     for (const FaultKind kind :
          {FaultKind::bit_flip, FaultKind::truncate, FaultKind::cycle}) {
         Machine m;
-        m.store(0x1000, 8, 0x1233); // odd payload: misaligned as pointer
+        m.access(Access::store(0x1000, 8, 0x1233)); // odd payload: misaligned as pointer
         relocate(m, 0x1000, 0x2000, 1);
         relocate(m, 0x1000, 0x3000, 1);
         const AuditReport before = HeapVerifier(m.mem()).audit();

@@ -30,16 +30,16 @@ struct ListRig
     void
     build(unsigned n)
     {
-        m.store(head, 8, 0);
+        m.access(Access::store(head, 8, 0));
         Addr prev = 0;
         for (unsigned i = 0; i < n; ++i) {
             const Addr node = alloc.alloc(16, Placement::scattered);
-            m.store(node + 0, 8, 0);
-            m.store(node + 8, 8, i);
+            m.access(Access::store(node + 0, 8, 0));
+            m.access(Access::store(node + 8, 8, i));
             if (prev == 0)
-                m.store(head, 8, node);
+                m.access(Access::store(head, 8, node));
             else
-                m.store(prev + 0, 8, node);
+                m.access(Access::store(prev + 0, 8, node));
             prev = node;
         }
     }
@@ -49,10 +49,10 @@ struct ListRig
     payloads()
     {
         std::vector<std::uint64_t> out;
-        LoadResult cur = m.load(head, 8);
+        AccessResult cur = m.access(Access::load(head, 8));
         while (cur.value != 0) {
-            out.push_back(m.load(cur.value + 8, 8).value);
-            cur = m.load(cur.value + 0, 8);
+            out.push_back(m.access(Access::load(cur.value + 8, 8)).value);
+            cur = m.access(Access::load(cur.value + 0, 8));
         }
         return out;
     }
@@ -61,7 +61,7 @@ struct ListRig
 TEST(ListLinearize, EmptyList)
 {
     ListRig rig;
-    rig.m.store(rig.head, 8, 0);
+    rig.m.access(Access::store(rig.head, 8, 0));
     const LinearizeResult r =
         listLinearize(rig.m, rig.head, desc, rig.pool);
     EXPECT_EQ(r.nodes, 0u);
@@ -87,10 +87,10 @@ TEST(ListLinearize, NodesBecomeContiguousInListOrder)
     const LinearizeResult r =
         listLinearize(rig.m, rig.head, desc, rig.pool);
     // Walk the new list: node i must be at new_head + 16*i.
-    LoadResult cur = rig.m.load(rig.head, 8);
+    AccessResult cur = rig.m.access(Access::load(rig.head, 8));
     for (unsigned i = 0; i < 10; ++i) {
         EXPECT_EQ(cur.value, r.new_head + Addr(i) * 16);
-        cur = rig.m.load(cur.value + 0, 8);
+        cur = rig.m.access(Access::load(cur.value + 0, 8));
     }
     EXPECT_EQ(cur.value, 0u);
 }
@@ -102,11 +102,11 @@ TEST(ListLinearize, HeadHandleUpdated)
     ListRig rig;
     rig.build(5);
     const Addr old_first =
-        static_cast<Addr>(rig.m.load(rig.head, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(rig.head, 8)).value);
     const LinearizeResult r =
         listLinearize(rig.m, rig.head, desc, rig.pool);
-    EXPECT_NE(rig.m.load(rig.head, 8).value, old_first);
-    EXPECT_EQ(rig.m.load(rig.head, 8).value, r.new_head);
+    EXPECT_NE(rig.m.access(Access::load(rig.head, 8)).value, old_first);
+    EXPECT_EQ(rig.m.access(Access::load(rig.head, 8)).value, r.new_head);
 }
 
 TEST(ListLinearize, StalePointersStillWork)
@@ -114,15 +114,15 @@ TEST(ListLinearize, StalePointersStillWork)
     ListRig rig;
     rig.build(8);
     // Keep a stale pointer to the third node.
-    LoadResult cur = rig.m.load(rig.head, 8);
-    cur = rig.m.load(cur.value + 0, 8);
+    AccessResult cur = rig.m.access(Access::load(rig.head, 8));
+    cur = rig.m.access(Access::load(cur.value + 0, 8));
     const Addr stale = static_cast<Addr>(
-        rig.m.load(cur.value + 0, 8).value);
-    const std::uint64_t want = rig.m.load(stale + 8, 8).value;
+        rig.m.access(Access::load(cur.value + 0, 8)).value);
+    const std::uint64_t want = rig.m.access(Access::load(stale + 8, 8)).value;
 
     listLinearize(rig.m, rig.head, desc, rig.pool);
 
-    const LoadResult via_stale = rig.m.load(stale + 8, 8);
+    const AccessResult via_stale = rig.m.access(Access::load(stale + 8, 8));
     EXPECT_EQ(via_stale.value, want);
     EXPECT_EQ(via_stale.hops, 1u);
 }
@@ -143,12 +143,12 @@ TEST(ListLinearize, RepeatedLinearizationChainsFromOldNodes)
     rig.build(4);
     // Remember original first node.
     const Addr orig =
-        static_cast<Addr>(rig.m.load(rig.head, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(rig.head, 8)).value);
     listLinearize(rig.m, rig.head, desc, rig.pool);
     listLinearize(rig.m, rig.head, desc, rig.pool);
     // The original node now takes two hops; traversal takes none.
-    EXPECT_EQ(rig.m.load(orig + 8, 8).hops, 2u);
-    EXPECT_EQ(rig.m.load(rig.head, 8).hops, 0u);
+    EXPECT_EQ(rig.m.access(Access::load(orig + 8, 8)).hops, 2u);
+    EXPECT_EQ(rig.m.access(Access::load(rig.head, 8)).hops, 0u);
 }
 
 TEST(ListLinearize, SpatialLocalityActuallyImproves)
@@ -161,10 +161,10 @@ TEST(ListLinearize, SpatialLocalityActuallyImproves)
 
     auto linesTouched = [&] {
         std::set<Addr> lines;
-        LoadResult cur = rig.m.load(rig.head, 8);
+        AccessResult cur = rig.m.access(Access::load(rig.head, 8));
         while (cur.value != 0) {
             lines.insert(static_cast<Addr>(cur.value) / line);
-            cur = rig.m.load(cur.value + 0, 8);
+            cur = rig.m.access(Access::load(cur.value + 0, 8));
         }
         return lines.size();
     };
@@ -182,12 +182,12 @@ TEST(ListLinearize, ExternalTailPreserved)
     ListRig rig;
     ListDesc d{16, 0, /*list_end=*/0xdeadb000};
     const Addr a = rig.alloc.alloc(16);
-    rig.m.store(rig.head, 8, a);
-    rig.m.store(a + 0, 8, 0xdeadb000);
-    rig.m.store(a + 8, 8, 5);
+    rig.m.access(Access::store(rig.head, 8, a));
+    rig.m.access(Access::store(a + 0, 8, 0xdeadb000));
+    rig.m.access(Access::store(a + 8, 8, 5));
     const LinearizeResult r = listLinearize(rig.m, rig.head, d, rig.pool);
     EXPECT_EQ(r.nodes, 1u);
-    EXPECT_EQ(rig.m.load(r.new_head + 0, 8).value, 0xdeadb000u);
+    EXPECT_EQ(rig.m.access(Access::load(r.new_head + 0, 8)).value, 0xdeadb000u);
 }
 
 TEST(ListLinearize, SharedTailBetweenTwoLists)
@@ -202,32 +202,32 @@ TEST(ListLinearize, SharedTailBetweenTwoLists)
     Addr prev = 0;
     for (unsigned i = 0; i < 4; ++i) {
         const Addr n = rig.alloc.alloc(16, Placement::scattered);
-        rig.m.store(n + 0, 8, 0);
-        rig.m.store(n + 8, 8, 100 + i);
+        rig.m.access(Access::store(n + 0, 8, 0));
+        rig.m.access(Access::store(n + 8, 8, 100 + i));
         if (prev == 0)
             suffix_head = n;
         else
-            rig.m.store(prev + 0, 8, n);
+            rig.m.access(Access::store(prev + 0, 8, n));
         prev = n;
     }
     // List A: head -> a0 -> suffix.
     const Addr a0 = rig.alloc.alloc(16, Placement::scattered);
-    rig.m.store(a0 + 0, 8, suffix_head);
-    rig.m.store(a0 + 8, 8, 1);
-    rig.m.store(rig.head, 8, a0);
+    rig.m.access(Access::store(a0 + 0, 8, suffix_head));
+    rig.m.access(Access::store(a0 + 8, 8, 1));
+    rig.m.access(Access::store(rig.head, 8, a0));
     // List B: head_b -> b0 -> suffix (same suffix!).
     const Addr head_b = rig.alloc.alloc(8);
     const Addr b0 = rig.alloc.alloc(16, Placement::scattered);
-    rig.m.store(b0 + 0, 8, suffix_head);
-    rig.m.store(b0 + 8, 8, 2);
-    rig.m.store(head_b, 8, b0);
+    rig.m.access(Access::store(b0 + 0, 8, suffix_head));
+    rig.m.access(Access::store(b0 + 8, 8, 2));
+    rig.m.access(Access::store(head_b, 8, b0));
 
     auto walk = [&](Addr h) {
         std::vector<std::uint64_t> out;
-        LoadResult cur = rig.m.load(h, 8);
+        AccessResult cur = rig.m.access(Access::load(h, 8));
         while (cur.value != 0) {
-            out.push_back(rig.m.load(cur.value + 8, 8).value);
-            cur = rig.m.load(cur.value + 0, 8);
+            out.push_back(rig.m.access(Access::load(cur.value + 8, 8)).value);
+            cur = rig.m.access(Access::load(cur.value + 0, 8));
         }
         return out;
     };
@@ -256,8 +256,8 @@ TEST(ListLinearizeDeathTest, RunawayListCaught)
     ListRig rig;
     // A self-looping list (corrupt): node->next == node.
     const Addr a = rig.alloc.alloc(16);
-    rig.m.store(rig.head, 8, a);
-    rig.m.store(a + 0, 8, a);
+    rig.m.access(Access::store(rig.head, 8, a));
+    rig.m.access(Access::store(a + 0, 8, a));
     EXPECT_DEATH(listLinearize(rig.m, rig.head, desc, rig.pool, 100),
                  "max_nodes");
 }

@@ -13,8 +13,8 @@ namespace
 TEST(Machine, LoadStoreRoundTrip)
 {
     Machine m;
-    m.store(0x1000, 8, 0x1122334455667788ull);
-    const LoadResult r = m.load(0x1000, 8);
+    m.access(Access::store(0x1000, 8, 0x1122334455667788ull));
+    const AccessResult r = m.access(Access::load(0x1000, 8));
     EXPECT_EQ(r.value, 0x1122334455667788ull);
     EXPECT_EQ(r.hops, 0u);
     EXPECT_EQ(r.final_addr, 0x1000u);
@@ -23,26 +23,26 @@ TEST(Machine, LoadStoreRoundTrip)
 TEST(Machine, SubwordAccess)
 {
     Machine m;
-    m.store(0x1000, 8, 0);
-    m.store(0x1002, 2, 0xbeef);
-    EXPECT_EQ(m.load(0x1002, 2).value, 0xbeefu);
-    EXPECT_EQ(m.load(0x1000, 8).value, 0xbeef0000ull);
+    m.access(Access::store(0x1000, 8, 0));
+    m.access(Access::store(0x1002, 2, 0xbeef));
+    EXPECT_EQ(m.access(Access::load(0x1002, 2)).value, 0xbeefu);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 0xbeef0000ull);
 }
 
 TEST(Machine, TimeAdvancesWithWork)
 {
     Machine m;
     const Cycles before = m.cycles();
-    m.compute(1000);
+    m.access(Access::compute(1000));
     EXPECT_GE(m.cycles(), before + 240);
 }
 
 TEST(Machine, LoadThroughForwardingChain)
 {
     Machine m;
-    m.store(0x1000, 8, 777);
+    m.access(Access::store(0x1000, 8, 777));
     m.forwarding().forwardWord(0x1000, 0x2000);
-    const LoadResult r = m.load(0x1000, 8);
+    const AccessResult r = m.access(Access::load(0x1000, 8));
     EXPECT_EQ(r.value, 777u);
     EXPECT_EQ(r.hops, 1u);
     EXPECT_EQ(r.final_addr, 0x2000u);
@@ -53,7 +53,7 @@ TEST(Machine, StoreThroughForwardingChain)
 {
     Machine m;
     m.forwarding().forwardWord(0x1000, 0x2000);
-    const StoreResult s = m.store(0x1000, 8, 42);
+    const AccessResult s = m.access(Access::store(0x1000, 8, 42));
     EXPECT_EQ(s.hops, 1u);
     EXPECT_EQ(s.final_addr, 0x2000u);
     // The value landed at the new location; the old word still holds
@@ -69,23 +69,23 @@ TEST(Machine, IsaExtensionsBypassForwarding)
     // word returns the data at the final address; Unforwarded_Read
     // returns the forwarding address itself.
     Machine m;
-    m.store(0x0808, 8, 0);
+    m.access(Access::store(0x0808, 8, 0));
     m.forwarding().forwardWord(0x0808, 0x5808);
-    EXPECT_EQ(m.load(0x0808, 8).value, 0u);
-    EXPECT_EQ(m.unforwardedRead(0x0808), 0x5808u);
-    EXPECT_TRUE(m.readFBit(0x0808));
-    EXPECT_FALSE(m.readFBit(0x5808));
+    EXPECT_EQ(m.access(Access::load(0x0808, 8)).value, 0u);
+    EXPECT_EQ(m.access(Access::unforwardedRead(0x0808)).value, 0x5808u);
+    EXPECT_TRUE((m.access(Access::readFBit(0x0808)).value != 0));
+    EXPECT_FALSE((m.access(Access::readFBit(0x5808)).value != 0));
 }
 
 TEST(Machine, UnforwardedWriteSetsWordAndBit)
 {
     Machine m;
-    m.unforwardedWrite(0x3000, 0x4000, true);
-    EXPECT_TRUE(m.readFBit(0x3000));
-    EXPECT_EQ(m.unforwardedRead(0x3000), 0x4000u);
+    m.access(Access::unforwardedWrite(0x3000, 0x4000, true));
+    EXPECT_TRUE((m.access(Access::readFBit(0x3000)).value != 0));
+    EXPECT_EQ(m.access(Access::unforwardedRead(0x3000)).value, 0x4000u);
     // And a normal load now follows it.
-    m.store(0x4000, 8, 99);
-    EXPECT_EQ(m.load(0x3000, 8).value, 99u);
+    m.access(Access::store(0x4000, 8, 99));
+    EXPECT_EQ(m.access(Access::load(0x3000, 8)).value, 99u);
 }
 
 TEST(Machine, PeekPokeFollowForwardingWithoutTiming)
@@ -104,25 +104,25 @@ TEST(Machine, PeekPokeFollowForwardingWithoutTiming)
 TEST(Machine, PrefetchWarmsCache)
 {
     Machine m;
-    m.prefetch(0x8000, 2);
+    m.access(Access::prefetch(0x8000, 2));
     EXPECT_TRUE(m.hierarchy().l1d().contains(0x8000));
 }
 
 TEST(Machine, ForwardedLoadSlowerThanDirect)
 {
     Machine a, b;
-    a.store(0x1000, 8, 1);
-    b.store(0x1000, 8, 1);
+    a.access(Access::store(0x1000, 8, 1));
+    b.access(Access::store(0x1000, 8, 1));
     b.forwarding().forwardWord(0x1000, 0x2000);
     // Warm both, then measure a dependent chain of loads.
     for (int i = 0; i < 4; ++i) {
-        a.load(0x1000, 8);
-        b.load(0x1000, 8);
+        a.access(Access::load(0x1000, 8));
+        b.access(Access::load(0x1000, 8));
     }
     Cycles ra = 0, rb = 0;
     for (int i = 0; i < 50; ++i) {
-        ra = a.load(0x1000, 8, ra).ready;
-        rb = b.load(0x1000, 8, rb).ready;
+        ra = a.access(Access::load(0x1000, 8, ra)).ready;
+        rb = b.access(Access::load(0x1000, 8, rb)).ready;
     }
     EXPECT_GT(b.cycles(), a.cycles());
 }
@@ -130,8 +130,8 @@ TEST(Machine, ForwardedLoadSlowerThanDirect)
 TEST(Machine, FlattenedMetricsExportCounters)
 {
     Machine m;
-    m.store(0x1000, 8, 5);
-    m.load(0x1000, 8);
+    m.access(Access::store(0x1000, 8, 5));
+    m.access(Access::load(0x1000, 8));
     StatsRegistry reg;
     m.metrics().flatten(reg, "m.");
     EXPECT_EQ(reg.get("m.refs.loads"), 1u);
@@ -144,10 +144,10 @@ TEST(Machine, FlattenedMetricsExportCounters)
 TEST(Machine, DependentAccessesRespectAddrReady)
 {
     Machine m;
-    m.store(0x1000, 8, 0x2000);
-    m.store(0x2000, 8, 7);
-    const LoadResult p = m.load(0x1000, 8);
-    const LoadResult v = m.load(static_cast<Addr>(p.value), 8, p.ready);
+    m.access(Access::store(0x1000, 8, 0x2000));
+    m.access(Access::store(0x2000, 8, 7));
+    const AccessResult p = m.access(Access::load(0x1000, 8));
+    const AccessResult v = m.access(Access::load(static_cast<Addr>(p.value), 8, p.ready));
     EXPECT_EQ(v.value, 7u);
     EXPECT_GT(v.ready, p.ready);
 }

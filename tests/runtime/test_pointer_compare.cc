@@ -31,7 +31,7 @@ TEST(PointerCompare, StaleAndFreshPointersToSameObjectCompareEqual)
     // an updated pointer have different initial addresses but designate
     // the same object.
     Machine m;
-    m.store(0x1000, 8, 9);
+    m.access(Access::store(0x1000, 8, 9));
     relocate(m, 0x1000, 0x5000, 1);
     EXPECT_TRUE(pointersEqual(m, 0x1000, 0x5000));
     EXPECT_EQ(pointerCompare(m, 0x1000, 0x5000), 0);

@@ -38,26 +38,26 @@ heapImage(const TaggedMemory &mem)
 TEST(Relocate, SingleWordObject)
 {
     Machine m;
-    m.store(0x1000, 8, 4711);
+    m.access(Access::store(0x1000, 8, 4711));
     relocate(m, 0x1000, 0x9000, 1);
     EXPECT_EQ(m.mem().rawReadWord(0x9000), 4711u);
     EXPECT_TRUE(m.mem().fbit(0x1000));
     EXPECT_EQ(m.mem().rawReadWord(0x1000), 0x9000u);
     // A stale read still sees the data.
-    EXPECT_EQ(m.load(0x1000, 8).value, 4711u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 4711u);
 }
 
 TEST(Relocate, MultiWordObjectForwardsEachWord)
 {
     Machine m;
     for (unsigned w = 0; w < 4; ++w)
-        m.store(0x1000 + w * 8, 8, 100 + w);
+        m.access(Access::store(0x1000 + w * 8, 8, 100 + w));
     relocate(m, 0x1000, 0x9000, 4);
     for (unsigned w = 0; w < 4; ++w) {
         EXPECT_EQ(m.mem().rawReadWord(0x9000 + w * 8), 100 + w);
         EXPECT_TRUE(m.mem().fbit(0x1000 + w * 8));
         EXPECT_EQ(m.mem().rawReadWord(0x1000 + w * 8), 0x9000u + w * 8);
-        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 100 + w);
+        EXPECT_EQ(m.access(Access::load(0x1000 + w * 8, 8)).value, 100 + w);
     }
 }
 
@@ -66,7 +66,7 @@ TEST(Relocate, AppendsToExistingChain)
     // Figure 4(a): Relocate loops until a clear forwarding bit so the
     // target is appended at the END of the chain.
     Machine m;
-    m.store(0x1000, 8, 55);
+    m.access(Access::store(0x1000, 8, 55));
     relocate(m, 0x1000, 0x2000, 1);
     relocate(m, 0x1000, 0x3000, 1); // relocate again via the OLD address
     // Chain: 0x1000 -> 0x2000 -> 0x3000.
@@ -75,7 +75,7 @@ TEST(Relocate, AppendsToExistingChain)
     EXPECT_TRUE(m.mem().fbit(0x2000));
     EXPECT_EQ(m.mem().rawReadWord(0x3000), 55u);
     EXPECT_FALSE(m.mem().fbit(0x3000));
-    const LoadResult r = m.load(0x1000, 8);
+    const AccessResult r = m.access(Access::load(0x1000, 8));
     EXPECT_EQ(r.value, 55u);
     EXPECT_EQ(r.hops, 2u);
 }
@@ -83,28 +83,28 @@ TEST(Relocate, AppendsToExistingChain)
 TEST(Relocate, SecondRelocationViaCurrentAddress)
 {
     Machine m;
-    m.store(0x1000, 8, 66);
+    m.access(Access::store(0x1000, 8, 66));
     relocate(m, 0x1000, 0x2000, 1);
     // The program relocates from the CURRENT location this time.
     relocate(m, 0x2000, 0x3000, 1);
-    EXPECT_EQ(m.load(0x1000, 8).value, 66u);
-    EXPECT_EQ(m.load(0x1000, 8).hops, 2u);
-    EXPECT_EQ(m.load(0x2000, 8).hops, 1u);
-    EXPECT_EQ(m.load(0x3000, 8).hops, 0u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 66u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).hops, 2u);
+    EXPECT_EQ(m.access(Access::load(0x2000, 8)).hops, 1u);
+    EXPECT_EQ(m.access(Access::load(0x3000, 8)).hops, 0u);
 }
 
 TEST(Relocate, SubwordsTravelWithTheirWord)
 {
     Machine m;
-    m.store(0x1000, 2, 0x1111);
-    m.store(0x1002, 2, 0x2222);
-    m.store(0x1004, 4, 0x33334444);
+    m.access(Access::store(0x1000, 2, 0x1111));
+    m.access(Access::store(0x1002, 2, 0x2222));
+    m.access(Access::store(0x1004, 4, 0x33334444));
     relocate(m, 0x1000, 0x9000, 1);
-    EXPECT_EQ(m.load(0x1000, 2).value, 0x1111u);
-    EXPECT_EQ(m.load(0x1002, 2).value, 0x2222u);
-    EXPECT_EQ(m.load(0x1004, 4).value, 0x33334444u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 2)).value, 0x1111u);
+    EXPECT_EQ(m.access(Access::load(0x1002, 2)).value, 0x2222u);
+    EXPECT_EQ(m.access(Access::load(0x1004, 4)).value, 0x33334444u);
     // And stale subword stores land in the new home.
-    m.store(0x1002, 2, 0xabcd);
+    m.access(Access::store(0x1002, 2, 0xabcd));
     EXPECT_EQ(m.mem().readBytes(0x9002, 2), 0xabcdu);
 }
 
@@ -147,7 +147,7 @@ TEST(Relocate, MidRelocationFailureRollsBackBitIdentically)
 {
     Machine m;
     for (unsigned w = 0; w < 6; ++w)
-        m.store(0x1000 + w * 8, 8, 0x500 + w);
+        m.access(Access::store(0x1000 + w * 8, 8, 0x500 + w));
     const auto before = heapImage(m.mem());
 
     // The injector fails the 4th per-word step: three words have
@@ -162,13 +162,13 @@ TEST(Relocate, MidRelocationFailureRollsBackBitIdentically)
     EXPECT_EQ(heapImage(m.mem()), before);
     for (unsigned w = 0; w < 6; ++w) {
         EXPECT_FALSE(m.mem().fbit(0x1000 + w * 8));
-        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 0x500 + w);
+        EXPECT_EQ(m.access(Access::load(0x1000 + w * 8, 8)).value, 0x500 + w);
     }
 
     // The fault is spent; the same relocation now goes through whole.
     relocate(m, 0x1000, 0x9000, 6);
     for (unsigned w = 0; w < 6; ++w)
-        EXPECT_EQ(m.load(0x1000 + w * 8, 8).value, 0x500 + w);
+        EXPECT_EQ(m.access(Access::load(0x1000 + w * 8, 8)).value, 0x500 + w);
 }
 
 TEST(Relocate, RollbackRestoresExistingChains)
@@ -176,8 +176,8 @@ TEST(Relocate, RollbackRestoresExistingChains)
     // Words that already forward must roll back to their OLD chain
     // shape, not to unforwarded.
     Machine m;
-    m.store(0x1000, 8, 11);
-    m.store(0x1008, 8, 22);
+    m.access(Access::store(0x1000, 8, 11));
+    m.access(Access::store(0x1008, 8, 22));
     relocate(m, 0x1000, 0x5000, 2); // pre-existing 1-hop chains
     const auto before = heapImage(m.mem());
 
@@ -187,9 +187,9 @@ TEST(Relocate, RollbackRestoresExistingChains)
     EXPECT_THROW(relocate(m, 0x1000, 0x9000, 2), AllocFailure);
 
     EXPECT_EQ(heapImage(m.mem()), before);
-    EXPECT_EQ(m.load(0x1000, 8).value, 11u);
-    EXPECT_EQ(m.load(0x1000, 8).hops, 1u); // chain length unchanged
-    EXPECT_EQ(m.load(0x1008, 8).value, 22u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).value, 11u);
+    EXPECT_EQ(m.access(Access::load(0x1000, 8)).hops, 1u); // chain length unchanged
+    EXPECT_EQ(m.access(Access::load(0x1008, 8)).value, 22u);
 }
 
 TEST(Relocate, CyclicSourceChainRollsBack)
@@ -197,8 +197,8 @@ TEST(Relocate, CyclicSourceChainRollsBack)
     // Word 2's chain is a cycle: the relocation must detect it, throw,
     // and undo the two words it already forwarded.
     Machine m;
-    m.store(0x1000, 8, 1);
-    m.store(0x1008, 8, 2);
+    m.access(Access::store(0x1000, 8, 1));
+    m.access(Access::store(0x1008, 8, 2));
     m.mem().unforwardedWrite(0x1010, 0x7000, true);
     m.mem().unforwardedWrite(0x7000, 0x1010, true);
     const auto before = heapImage(m.mem());

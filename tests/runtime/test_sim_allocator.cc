@@ -45,11 +45,11 @@ TEST(SimAllocator, FreshMemoryHasClearForwardingBits)
     Machine m;
     SimAllocator alloc(m);
     const Addr a = alloc.alloc(64, Placement::sequential);
-    m.unforwardedWrite(a + 64, 0xdead, true);
+    m.access(Access::unforwardedWrite(a + 64, 0xdead, true));
     const Addr b = alloc.alloc(64, Placement::sequential);
     EXPECT_EQ(b, a + 64);
-    EXPECT_FALSE(m.readFBit(b));
-    EXPECT_EQ(m.unforwardedRead(b), 0u);
+    EXPECT_FALSE((m.access(Access::readFBit(b)).value != 0));
+    EXPECT_EQ(m.access(Access::unforwardedRead(b)).value, 0u);
 }
 
 TEST(SimAllocator, ScatteredPlacementSpreadsBlocks)
@@ -134,7 +134,7 @@ TEST(SimAllocator, ChainAwareFreeSkipsUnknownTargets)
     SimAllocator alloc(m);
     const Addr obj = alloc.alloc(16);
     // Forward into pool-like space the allocator does not track.
-    m.unforwardedWrite(obj, 0x7f0000000ull, true);
+    m.access(Access::unforwardedWrite(obj, 0x7f0000000ull, true));
     alloc.free(obj); // must not crash
     EXPECT_FALSE(alloc.isAllocated(obj));
 }

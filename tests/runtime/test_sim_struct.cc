@@ -79,11 +79,11 @@ TEST(SimStruct, TraversalMatchesRawApi)
 
     // Raw walk.
     std::uint64_t raw_sum = 0;
-    LoadResult cur{h2, 0, 0, h2};
+    AccessResult cur{h2, 0, 0, h2};
     while (cur.value != 0) {
         raw_sum +=
-            m2.load(cur.value + Node::key.offset, 4, cur.ready).value;
-        cur = m2.load(cur.value + Node::next.offset, 8, cur.ready);
+            m2.access(Access::load(cur.value + Node::key.offset, 4, cur.ready)).value;
+        cur = m2.access(Access::load(cur.value + Node::next.offset, 8, cur.ready));
     }
 
     EXPECT_EQ(typed_sum, raw_sum);

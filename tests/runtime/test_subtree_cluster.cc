@@ -48,15 +48,15 @@ struct TreeRig
         std::vector<Addr> nodes(n);
         for (unsigned i = 0; i < n; ++i) {
             nodes[i] = alloc.alloc(node_bytes, Placement::scattered);
-            m.store(nodes[i] + off_tag, 8, 0);
-            m.store(nodes[i] + off_payload, 8, i);
+            m.access(Access::store(nodes[i] + off_tag, 8, 0));
+            m.access(Access::store(nodes[i] + off_payload, 8, i));
         }
         for (unsigned i = 0; i < n; ++i) {
             const unsigned l = 2 * i + 1, r = 2 * i + 2;
-            m.store(nodes[i] + off_left, 8, l < n ? nodes[l] : 0);
-            m.store(nodes[i] + off_right, 8, r < n ? nodes[r] : 0);
+            m.access(Access::store(nodes[i] + off_left, 8, l < n ? nodes[l] : 0));
+            m.access(Access::store(nodes[i] + off_right, 8, r < n ? nodes[r] : 0));
         }
-        m.store(root_handle, 8, nodes[0]);
+        m.access(Access::store(root_handle, 8, nodes[0]));
         return nodes[0];
     }
 
@@ -65,7 +65,7 @@ struct TreeRig
     inorder()
     {
         std::vector<std::uint64_t> out;
-        walk(static_cast<Addr>(m.load(root_handle, 8).value), out);
+        walk(static_cast<Addr>(m.access(Access::load(root_handle, 8)).value), out);
         return out;
     }
 
@@ -74,16 +74,16 @@ struct TreeRig
     {
         if (node == 0)
             return;
-        walk(static_cast<Addr>(m.load(node + off_left, 8).value), out);
-        out.push_back(m.load(node + off_payload, 8).value);
-        walk(static_cast<Addr>(m.load(node + off_right, 8).value), out);
+        walk(static_cast<Addr>(m.access(Access::load(node + off_left, 8)).value), out);
+        out.push_back(m.access(Access::load(node + off_payload, 8)).value);
+        walk(static_cast<Addr>(m.access(Access::load(node + off_right, 8)).value), out);
     }
 };
 
 TEST(SubtreeCluster, EmptyTree)
 {
     TreeRig rig;
-    rig.m.store(rig.root_handle, 8, 0);
+    rig.m.access(Access::store(rig.root_handle, 8, 0));
     const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
     EXPECT_EQ(r.nodes, 0u);
@@ -106,7 +106,7 @@ TEST(SubtreeCluster, RootHandleUpdated)
     const Addr old_root = rig.build(3);
     const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
-    EXPECT_EQ(rig.m.load(rig.root_handle, 8).value, r.new_root);
+    EXPECT_EQ(rig.m.access(Access::load(rig.root_handle, 8)).value, r.new_root);
     EXPECT_NE(r.new_root, old_root);
 }
 
@@ -118,11 +118,11 @@ TEST(SubtreeCluster, ParentAndChildrenShareCluster)
     rig.build(5);
     subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
     const Addr root =
-        static_cast<Addr>(rig.m.load(rig.root_handle, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(rig.root_handle, 8)).value);
     const Addr left =
-        static_cast<Addr>(rig.m.load(root + off_left, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(root + off_left, 8)).value);
     const Addr right =
-        static_cast<Addr>(rig.m.load(root + off_right, 8).value);
+        static_cast<Addr>(rig.m.access(Access::load(root + off_right, 8)).value);
     EXPECT_EQ(root / 128, left / 128);
     EXPECT_EQ(root / 128, right / 128);
 }
@@ -143,9 +143,9 @@ TEST(SubtreeCluster, StalePointersForward)
     TreeRig rig;
     const Addr old_root = rig.build(4);
     const std::uint64_t want =
-        rig.m.load(old_root + off_payload, 8).value;
+        rig.m.access(Access::load(old_root + off_payload, 8)).value;
     subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
-    const LoadResult stale = rig.m.load(old_root + off_payload, 8);
+    const AccessResult stale = rig.m.access(Access::load(old_root + off_payload, 8));
     EXPECT_EQ(stale.value, want);
     EXPECT_EQ(stale.hops, 1u);
 }
@@ -170,17 +170,17 @@ TEST(SubtreeCluster, LeafPredicateKeepsLeavesInPlace)
     std::vector<std::uint64_t> pre = rig.inorder();
     // Walk and tag: leaves are nodes with no children.
     std::vector<Addr> stack{
-        static_cast<Addr>(rig.m.load(rig.root_handle, 8).value)};
+        static_cast<Addr>(rig.m.access(Access::load(rig.root_handle, 8)).value)};
     std::vector<Addr> leaves;
     while (!stack.empty()) {
         const Addr n = stack.back();
         stack.pop_back();
         const Addr l =
-            static_cast<Addr>(rig.m.load(n + off_left, 8).value);
+            static_cast<Addr>(rig.m.access(Access::load(n + off_left, 8)).value);
         const Addr r =
-            static_cast<Addr>(rig.m.load(n + off_right, 8).value);
+            static_cast<Addr>(rig.m.access(Access::load(n + off_right, 8)).value);
         if (l == 0 && r == 0) {
-            rig.m.store(n + off_tag, 8, 1);
+            rig.m.access(Access::store(n + off_tag, 8, 1));
             leaves.push_back(n);
         } else {
             if (l)

@@ -6,9 +6,16 @@
  * statistic — the binary a downstream user points scripts at.
  *
  *   memfwd_sim --workload vis --line 64 --opt --prefetch --block 4
- *   memfwd_sim --workload smv --opt --forwarding perfect --stats
+ *   memfwd_sim --workload=smv --opt=on --forwarding=perfect --stats
+ *   memfwd_sim --workload mst --fast-forward=build
  *   memfwd_sim --list
+ *
+ * Every option accepts both `--name value` and `--name=value`; boolean
+ * features take an optional on|off value (bare means on).  Usage errors
+ * exit with BSD sysexits EX_USAGE (64).
  */
+
+#include <chrono>
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,48 +49,84 @@ usage(std::FILE *out, const char *argv0)
     std::fprintf(
         out,
         "usage: %s [options]\n"
-        "  --workload NAME   one of the eight applications (see --list)\n"
-        "  --list            list workloads and exit\n"
-        "  --scale X         workload size multiplier (default 1.0)\n"
-        "  --seed N          workload seed (default 42)\n"
-        "  --line BYTES      cache line size, both levels (default 32)\n"
-        "  --l1 BYTES        L1D capacity (default 32768)\n"
-        "  --l1-assoc N      L1D associativity (default 2)\n"
-        "  --l2 BYTES        L2 capacity (default 1048576)\n"
-        "  --mem-lat CYCLES  memory latency (default 70)\n"
-        "  --opt             apply the layout optimization (L case)\n"
-        "  --prefetch        insert software prefetches (P case)\n"
-        "  --block N         prefetch block size in lines (default 1)\n"
-        "  --forwarding M    hardware | exception | perfect\n"
-        "  --ftc SPEC        forwarding translation cache: off | on |\n"
-        "                    SETSxWAYS (on = 64x4); also --ftc=SPEC\n"
-        "  --collapse SPEC   lazy chain collapsing: off | on | N (the\n"
-        "                    hop threshold, on = 2); also --collapse=SPEC\n"
-        "  --no-speculation  conservative load/store ordering\n"
-        "  --stats           dump the full statistics registry\n"
-        "  --json FILE       write the hierarchical metrics tree as a\n"
-        "                    versioned JSON document (docs/METRICS.md);\n"
-        "                    FILE of '-' writes to stdout\n"
-        "  --faults SPEC     arm fault injection; SPEC is a ';'-separated\n"
-        "                    list of kind@site[:k=v,...] with kinds\n"
-        "                    bitflip|truncate|cycle|allocfail, sites\n"
-        "                    resolve|relocate|alloc, params nth=/count=/hop=\n"
-        "                    (e.g. 'cycle@resolve:nth=100;allocfail@alloc')\n"
-        "  --fault-seed N    fault injector RNG seed\n"
-        "  --cycle-policy P  abort | trap | quarantine (default abort)\n"
-        "  --audit           run the heap-integrity audit after the\n"
-        "                    workload and dump its report\n"
-        "  --analyze MODE    off | plan | enforce (default off): attach\n"
-        "                    the static relocation-plan analyzer; 'plan'\n"
-        "                    rejects unsafe plans before any word moves,\n"
-        "                    'enforce' also cross-checks every raw access\n"
-        "                    dynamically (docs/ANALYSIS.md)\n",
+        "\n"
+        "Every option may be written `--name value` or `--name=value`.\n"
+        "Boolean features accept an optional on|off value; the bare\n"
+        "flag means on.  Usage errors exit 64 (EX_USAGE).\n"
+        "\n"
+        "workload:\n"
+        "  --workload NAME    one of the eight applications (see --list)\n"
+        "  --list             list workloads and exit\n"
+        "  --scale X          workload size multiplier (default 1.0)\n"
+        "  --seed N           workload seed (default 42)\n"
+        "\n"
+        "machine:\n"
+        "  --line BYTES       cache line size, both levels (default 32)\n"
+        "  --l1 BYTES         L1D capacity (default 32768)\n"
+        "  --l1-assoc N       L1D associativity (default 2)\n"
+        "  --l2 BYTES         L2 capacity (default 1048576)\n"
+        "  --mem-lat CYCLES   memory latency (default 70)\n"
+        "  --speculation[=on|off]\n"
+        "                     load/store dependence speculation\n"
+        "                     (default on; --no-speculation = off)\n"
+        "\n"
+        "variant (the paper's cases):\n"
+        "  --opt[=on|off]     apply the layout optimization (L case)\n"
+        "  --prefetch[=on|off]\n"
+        "                     insert software prefetches (P case)\n"
+        "  --block N          prefetch block size in lines (default 1)\n"
+        "\n"
+        "forwarding:\n"
+        "  --forwarding MODE  hardware | exception | perfect\n"
+        "  --ftc[=SPEC]       forwarding translation cache: off | on |\n"
+        "                     SETSxWAYS (on = 64x4)\n"
+        "  --collapse[=SPEC]  lazy chain collapsing: off | on | N (the\n"
+        "                     hop threshold, on = 2)\n"
+        "  --cycle-policy P   abort | trap | quarantine (default abort)\n"
+        "\n"
+        "execution engine:\n"
+        "  --fast-forward[=REGION]\n"
+        "                     run REGION ('build', 'opt', 'kernel', or\n"
+        "                     'all'; bare flag = all) functionally:\n"
+        "                     forwarding semantics stay exact, cache/CPU\n"
+        "                     timing is skipped; repeatable\n"
+        "\n"
+        "analysis / fault injection:\n"
+        "  --analyze[=MODE]   off | plan | enforce (default off; bare\n"
+        "                     flag = plan): attach the static\n"
+        "                     relocation-plan analyzer (docs/ANALYSIS.md)\n"
+        "  --faults SPEC      arm fault injection; SPEC is a ';'-separated\n"
+        "                     list of kind@site[:k=v,...] with kinds\n"
+        "                     bitflip|truncate|cycle|allocfail, sites\n"
+        "                     resolve|relocate|alloc, params\n"
+        "                     nth=/count=/hop=\n"
+        "                     (e.g. 'cycle@resolve:nth=100')\n"
+        "  --fault-seed N     fault injector RNG seed\n"
+        "  --audit[=on|off]   run the heap-integrity audit after the\n"
+        "                     workload and dump its report\n"
+        "\n"
+        "output:\n"
+        "  --stats[=on|off]   dump the full statistics registry\n"
+        "  --json FILE        write the hierarchical metrics tree as a\n"
+        "                     versioned JSON document (docs/METRICS.md);\n"
+        "                     FILE of '-' writes to stdout\n"
+        "  --help, -h         this message\n",
         argv0);
+}
+
+/** Report a usage error and exit 64, as --help documents. */
+[[noreturn]] void
+usageError(const char *argv0, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+    std::fprintf(stderr, "run '%s --help' for the option list\n", argv0);
+    std::exit(exit_usage);
 }
 
 /** Parse an --ftc value: "off", "on", or "SETSxWAYS". */
 void
-parseFtc(const std::string &spec, ForwardingConfig &fwd)
+parseFtc(const char *argv0, const std::string &spec,
+         ForwardingConfig &fwd)
 {
     if (spec == "off") {
         fwd.ftc_enabled = false;
@@ -94,16 +137,18 @@ parseFtc(const std::string &spec, ForwardingConfig &fwd)
         return;
     unsigned sets = 0, ways = 0;
     if (std::sscanf(spec.c_str(), "%ux%u", &sets, &ways) != 2 || !sets ||
-        !ways)
-        memfwd_fatal("bad --ftc spec '%s' (off | on | SETSxWAYS)",
-                     spec.c_str());
+        !ways) {
+        usageError(argv0, "bad --ftc value '" + spec +
+                              "' (off | on | SETSxWAYS)");
+    }
     fwd.ftc_sets = sets;
     fwd.ftc_ways = ways;
 }
 
 /** Parse a --collapse value: "off", "on", or a hop threshold. */
 void
-parseCollapse(const std::string &spec, ForwardingConfig &fwd)
+parseCollapse(const char *argv0, const std::string &spec,
+              ForwardingConfig &fwd)
 {
     if (spec == "off") {
         fwd.collapse_enabled = false;
@@ -114,9 +159,10 @@ parseCollapse(const std::string &spec, ForwardingConfig &fwd)
         return;
     char *end = nullptr;
     const unsigned long n = std::strtoul(spec.c_str(), &end, 0);
-    if (!end || *end != '\0' || n == 0)
-        memfwd_fatal("bad --collapse spec '%s' (off | on | N)",
-                     spec.c_str());
+    if (!end || *end != '\0' || n == 0) {
+        usageError(argv0,
+                   "bad --collapse value '" + spec + "' (off | on | N)");
+    }
     fwd.collapse_threshold = static_cast<unsigned>(n);
 }
 
@@ -138,51 +184,82 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: missing value for %s\n",
-                             argv[0], arg.c_str());
-                usage(stderr, argv[0]);
-                std::exit(exit_usage);
+
+        // Normalize: every option is `--name value` or `--name=value`.
+        std::string name = arg;
+        std::string inline_val;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                name = arg.substr(0, eq);
+                inline_val = arg.substr(eq + 1);
+                has_inline = true;
             }
+        }
+        // Value-taking option: the inline value or the next argv word.
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
+            if (i + 1 >= argc)
+                usageError(argv[0], "missing value for " + name);
             return argv[++i];
         };
-        if (arg == "--workload") {
-            cfg.workload = next();
-        } else if (arg == "--list") {
+        // Boolean feature: bare flag or =on/=off.
+        auto onOff = [&]() -> bool {
+            if (!has_inline)
+                return true;
+            if (inline_val == "on")
+                return true;
+            if (inline_val == "off")
+                return false;
+            usageError(argv[0], "bad value '" + inline_val + "' for " +
+                                    name + " (expected on|off)");
+        };
+        // Bare boolean that takes no value at all.
+        auto noValue = [&]() {
+            if (has_inline)
+                usageError(argv[0], name + " takes no value");
+        };
+
+        if (name == "--workload") {
+            cfg.workload = value();
+        } else if (name == "--list") {
+            noValue();
             for (const auto &n : workloadNames()) {
                 std::printf("%-10s %s\n", n.c_str(),
                             makeWorkload(n)->description().c_str());
             }
             return 0;
-        } else if (arg == "--scale") {
-            cfg.params.scale = std::atof(next());
-        } else if (arg == "--seed") {
-            cfg.params.seed = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--line") {
+        } else if (name == "--scale") {
+            cfg.params.scale = std::atof(value().c_str());
+        } else if (name == "--seed") {
+            cfg.params.seed =
+                std::strtoull(value().c_str(), nullptr, 0);
+        } else if (name == "--line") {
             cfg.machine.hierarchy.setLineBytes(
-                static_cast<unsigned>(std::atoi(next())));
-        } else if (arg == "--l1") {
+                static_cast<unsigned>(std::atoi(value().c_str())));
+        } else if (name == "--l1") {
             cfg.machine.hierarchy.l1d.size_bytes =
-                static_cast<unsigned>(std::atoi(next()));
-        } else if (arg == "--l1-assoc") {
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (name == "--l1-assoc") {
             cfg.machine.hierarchy.l1d.assoc =
-                static_cast<unsigned>(std::atoi(next()));
-        } else if (arg == "--l2") {
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (name == "--l2") {
             cfg.machine.hierarchy.l2.size_bytes =
-                static_cast<unsigned>(std::atoi(next()));
-        } else if (arg == "--mem-lat") {
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (name == "--mem-lat") {
             cfg.machine.hierarchy.memory.latency =
-                static_cast<Cycles>(std::atoi(next()));
-        } else if (arg == "--opt") {
-            cfg.variant.layout_opt = true;
-        } else if (arg == "--prefetch") {
-            cfg.variant.prefetch = true;
-        } else if (arg == "--block") {
+                static_cast<Cycles>(std::atoi(value().c_str()));
+        } else if (name == "--opt") {
+            cfg.variant.layout_opt = onOff();
+        } else if (name == "--prefetch") {
+            cfg.variant.prefetch = onOff();
+        } else if (name == "--block") {
             cfg.variant.prefetch_block =
-                static_cast<unsigned>(std::atoi(next()));
-        } else if (arg == "--forwarding") {
-            const std::string mode = next();
+                static_cast<unsigned>(std::atoi(value().c_str()));
+        } else if (name == "--forwarding") {
+            const std::string mode = value();
             if (mode == "hardware") {
                 cfg.machine.forwarding.mode =
                     ForwardingConfig::Mode::hardware;
@@ -193,29 +270,33 @@ main(int argc, char **argv)
                 cfg.machine.forwarding.mode =
                     ForwardingConfig::Mode::perfect;
             } else {
-                memfwd_fatal("unknown forwarding mode '%s'",
-                             mode.c_str());
+                usageError(argv[0], "unknown forwarding mode '" + mode +
+                                        "' (hardware | exception | "
+                                        "perfect)");
             }
-        } else if (arg == "--ftc") {
-            parseFtc(next(), cfg.machine.forwarding);
-        } else if (arg.rfind("--ftc=", 0) == 0) {
-            parseFtc(arg.substr(6), cfg.machine.forwarding);
-        } else if (arg == "--collapse") {
-            parseCollapse(next(), cfg.machine.forwarding);
-        } else if (arg.rfind("--collapse=", 0) == 0) {
-            parseCollapse(arg.substr(11), cfg.machine.forwarding);
-        } else if (arg == "--no-speculation") {
+        } else if (name == "--ftc") {
+            parseFtc(argv[0], has_inline ? inline_val : "on",
+                     cfg.machine.forwarding);
+        } else if (name == "--collapse") {
+            parseCollapse(argv[0], has_inline ? inline_val : "on",
+                          cfg.machine.forwarding);
+        } else if (name == "--speculation") {
+            cfg.machine.cpu.dep_speculation = onOff();
+        } else if (name == "--no-speculation") {
+            noValue();
             cfg.machine.cpu.dep_speculation = false;
-        } else if (arg == "--stats") {
-            dump_stats = true;
-        } else if (arg == "--json") {
-            json_path = next();
-        } else if (arg == "--faults") {
-            fault_spec = next();
-        } else if (arg == "--fault-seed") {
-            fault_seed = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--cycle-policy") {
-            const std::string policy = next();
+        } else if (name == "--fast-forward") {
+            cfg.machine.fastForward(has_inline ? inline_val : "all");
+        } else if (name == "--stats") {
+            dump_stats = onOff();
+        } else if (name == "--json") {
+            json_path = value();
+        } else if (name == "--faults") {
+            fault_spec = value();
+        } else if (name == "--fault-seed") {
+            fault_seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (name == "--cycle-policy") {
+            const std::string policy = value();
             if (policy == "abort") {
                 cfg.machine.forwarding.cycle_policy = CyclePolicy::abort;
             } else if (policy == "trap") {
@@ -224,31 +305,27 @@ main(int argc, char **argv)
                 cfg.machine.forwarding.cycle_policy =
                     CyclePolicy::quarantine;
             } else {
-                memfwd_fatal("unknown cycle policy '%s'", policy.c_str());
+                usageError(argv[0], "unknown cycle policy '" + policy +
+                                        "' (abort | trap | quarantine)");
             }
-        } else if (arg == "--audit") {
-            run_audit = true;
-        } else if (arg == "--analyze") {
-            const std::string mode = next();
-            if (!analyzeModeFromName(mode, analyze_mode))
-                memfwd_fatal("unknown analyze mode '%s' (off | plan | "
-                             "enforce)",
-                             mode.c_str());
-        } else if (arg == "--help" || arg == "-h") {
+        } else if (name == "--audit") {
+            run_audit = onOff();
+        } else if (name == "--analyze") {
+            const std::string mode = has_inline ? inline_val : "plan";
+            if (!analyzeModeFromName(mode, analyze_mode)) {
+                usageError(argv[0], "unknown analyze mode '" + mode +
+                                        "' (off | plan | enforce)");
+            }
+        } else if (name == "--help" || name == "-h") {
             usage(stdout, argv[0]);
             return 0;
         } else {
-            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
-                         arg.c_str());
-            usage(stderr, argv[0]);
-            return exit_usage;
+            usageError(argv[0], "unknown option '" + arg + "'");
         }
     }
 
-    if (cfg.workload.empty()) {
-        usage(stderr, argv[0]);
-        return exit_usage;
-    }
+    if (cfg.workload.empty())
+        usageError(argv[0], "--workload is required");
 
     // Run with a live Machine so we can dump its registry afterwards.
     Machine machine(cfg.machine);
@@ -269,6 +346,7 @@ main(int argc, char **argv)
 
     auto workload = makeWorkload(cfg.workload, cfg.params);
     int exit_code = 0;
+    const auto host_t0 = std::chrono::steady_clock::now();
     try {
         workload->run(machine, cfg.variant);
     } catch (const ForwardingCycleError &e) {
@@ -326,6 +404,18 @@ main(int argc, char **argv)
     std::printf("space overhead %llu bytes\n",
                 static_cast<unsigned long long>(
                     workload->spaceOverheadBytes()));
+    // Host-speed gauge (docs/METRICS.md "host" family): wall-clock
+    // simulation rate, not a simulated quantity.
+    const double host_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host_t0)
+            .count();
+    std::printf("host           %llu refs in %.1f ms (%.0f refs/s)\n",
+                static_cast<unsigned long long>(machine.refsExecuted()),
+                host_ms,
+                host_ms > 0.0
+                    ? double(machine.refsExecuted()) * 1000.0 / host_ms
+                    : 0.0);
 
     if (!fault_spec.empty()) {
         std::printf("faults fired   %llu\n",
