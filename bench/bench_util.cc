@@ -127,7 +127,9 @@ void
 Report::addCase(const std::string &label, std::uint64_t cycles,
                 std::uint64_t instructions, std::uint64_t checksum,
                 const obs::MetricsNode &metrics, double wall_ms,
-                unsigned reps, std::uint64_t refs)
+                unsigned reps, std::uint64_t refs,
+                const std::vector<std::pair<std::string, double>>
+                    &extra_fields)
 {
     obs::Json c = obs::Json::object();
     c["label"] = obs::Json::string(label);
@@ -140,6 +142,8 @@ Report::addCase(const std::string &label, std::uint64_t cycles,
     c["reps"] = obs::Json::number(reps);
     c["host"] = hostJson(refs, wall_ms);
     c["metrics"] = metrics.toJson();
+    for (const auto &[key, val] : extra_fields)
+        c[key] = obs::Json::real(val);
     cases_.push_back(std::move(c));
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hh"
@@ -70,11 +71,16 @@ class Report
      * Record a case for benches built on custom machinery.  Pass the
      * machine's refsExecuted() as @p refs when available so the
      * host.refs_per_sec gauge is meaningful; 0 records the gauge as 0.
+     * @p extra_fields become top-level numeric fields on the case, where
+     * scripts/bench_diff.py --require-metric can see them (e.g. a
+     * detection_rate the diff gate asserts on).
      */
     void addCase(const std::string &label, std::uint64_t cycles,
                  std::uint64_t instructions, std::uint64_t checksum,
                  const obs::MetricsNode &metrics, double wall_ms = 0.0,
-                 unsigned reps = 1, std::uint64_t refs = 0);
+                 unsigned reps = 1, std::uint64_t refs = 0,
+                 const std::vector<std::pair<std::string, double>>
+                     &extra_fields = {});
 
     /** Cases recorded so far. */
     std::size_t cases() const { return cases_.size(); }

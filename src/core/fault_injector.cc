@@ -21,9 +21,25 @@ faultKindName(FaultKind kind)
         return "cycle";
       case FaultKind::alloc_fail:
         return "allocfail";
+      case FaultKind::use_after_free:
+        return "uaf";
+      case FaultKind::oob:
+        return "oob";
     }
     return "?";
 }
+
+namespace
+{
+
+/** Marker kinds select buggy operations; they never corrupt memory. */
+bool
+isMarkerKind(FaultKind kind)
+{
+    return kind == FaultKind::use_after_free || kind == FaultKind::oob;
+}
+
+} // namespace
 
 const char *
 faultSiteName(FaultSite site)
@@ -35,6 +51,8 @@ faultSiteName(FaultSite site)
         return "relocate";
       case FaultSite::alloc:
         return "alloc";
+      case FaultSite::free:
+        return "free";
     }
     return "?";
 }
@@ -46,11 +64,14 @@ FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed)
 void
 FaultInjector::arm(const FaultSpec &spec)
 {
-    if (spec.kind == FaultKind::alloc_fail) {
-        // alloc_fail makes sense wherever an operation can be failed.
-    } else if (spec.site == FaultSite::alloc) {
+    if (spec.kind == FaultKind::alloc_fail || isMarkerKind(spec.kind)) {
+        // alloc_fail makes sense wherever an operation can be failed,
+        // and marker kinds fire anywhere an operation can be selected.
+    } else if (spec.site == FaultSite::alloc ||
+               spec.site == FaultSite::free) {
         throw std::invalid_argument(
-            "chain faults cannot be armed at the alloc site");
+            "chain faults cannot be armed at the " +
+            std::string(faultSiteName(spec.site)) + " site");
     }
     armed_.push_back({spec, 0, 0});
 }
@@ -90,6 +111,10 @@ FaultInjector::parse(const std::string &spec)
             fs.kind = FaultKind::cycle;
         else if (kind_s == "allocfail")
             fs.kind = FaultKind::alloc_fail;
+        else if (kind_s == "uaf")
+            fs.kind = FaultKind::use_after_free;
+        else if (kind_s == "oob")
+            fs.kind = FaultKind::oob;
         else
             throw std::invalid_argument("unknown fault kind '" + kind_s +
                                         "'");
@@ -100,6 +125,8 @@ FaultInjector::parse(const std::string &spec)
             fs.site = FaultSite::relocate;
         else if (site_s == "alloc")
             fs.site = FaultSite::alloc;
+        else if (site_s == "free")
+            fs.site = FaultSite::free;
         else
             throw std::invalid_argument("unknown fault site '" + site_s +
                                         "'");
@@ -186,12 +213,30 @@ FaultInjector::shouldFail(FaultSite site)
     return fail;
 }
 
+bool
+FaultInjector::triggers(FaultSite site, FaultKind kind)
+{
+    memfwd_assert(isMarkerKind(kind),
+                  "triggers() is only for marker fault kinds");
+    bool fire = false;
+    for (Armed &a : armed_) {
+        if (a.spec.site != site || a.spec.kind != kind)
+            continue;
+        if (due(a)) {
+            record(kind, site, 0, a.events, 0, false);
+            fire = true;
+        }
+    }
+    return fire;
+}
+
 void
 FaultInjector::corruptChain(TaggedMemory &mem, Addr chain_start,
                             FaultSite site)
 {
     for (Armed &a : armed_) {
-        if (a.spec.site != site || a.spec.kind == FaultKind::alloc_fail)
+        if (a.spec.site != site || a.spec.kind == FaultKind::alloc_fail ||
+            isMarkerKind(a.spec.kind))
             continue;
         if (!due(a))
             continue;
@@ -206,6 +251,8 @@ FaultInjector::corruptChain(TaggedMemory &mem, Addr chain_start,
             injectCycle(mem, chain_start, site);
             break;
           case FaultKind::alloc_fail:
+          case FaultKind::use_after_free:
+          case FaultKind::oob:
             break;
         }
     }
@@ -291,7 +338,7 @@ void
 FaultInjector::repair(TaggedMemory &mem)
 {
     for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
-        if (it->kind == FaultKind::alloc_fail)
+        if (it->kind == FaultKind::alloc_fail || isMarkerKind(it->kind))
             continue;
         mem.unforwardedWrite(it->addr, it->old_payload, it->old_fbit);
     }

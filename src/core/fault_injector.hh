@@ -23,7 +23,8 @@
  *   spec   := fault (';' fault)*
  *   fault  := kind '@' site [':' param (',' param)*]
  *   kind   := 'bitflip' | 'truncate' | 'cycle' | 'allocfail'
- *   site   := 'resolve' | 'relocate' | 'alloc'
+ *           | 'uaf' | 'oob'
+ *   site   := 'resolve' | 'relocate' | 'alloc' | 'free'
  *   param  := 'nth=' N | 'count=' N | 'hop=' N
  *
  * e.g. `cycle@resolve:nth=100;allocfail@alloc:nth=5,count=2`.
@@ -54,7 +55,11 @@ enum class FaultKind
                 ///< terminal (data) word, making its payload a "target"
     truncate,   ///< clear the fbit of a mid-chain member
     cycle,      ///< redirect the last forwarding word back at the start
-    alloc_fail  ///< report failure from the triggering allocation/step
+    alloc_fail, ///< report failure from the triggering allocation/step
+    use_after_free, ///< marker: the triggering free()d object will be
+                    ///< probed after death (spelled 'uaf' in specs)
+    oob         ///< marker: the triggering alloc()'s object will be
+                ///< probed past its end into an adjacent freed slot
 };
 
 /** Instrumented program point the fault is armed at. */
@@ -62,7 +67,8 @@ enum class FaultSite
 {
     resolve,  ///< ForwardingEngine::resolve of a forwarded reference
     relocate, ///< one per-word step of Relocate()
-    alloc     ///< SimAllocator::alloc
+    alloc,    ///< SimAllocator::alloc
+    free      ///< QuarantineAllocator / SimAllocator free
 };
 
 const char *faultKindName(FaultKind kind);
@@ -83,7 +89,7 @@ struct FaultRecord
 {
     FaultKind kind;
     FaultSite site;
-    Addr addr;           ///< word that was corrupted (0 for alloc_fail)
+    Addr addr;           ///< corrupted word (0 for alloc_fail/markers)
     std::uint64_t event; ///< eligible-event index that triggered it
     Word old_payload;    ///< pre-corruption payload of @p addr
     bool old_fbit;       ///< pre-corruption forwarding bit of @p addr
@@ -117,6 +123,15 @@ class FaultInjector
      * fail the operation).
      */
     bool shouldFail(FaultSite site);
+
+    /**
+     * Count one eligible event for every *marker* fault (uaf, oob) of
+     * @p kind armed at @p site; returns true if any fires.  Marker
+     * faults never corrupt memory — they deterministically select which
+     * frees/allocs of a workload become injected bugs, and the harness
+     * performs the buggy access itself.
+     */
+    bool triggers(FaultSite site, FaultKind kind);
 
     /**
      * Count one eligible event for every chain-corruption fault armed

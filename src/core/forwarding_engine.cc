@@ -217,6 +217,34 @@ ForwardingEngine::quarantinePin(Addr word) const
     return it == quarantined_.end() ? 0 : it->second;
 }
 
+void
+ForwardingEngine::temporalCheck(Addr addr, Addr final_addr, unsigned hops,
+                                AccessType type, Cycles t, SiteId site,
+                                Addr pointer_slot, std::uint32_t object_id)
+{
+    if (type == AccessType::prefetch)
+        return;
+    const MetadataPlane::Meta meta = plane_->get(wordAlign(final_addr));
+    if (!MetadataPlane::isQuarantined(meta))
+        return;
+    // The reference resolved into the quarantined remains of a freed
+    // object.  Provenance classifies it: a pointer derived from the
+    // dead object itself is a use-after-free; anything else strayed in
+    // from outside (out-of-bounds into a freed slot).
+    const bool uaf =
+        object_id != 0 && MetadataPlane::objectId(meta) == object_id;
+    if (uaf)
+        ++stats_.temporal_uaf;
+    else
+        ++stats_.temporal_oob;
+    traps_.deliver({site, addr, final_addr, hops, pointer_slot,
+                    TrapKind::TemporalViolation});
+    if (tracer_ && tracer_->active()) {
+        tracer_->emit({obs::EventKind::temporal_violation, type, t, addr,
+                       final_addr, uaf ? 1u : 0u, 0});
+    }
+}
+
 Addr
 ForwardingEngine::condemnChain(Addr word, unsigned length, Addr pin,
                                SiteId site)
@@ -264,7 +292,8 @@ ForwardingEngine::condemnCorrupt(Addr word, Addr cur, Word payload,
 
 WalkResult
 ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
-                          SiteId site, Addr pointer_slot)
+                          SiteId site, Addr pointer_slot,
+                          std::uint32_t object_id)
 {
     Addr word = wordAlign(addr);
     const unsigned offset = wordOffset(addr);
@@ -315,6 +344,9 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
             }
         }
         stats_.recordHops(0);
+        if (plane_)
+            temporalCheck(addr, cur + offset, hops, type, start, site,
+                          pointer_slot, object_id);
         return {cur + offset, 0, start, 0, false, false};
     }
 
@@ -350,6 +382,10 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
                         tracer_->emit({obs::EventKind::trap, type, t,
                                        addr, final_addr, cached_hops, 0});
                     }
+                }
+                if (plane_) {
+                    temporalCheck(addr, final_addr, cached_hops, type, t,
+                                  site, pointer_slot, object_id);
                 }
                 return {final_addr, 0, t, t - start, false, true};
             }
@@ -459,12 +495,17 @@ ForwardingEngine::resolve(Addr addr, AccessType type, Cycles start,
         }
     }
 
+    if (plane_)
+        temporalCheck(addr, final_addr, hops, type, t, site, pointer_slot,
+                      object_id);
+
     return {final_addr, hops, t, t - start, hop_missed, true};
 }
 
 WalkResult
 ForwardingEngine::resolveFunctional(Addr addr, AccessType type,
-                                    SiteId site, Addr pointer_slot)
+                                    SiteId site, Addr pointer_slot,
+                                    std::uint32_t object_id)
 {
     Addr word = wordAlign(addr);
     const unsigned offset = wordOffset(addr);
@@ -522,6 +563,9 @@ ForwardingEngine::resolveFunctional(Addr addr, AccessType type,
         // The Perf bound models pre-updated pointers: no reference is
         // ever "forwarded", no trap fires (matching the timed path).
         stats_.recordHops(0);
+        if (plane_)
+            temporalCheck(addr, cur + offset, hops, type, 0, site,
+                          pointer_slot, object_id);
         return {cur + offset, 0, 0, 0, false, false};
     }
 
@@ -532,6 +576,10 @@ ForwardingEngine::resolveFunctional(Addr addr, AccessType type,
     const Addr final_addr = cur + offset;
     if (traps_.armed() && type != AccessType::prefetch)
         traps_.deliver({site, addr, final_addr, hops, pointer_slot});
+
+    if (plane_)
+        temporalCheck(addr, final_addr, hops, type, 0, site, pointer_slot,
+                      object_id);
 
     return {final_addr, hops, 0, 0, false, true};
 }

@@ -208,6 +208,10 @@ struct ForwardingStats
     std::uint64_t ftc_misses = 0;         ///< forwarded refs the FTC missed
     std::uint64_t ftc_invalidations = 0;  ///< FTC entries dropped by mutation
     std::uint64_t chains_collapsed = 0;   ///< chain heads rewritten to final
+    std::uint64_t temporal_uaf = 0; ///< refs resolved into the quarantined
+                                    ///< remains of their own object
+    std::uint64_t temporal_oob = 0; ///< refs strayed into another object's
+                                    ///< quarantined remains
     std::vector<std::uint64_t> hop_histogram; ///< [h] = refs with h hops
 
     void
@@ -306,6 +310,9 @@ class ForwardingEngine : public FwdStateListener
      * @p start.  @p type is the reference's demand type (hop accesses
      * are issued as loads of that type's urgency).  @p site and
      * @p pointer_slot feed the user-level trap if one is armed.
+     * @p object_id is the pointer's provenance (the id of the object it
+     * was derived from, 0 = unknown) and feeds the temporal-safety
+     * check when a metadata plane is attached.
      *
      * @throws ForwardingCycleError on a genuine forwarding cycle under
      *         the abort policy (or trap policy with no handler).
@@ -313,7 +320,8 @@ class ForwardingEngine : public FwdStateListener
      *         under the abort policy.
      */
     WalkResult resolve(Addr addr, AccessType type, Cycles start,
-                       SiteId site = no_site, Addr pointer_slot = 0);
+                       SiteId site = no_site, Addr pointer_slot = 0,
+                       std::uint32_t object_id = 0);
 
     /**
      * As resolve(), but functional: the chain is walked with full
@@ -327,7 +335,8 @@ class ForwardingEngine : public FwdStateListener
      */
     WalkResult resolveFunctional(Addr addr, AccessType type,
                                  SiteId site = no_site,
-                                 Addr pointer_slot = 0);
+                                 Addr pointer_slot = 0,
+                                 std::uint32_t object_id = 0);
 
     /**
      * Relocation primitive used by the runtime: copy the word at
@@ -339,6 +348,21 @@ class ForwardingEngine : public FwdStateListener
 
     /** Attach (or clear, with nullptr) a fault injector. */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /**
+     * Attach (or clear, with nullptr) the per-word metadata plane.
+     * While attached, every forwarded resolution additionally checks
+     * the metadata of its *final* word: if the word belongs to a
+     * quarantined (freed) object, a TrapKind::TemporalViolation trap is
+     * delivered — classified use-after-free when the reference's
+     * object id matches the dead object's, out-of-bounds otherwise —
+     * and a temporal_violation trace event is emitted.  The check is
+     * free (no cycles are charged) and only runs on the forwarded path,
+     * so an unattached or clean plane never perturbs timing.
+     */
+    void setMetadataPlane(const MetadataPlane *plane) { plane_ = plane; }
+
+    const MetadataPlane *metadataPlane() const { return plane_; }
 
     /**
      * Attach (or clear, with nullptr) the machine's tracer.  The
@@ -404,6 +428,14 @@ class ForwardingEngine : public FwdStateListener
     /** Apply the policy to a corrupt forwarding word found at @p cur. */
     Addr condemnCorrupt(Addr word, Addr cur, Word payload, SiteId site);
 
+    /**
+     * Temporal-safety check at chain termination: trap if the final
+     * word belongs to a quarantined object.  Callers guard on plane_.
+     */
+    void temporalCheck(Addr addr, Addr final_addr, unsigned hops,
+                       AccessType type, Cycles t, SiteId site,
+                       Addr pointer_slot, std::uint32_t object_id);
+
     TaggedMemory &mem_;
     MemoryHierarchy &hierarchy_;
     ForwardingConfig cfg_;
@@ -411,6 +443,7 @@ class ForwardingEngine : public FwdStateListener
     TrapRegistry traps_;
     FaultInjector *faults_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
+    const MetadataPlane *plane_ = nullptr;
 
     TranslationCache ftc_;
     unsigned collapse_suspend_ = 0;

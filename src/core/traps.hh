@@ -35,6 +35,19 @@ using SiteId = std::uint32_t;
 /** Site id meaning "no site information supplied". */
 constexpr SiteId no_site = 0;
 
+/**
+ * Why a trap fired.  The paper's trap is purely a forwarding event;
+ * the temporal-safety extension reuses the same delivery machinery to
+ * report references that resolved into quarantined (freed) memory.
+ */
+enum class TrapKind : std::uint8_t
+{
+    Forwarding,        ///< reference dereferenced a forwarded location
+    TemporalViolation  ///< reference resolved into a quarantined object
+};
+
+const char *trapKindName(TrapKind kind);
+
 /** Everything a trap handler learns about one forwarded reference. */
 struct TrapInfo
 {
@@ -47,6 +60,7 @@ struct TrapInfo
      * dereferenced, or 0 if unknown.  A fixup handler may rewrite it.
      */
     Addr pointer_slot;
+    TrapKind kind = TrapKind::Forwarding; ///< why the trap fired
 };
 
 /** What the handler asks the machine to do after the trap. */

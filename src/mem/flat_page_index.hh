@@ -2,7 +2,8 @@
  * @file
  * Flat open-addressed page index.
  *
- * Maps sparse page numbers to dense arena slots for TaggedMemory.  The
+ * Maps sparse page numbers to dense arena slots for TaggedMemory and
+ * for the optional per-word MetadataPlane that mirrors its paging.  The
  * previous implementation kept pages behind
  * `std::unordered_map<Addr, std::unique_ptr<Page>>`, which costs a
  * hash-node pointer chase per simulated reference; this table keeps the

@@ -1,0 +1,93 @@
+#include "mem/metadata_plane.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace memfwd
+{
+
+MetadataPlane::MetaPage &
+MetadataPlane::page(Addr addr)
+{
+    const Addr key = addr / pageBytes;
+    FlatPageIndex::Value v = index_.find(key);
+    if (v == FlatPageIndex::no_value) {
+        v = static_cast<FlatPageIndex::Value>(pages_.size());
+        pages_.emplace_back();
+        index_.insert(key, v);
+    }
+    MetaPage &p = pages_[v];
+    last_key_ = key;
+    last_page_ = &p;
+    return p;
+}
+
+void
+MetadataPlane::set(Addr addr, Meta m)
+{
+    page(addr).meta[(addr % pageBytes) >> wordShift] = m;
+}
+
+void
+MetadataPlane::setRange(Addr addr, Addr bytes, Meta m)
+{
+    memfwd_assert(isWordAligned(addr) && isWordAligned(bytes),
+                  "metadata setRange must be word-aligned");
+    for (Addr a = addr; a < addr + bytes; a += wordBytes)
+        set(a, m);
+}
+
+void
+MetadataPlane::clearRange(Addr addr, Addr bytes)
+{
+    memfwd_assert(isWordAligned(addr) && isWordAligned(bytes),
+                  "metadata clearRange must be word-aligned");
+    // Mirror TaggedMemory::initializeRegion: pages never materialized
+    // are already all-untagged, so only touched pages need sweeping.
+    const Addr end = addr + bytes;
+    Addr a = addr;
+    while (a < end) {
+        const Addr page_start = a - (a % pageBytes);
+        const Addr page_end = page_start + pageBytes;
+        const Addr sweep_end = end < page_end ? end : page_end;
+        if (index_.find(page_start / pageBytes) != FlatPageIndex::no_value) {
+            for (Addr w = a; w < sweep_end; w += wordBytes)
+                set(w, none);
+        }
+        a = sweep_end;
+    }
+}
+
+std::uint64_t
+MetadataPlane::taggedWords() const
+{
+    std::uint64_t count = 0;
+    for (const MetaPage &p : pages_)
+        count += static_cast<std::uint64_t>(
+            std::count_if(p.meta.begin(), p.meta.end(),
+                          [](Meta m) { return m != none; }));
+    return count;
+}
+
+void
+MetadataPlane::forEachTaggedWord(
+    const std::function<void(Addr, Meta)> &fn) const
+{
+    std::vector<Addr> bases;
+    bases.reserve(index_.size());
+    index_.forEach([&](Addr key, FlatPageIndex::Value) {
+        bases.push_back(key * pageBytes);
+    });
+    std::sort(bases.begin(), bases.end());
+    for (const Addr base : bases) {
+        const MetaPage *p = pageIfPresent(base);
+        for (unsigned i = 0; i < pageWords; ++i) {
+            if (p->meta[i] != none)
+                fn(base + Addr(i) * wordBytes, p->meta[i]);
+        }
+    }
+}
+
+} // namespace memfwd

@@ -147,6 +147,18 @@ TaggedMemory::initializeRegion(Addr addr, Addr bytes)
         }
         a = sweep_end;
     }
+    // Freshly initialized memory belongs to no object: drop any stale
+    // metadata so a recycled quarantine slot can never false-positive.
+    if (meta_plane_)
+        meta_plane_->clearRange(addr, bytes);
+}
+
+MetadataPlane &
+TaggedMemory::enableMetadataPlane()
+{
+    if (!meta_plane_)
+        meta_plane_ = std::make_unique<MetadataPlane>();
+    return *meta_plane_;
 }
 
 } // namespace memfwd

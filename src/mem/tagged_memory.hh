@@ -41,10 +41,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 #include "mem/flat_page_index.hh"
+#include "mem/metadata_plane.hh"
 
 namespace memfwd
 {
@@ -183,6 +185,18 @@ class TaggedMemory
 
     FwdStateListener *fwdStateListener() const { return listener_; }
 
+    /**
+     * Materialize the optional per-word metadata plane (idempotent).
+     * Off by default; once enabled, initializeRegion additionally
+     * clears the plane over the swept range so recycled memory never
+     * inherits stale object metadata.
+     */
+    MetadataPlane &enableMetadataPlane();
+
+    /** The metadata plane, or nullptr when never enabled. */
+    MetadataPlane *metadataPlane() { return meta_plane_.get(); }
+    const MetadataPlane *metadataPlane() const { return meta_plane_.get(); }
+
     /** Number of pages currently materialized (for space accounting). */
     std::size_t pagesAllocated() const { return page_arena_.size(); }
 
@@ -237,6 +251,7 @@ class TaggedMemory
     mutable Addr last_key_ = FlatPageIndex::empty_key;
     mutable Page *last_page_ = nullptr;
     FwdStateListener *listener_ = nullptr;
+    std::unique_ptr<MetadataPlane> meta_plane_;
 };
 
 } // namespace memfwd

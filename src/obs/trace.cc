@@ -13,7 +13,7 @@ namespace
 
 constexpr const char *kind_names[] = {
     "reference", "chain_walk", "relocation", "trap", "cache_miss",
-    "rollback",  "ftc",       "plan",
+    "rollback",  "ftc",       "plan",       "temporal_violation",
 };
 
 constexpr const char *access_names[] = {"load", "store", "prefetch"};

@@ -48,7 +48,8 @@ enum class EventKind : std::uint8_t
     cache_miss, ///< demand reference missed L1
     rollback,   ///< transactional relocation rolled back
     ftc,        ///< reference served by the forwarding translation cache
-    plan        ///< relocation plan submitted to the analysis gate
+    plan,       ///< relocation plan submitted to the analysis gate
+    temporal_violation ///< reference resolved into quarantined memory
 };
 
 const char *eventKindName(EventKind kind);

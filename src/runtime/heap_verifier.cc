@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "mem/metadata_plane.hh"
 #include "mem/tagged_memory.hh"
 
 namespace memfwd
@@ -61,12 +62,20 @@ HeapVerifier::audit() const
             cur = forwards[cur];
             ++length;
         }
-        report.chains.push_back({head, length, cyclic, cur});
+        // A chain ending in a word the metadata plane tags quarantined
+        // is a live quarantine entry: deliberate state, not corruption.
+        const MetadataPlane *plane = mem_.metadataPlane();
+        const bool quarantined =
+            !cyclic && plane &&
+            MetadataPlane::isQuarantined(plane->get(cur));
+        report.chains.push_back({head, length, cyclic, cur, quarantined});
         report.total_hops += length;
         report.max_chain_length =
             std::max<std::uint64_t>(report.max_chain_length, length);
         if (cyclic)
             report.cyclic_chains.push_back(head);
+        if (quarantined)
+            report.quarantined_chains.push_back(head);
     }
 
     // Pass 3: forwarding words no head walk reached can only sit on a
@@ -91,6 +100,7 @@ AuditReport::fillMetrics(obs::MetricsNode &into) const
     into.counter("chains", chains.size());
     into.counter("max_chain_length", max_chain_length);
     into.counter("total_hops", total_hops);
+    into.counter("quarantined_chains", quarantined_chains.size());
     into.counter("cyclic_chains", cyclic_chains.size());
     into.counter("orphan_cycle_words", orphan_cycle_words.size());
     into.counter("dangling_targets", dangling_targets.size());
@@ -109,6 +119,9 @@ AuditReport::dump(std::ostream &os) const
     os << "heap audit: " << pages_scanned << " pages, " << fbits_set
        << " forwarding words, " << chains.size() << " chains (max length "
        << max_chain_length << ", " << total_hops << " total hops)\n";
+    if (!quarantined_chains.empty())
+        os << "  " << quarantined_chains.size()
+           << " chains end in quarantined storage (expected state)\n";
 
     auto list = [&os](const char *label, const std::vector<Addr> &addrs) {
         for (const Addr a : addrs)

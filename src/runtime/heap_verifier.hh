@@ -48,6 +48,7 @@ struct AuditChain
     unsigned length;   ///< forwarding hops walked before stopping
     bool cyclic;       ///< true if an address repeated along the walk
     Addr final_addr;   ///< terminal word (or the repeated word if cyclic)
+    bool quarantined = false; ///< terminal word is tagged quarantined
 };
 
 /** Everything one audit learned. */
@@ -61,11 +62,17 @@ struct AuditReport
     std::uint64_t max_chain_length = 0;
     std::uint64_t total_hops = 0;        ///< sum of chain lengths
 
+    std::vector<Addr> quarantined_chains; ///< heads ending in quarantine
     std::vector<Addr> cyclic_chains;      ///< heads of cyclic chains
     std::vector<Addr> orphan_cycle_words; ///< forwarded words off any head
     std::vector<Addr> dangling_targets;   ///< fwd words -> unmapped pages
     std::vector<Addr> misaligned_targets; ///< fbit set, payload unaligned
     std::vector<Addr> null_targets;       ///< fbit set, payload == 0
+
+    // Quarantined chains are *expected* state — a quarantining
+    // allocator's free() leaves exactly such a chain behind on purpose
+    // — so they are reported separately and never counted as
+    // inconsistencies.
 
     /** Total forwarding-state violations found. */
     std::uint64_t

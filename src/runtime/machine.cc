@@ -5,10 +5,23 @@
 #include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
+#include "runtime/quarantine_allocator.hh"
 #include "runtime/ref_stream.hh"
 
 namespace memfwd
 {
+
+const char *
+quarantinePolicyName(QuarantinePolicy policy)
+{
+    switch (policy) {
+      case QuarantinePolicy::watermark:
+        return "watermark";
+      case QuarantinePolicy::on_full:
+        return "on_full";
+    }
+    return "?";
+}
 
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg)
@@ -18,6 +31,8 @@ Machine::Machine(const MachineConfig &cfg)
     fwd_ = std::make_unique<ForwardingEngine>(mem_, *hierarchy_,
                                               cfg_.forwarding);
     fwd_->setTracer(&tracer_);
+    if (cfg_.metadata_plane)
+        fwd_->setMetadataPlane(&mem_.enableMetadataPlane());
     prefetcher_ = std::make_unique<Prefetcher>(*hierarchy_);
     tlb_ = std::make_unique<Tlb>(cfg_.tlb);
 
@@ -80,7 +95,7 @@ Machine::accessImpl(const Access &a)
         const MemIssue mi = cpu_->issueMem(a.addr_ready, true);
         const WalkResult w = fwd_->resolve(a.addr, AccessType::load,
                                            mi.issue, a.site,
-                                           a.pointer_slot);
+                                           a.pointer_slot, a.object_id);
         const Cycles translated = translate(w.final_addr, w.ready);
         const HierarchyResult r =
             hierarchy_->access(w.final_addr, AccessType::load, translated);
@@ -114,7 +129,7 @@ Machine::accessImpl(const Access &a)
         const MemIssue mi = cpu_->issueMem(a.addr_ready, false);
         const WalkResult w = fwd_->resolve(a.addr, AccessType::store,
                                            mi.issue, a.site,
-                                           a.pointer_slot);
+                                           a.pointer_slot, a.object_id);
         const Cycles translated = translate(w.final_addr, w.ready);
         const HierarchyResult r =
             hierarchy_->access(w.final_addr, AccessType::store, translated);
@@ -218,7 +233,7 @@ Machine::accessFunctional(const Access &a, std::uint64_t &alu_acc)
       case RefKind::load: {
         const std::uint64_t traps_before = fwd_->traps().delivered();
         const WalkResult w = fwd_->resolveFunctional(
-            a.addr, AccessType::load, a.site, a.pointer_slot);
+            a.addr, AccessType::load, a.site, a.pointer_slot, a.object_id);
         const std::uint64_t value = mem_.readBytes(w.final_addr, a.size);
         ++loads_;
         if (w.forwarded)
@@ -231,7 +246,7 @@ Machine::accessFunctional(const Access &a, std::uint64_t &alu_acc)
       case RefKind::store: {
         const std::uint64_t traps_before = fwd_->traps().delivered();
         const WalkResult w = fwd_->resolveFunctional(
-            a.addr, AccessType::store, a.site, a.pointer_slot);
+            a.addr, AccessType::store, a.site, a.pointer_slot, a.object_id);
         mem_.writeBytes(w.final_addr, a.size, a.value);
         ++stores_;
         if (w.forwarded)
@@ -351,55 +366,6 @@ Machine::run(RefStream &stream)
     }
 }
 
-LoadResult
-Machine::load(Addr addr, unsigned size, Cycles addr_ready, SiteId site,
-              Addr pointer_slot)
-{
-    const AccessResult r =
-        access(Access::load(addr, size, addr_ready, site, pointer_slot));
-    return {r.value, r.ready, r.hops, r.final_addr};
-}
-
-StoreResult
-Machine::store(Addr addr, unsigned size, std::uint64_t value,
-               Cycles addr_ready, SiteId site, Addr pointer_slot)
-{
-    const AccessResult r = access(
-        Access::store(addr, size, value, addr_ready, site, pointer_slot));
-    return {r.ready, r.hops, r.final_addr};
-}
-
-bool
-Machine::readFBit(Addr addr, Cycles addr_ready)
-{
-    return access(Access::readFBit(addr, addr_ready)).value != 0;
-}
-
-std::uint64_t
-Machine::unforwardedRead(Addr addr, Cycles addr_ready)
-{
-    return access(Access::unforwardedRead(addr, addr_ready)).value;
-}
-
-void
-Machine::unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
-                          Cycles addr_ready)
-{
-    access(Access::unforwardedWrite(addr, value, fbit, addr_ready));
-}
-
-void
-Machine::prefetch(Addr addr, unsigned lines, Cycles addr_ready)
-{
-    access(Access::prefetch(addr, lines, addr_ready));
-}
-
-void
-Machine::compute(std::uint64_t n)
-{
-    access(Access::compute(n));
-}
-
 std::uint64_t
 Machine::peek(Addr addr, unsigned size) const
 {
@@ -456,6 +422,23 @@ Machine::metrics() const
 
     if (gate_)
         gate_->fillMetrics(root.child("analysis"));
+
+    if (cfg_.metadata_plane || quarantine_) {
+        // Temporal-safety family: violation classification comes from
+        // the engine's check; arena accounting from the allocator (all
+        // zero when only the plane is enabled).
+        auto &q = root.child("quarantine");
+        q.counter("violations_uaf", fwd_->stats().temporal_uaf);
+        q.counter("violations_oob", fwd_->stats().temporal_oob);
+        if (quarantine_)
+            quarantine_->fillMetrics(q);
+        else {
+            q.counter("live_bytes", 0);
+            q.counter("quarantined_frees", 0);
+            q.counter("reclaims", 0);
+            q.counter("degraded_frees", 0);
+        }
+    }
 
     return root;
 }

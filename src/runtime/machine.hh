@@ -43,6 +43,44 @@ namespace memfwd
 
 class AnalysisGate;
 class FaultInjector;
+class QuarantineAllocator;
+
+/** How the quarantining allocator bounds its arena (docs/API.md). */
+enum class QuarantinePolicy
+{
+    /**
+     * Reclaim the oldest entries ahead of need whenever live quarantine
+     * bytes cross `watermark * capacity_bytes` (the default).
+     */
+    watermark,
+    /**
+     * Reclaim only when an insertion actually fails: quarantine fills
+     * to capacity, then each free pays the retry/backoff path.
+     */
+    on_full
+};
+
+const char *quarantinePolicyName(QuarantinePolicy policy);
+
+/** Bounds and policy of the quarantine arena (runtime/quarantine_allocator). */
+struct QuarantineConfig
+{
+    bool enabled = false;
+
+    /** Ceiling on bytes held in quarantine at once. */
+    Addr capacity_bytes = 1ULL << 20;
+
+    /** Fraction of capacity the watermark policy reclaims down to. */
+    double watermark = 0.75;
+
+    /** Reclaim-and-retry attempts before a free degrades to plain. */
+    unsigned max_retries = 3;
+
+    /** Base of the exponential compute backoff charged per retry. */
+    Cycles retry_backoff_base = 64;
+
+    QuarantinePolicy policy = QuarantinePolicy::watermark;
+};
 
 /**
  * Whole-machine configuration.
@@ -69,6 +107,18 @@ struct MachineConfig
 
     /** Size of the simulated heap region. */
     Addr heap_span = 1ULL << 32;
+
+    /**
+     * Materialize the per-word metadata plane (mem/metadata_plane.hh)
+     * and attach it to the forwarding engine's temporal-safety check.
+     * Off by default: a plane-off machine constructs no plane and the
+     * engine's forwarded path tests one null pointer, so timing and
+     * heap state are bit-identical to builds predating the plane.
+     */
+    bool metadata_plane = false;
+
+    /** Quarantine arena bounds/policy; implies the metadata plane. */
+    QuarantineConfig quarantine_cfg{};
 
     /**
      * Workload regions executed in functional fast-forward mode:
@@ -195,6 +245,26 @@ struct MachineConfig
         fast_forward_regions.push_back(std::move(region));
         return *this;
     }
+
+    /** Enable/disable the per-word metadata plane. */
+    MachineConfig &
+    metadataPlane(bool on = true)
+    {
+        metadata_plane = on;
+        return *this;
+    }
+
+    /** Configure the quarantine arena; implies metadataPlane(true). */
+    MachineConfig &
+    quarantine(Addr capacity,
+               QuarantinePolicy policy = QuarantinePolicy::watermark)
+    {
+        metadata_plane = true;
+        quarantine_cfg.enabled = true;
+        quarantine_cfg.capacity_bytes = capacity;
+        quarantine_cfg.policy = policy;
+        return *this;
+    }
 };
 
 // ---------------------------------------------------------------------
@@ -231,10 +301,27 @@ struct Access
     Addr pointer_slot = 0;
     /** Static reference site for user-level traps. */
     SiteId site = no_site;
+    /**
+     * Provenance of the pointer being dereferenced: the id of the
+     * object it was derived from (QuarantineAllocator::objectId), or 0
+     * when unknown.  Feeds the temporal-safety classification when a
+     * metadata plane is enabled — a reference resolving into
+     * quarantined memory is a use-after-free if the ids match, an
+     * out-of-bounds stray otherwise.  Ignored plane-off.
+     */
+    std::uint32_t object_id = 0;
     RefKind kind = RefKind::load;
     std::uint8_t size = wordBytes;
     /** Forwarding bit written by an unforwarded_write. */
     bool fbit = false;
+
+    /** Chainable provenance tag: access(Access::load(...).objectId(id)). */
+    Access &
+    objectId(std::uint32_t id)
+    {
+        object_id = id;
+        return *this;
+    }
 
     static Access
     load(Addr addr, unsigned size, Cycles addr_ready = 0,
@@ -322,8 +409,8 @@ struct Access
 
 /**
  * Result of one reference through the unified entry point.  The leading
- * four fields deliberately mirror the legacy LoadResult so positional
- * initialization carries over.
+ * four fields mirror the (since removed) legacy LoadResult so
+ * positional initialization carried over.
  */
 struct AccessResult
 {
@@ -338,23 +425,6 @@ struct AccessResult
     Addr final_addr = 0;
     /** True if a user-level trap was delivered for this reference. */
     bool trapped = false;
-};
-
-/** Result of a timed load. */
-struct LoadResult
-{
-    std::uint64_t value; ///< bytes read (zero-extended)
-    Cycles ready;        ///< cycle the value is available
-    unsigned hops;       ///< forwarding hops this reference took
-    Addr final_addr;     ///< address the data was actually found at
-};
-
-/** Result of a timed store. */
-struct StoreResult
-{
-    Cycles done;     ///< completion cycle
-    unsigned hops;   ///< forwarding hops
-    Addr final_addr; ///< address the data actually landed at
 };
 
 class AccessBatch;
@@ -375,8 +445,7 @@ class Machine
 
     /**
      * Execute one reference of any kind (runtime/ref_stream.hh has the
-     * batched form).  This is the single timed entry point; the legacy
-     * per-kind methods below are thin wrappers over it.
+     * batched form).  This is the single timed entry point.
      */
     AccessResult access(const Access &a);
 
@@ -407,66 +476,11 @@ class Machine
     /** True while references are being fast-forwarded. */
     bool fastForwardActive() const { return ff_active_; }
 
-    // ----- legacy per-kind entry points (deprecated) -------------------
-    //
-    // Thin wrappers over access(), kept for one release for
-    // out-of-tree callers; every in-repo call site uses access() or
-    // the batched API (docs/API.md has the migration table).
-
-    /**
-     * Timed load of @p size bytes at @p addr.  @p addr_ready is the
-     * cycle the address operand becomes available (loads feeding
-     * loads); @p site and @p pointer_slot feed user-level traps.
-     * @deprecated Use access(Access::load(...)).
-     */
-    [[deprecated("use access(Access::load(...))")]]
-    LoadResult load(Addr addr, unsigned size, Cycles addr_ready = 0,
-                    SiteId site = no_site, Addr pointer_slot = 0);
-
-    /**
-     * Timed store of @p size bytes; mirrors load().
-     * @deprecated Use access(Access::store(...)).
-     */
-    [[deprecated("use access(Access::store(...))")]]
-    StoreResult store(Addr addr, unsigned size, std::uint64_t value,
-                      Cycles addr_ready = 0, SiteId site = no_site,
-                      Addr pointer_slot = 0);
-
-    /**
-     * Read_FBit: forwarding bit of the word containing @p addr.
-     * @deprecated Use access(Access::readFBit(...)).value != 0.
-     */
-    [[deprecated("use access(Access::readFBit(...))")]]
-    bool readFBit(Addr addr, Cycles addr_ready = 0);
-
-    /**
-     * Unforwarded_Read: raw word payload, forwarding disabled.
-     * @deprecated Use access(Access::unforwardedRead(...)).value.
-     */
-    [[deprecated("use access(Access::unforwardedRead(...))")]]
-    std::uint64_t unforwardedRead(Addr addr, Cycles addr_ready = 0);
-
-    /**
-     * Unforwarded_Write: atomic word + forwarding-bit write.
-     * @deprecated Use access(Access::unforwardedWrite(...)).
-     */
-    [[deprecated("use access(Access::unforwardedWrite(...))")]]
-    void unforwardedWrite(Addr addr, std::uint64_t value, bool fbit,
-                          Cycles addr_ready = 0);
-
-    /**
-     * Block prefetch of @p lines consecutive lines (non-binding).
-     * @deprecated Use access(Access::prefetch(...)).
-     */
-    [[deprecated("use access(Access::prefetch(...))")]]
-    void prefetch(Addr addr, unsigned lines, Cycles addr_ready = 0);
-
-    /**
-     * Execute @p n single-cycle ALU instructions.
-     * @deprecated Use access(Access::compute(n)).
-     */
-    [[deprecated("use access(Access::compute(n))")]]
-    void compute(std::uint64_t n);
+    // The seven legacy per-kind entry points (load/store/readFBit/
+    // unforwardedRead/unforwardedWrite/prefetch/compute) were removed
+    // after their deprecation release; access() with the Access named
+    // constructors is the one entry point.  Out-of-tree callers migrate
+    // mechanically with scripts/migrate_access_api.py (docs/API.md).
 
     // ----- untimed (debug/test) access ---------------------------------
 
@@ -526,6 +540,18 @@ class Machine
     void setAnalysisGate(AnalysisGate *gate);
 
     AnalysisGate *analysisGate() const { return gate_; }
+
+    /**
+     * Attach (or clear, with nullptr) the quarantining allocator so
+     * metrics() can export its counters under the "quarantine" node.
+     * QuarantineAllocator registers itself on construction.  Not owned.
+     */
+    void setQuarantineAllocator(QuarantineAllocator *quarantine)
+    {
+        quarantine_ = quarantine;
+    }
+
+    QuarantineAllocator *quarantineAllocator() const { return quarantine_; }
 
     // ----- reference-level forwarding stats (Figure 10(c)) -------------
 
@@ -592,6 +618,7 @@ class Machine
     std::unique_ptr<Tlb> tlb_;
     FaultInjector *faults_ = nullptr;
     AnalysisGate *gate_ = nullptr;
+    QuarantineAllocator *quarantine_ = nullptr;
 
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "core/fault_injector.hh"
 #include "mem/tagged_memory.hh"
@@ -212,6 +213,121 @@ TEST(FaultInjector, CorruptChainAppliesArmedFaultAtSite)
     EXPECT_EQ(inj.log().back().kind, FaultKind::cycle);
     EXPECT_EQ(inj.log().back().site, FaultSite::resolve);
     EXPECT_EQ(mem.rawReadWord(0x2000), 0x1000u);
+}
+
+TEST(FaultSpecParse, MarkerKindsAndFreeSite)
+{
+    const auto specs =
+        FaultInjector::parse("uaf@free:nth=3,count=0;oob@alloc:nth=5");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].kind, FaultKind::use_after_free);
+    EXPECT_EQ(specs[0].site, FaultSite::free);
+    EXPECT_EQ(specs[0].nth, 3u);
+    EXPECT_EQ(specs[0].count, 0u);
+    EXPECT_EQ(specs[1].kind, FaultKind::oob);
+    EXPECT_EQ(specs[1].site, FaultSite::alloc);
+}
+
+TEST(FaultSpecParse, EmptySegmentsAreSkipped)
+{
+    EXPECT_TRUE(FaultInjector::parse("").empty());
+    EXPECT_TRUE(FaultInjector::parse(";;").empty());
+    const auto specs = FaultInjector::parse(";bitflip@resolve;");
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].kind, FaultKind::bit_flip);
+}
+
+TEST(FaultSpecParse, ErrorMessagesNameTheOffendingToken)
+{
+    const auto message = [](const std::string &spec) {
+        try {
+            FaultInjector::parse(spec);
+        } catch (const std::invalid_argument &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+    EXPECT_NE(message("bitflip@nowhere").find("unknown fault site "
+                                             "'nowhere'"),
+              std::string::npos);
+    EXPECT_NE(message("gamma@resolve").find("unknown fault kind 'gamma'"),
+              std::string::npos);
+    EXPECT_NE(message("bitflip").find("missing '@site'"),
+              std::string::npos);
+    EXPECT_NE(message("bitflip@resolve:nth=0").find("nth must be >= 1"),
+              std::string::npos);
+    EXPECT_NE(message("bitflip@resolve:nth").find("not key=value"),
+              std::string::npos);
+}
+
+TEST(FaultSpecParse, ParamAccumulationAcrossKeys)
+{
+    // All three params on one spec, in any order, values in hex or dec.
+    const auto specs =
+        FaultInjector::parse("truncate@relocate:count=4,hop=0x2,nth=7");
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].nth, 7u);
+    EXPECT_EQ(specs[0].count, 4u);
+    EXPECT_EQ(specs[0].hop, 2u);
+}
+
+TEST(FaultInjector, ChainKindsRejectedAtFreeSite)
+{
+    FaultInjector inj;
+    try {
+        inj.armSpec("cycle@free");
+        FAIL() << "cycle@free must be rejected";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "chain faults cannot be armed at the free site"),
+                  std::string::npos);
+    }
+    // Marker kinds are selection events, valid anywhere.
+    EXPECT_NO_THROW(inj.armSpec("uaf@free"));
+    EXPECT_NO_THROW(inj.armSpec("oob@alloc"));
+}
+
+TEST(FaultInjector, TriggersHonoursNthAndCount)
+{
+    FaultInjector inj;
+    inj.armSpec("uaf@free:nth=2,count=2");
+    EXPECT_FALSE(inj.triggers(FaultSite::free, FaultKind::use_after_free));
+    EXPECT_TRUE(inj.triggers(FaultSite::free, FaultKind::use_after_free));
+    EXPECT_TRUE(inj.triggers(FaultSite::free, FaultKind::use_after_free));
+    EXPECT_FALSE(inj.triggers(FaultSite::free, FaultKind::use_after_free));
+    EXPECT_EQ(inj.fired(), 2u);
+    EXPECT_EQ(inj.log().back().kind, FaultKind::use_after_free);
+    EXPECT_EQ(inj.log().back().site, FaultSite::free);
+}
+
+TEST(FaultInjector, TriggersZeroCountSelectsEveryEvent)
+{
+    FaultInjector inj;
+    inj.armSpec("oob@alloc:count=0");
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(inj.triggers(FaultSite::alloc, FaultKind::oob));
+    // Wrong site or wrong kind never matches.
+    EXPECT_FALSE(inj.triggers(FaultSite::free, FaultKind::oob));
+    EXPECT_FALSE(
+        inj.triggers(FaultSite::alloc, FaultKind::use_after_free));
+}
+
+TEST(FaultInjector, MarkersNeverCorruptMemory)
+{
+    TaggedMemory mem;
+    buildChain(mem, 3);
+    FaultInjector inj;
+    inj.armSpec("uaf@free:count=0;oob@alloc:count=0");
+    // corruptChain must ignore marker kinds entirely: no firings, no
+    // heap mutation.
+    inj.corruptChain(mem, 0x1000, FaultSite::resolve);
+    EXPECT_EQ(inj.fired(), 0u);
+    EXPECT_EQ(mem.rawReadWord(0x1000), 0x2000u);
+    EXPECT_TRUE(mem.fbit(0x1000));
+    // repair() after marker firings is a no-op, not a crash.
+    EXPECT_TRUE(inj.triggers(FaultSite::alloc, FaultKind::oob));
+    inj.repair(mem);
+    EXPECT_EQ(mem.rawReadWord(0x3000), 0x4000u);
 }
 
 } // namespace

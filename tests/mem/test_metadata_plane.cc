@@ -1,0 +1,145 @@
+/** @file Unit tests for the per-word metadata plane. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/metadata_plane.hh"
+#include "mem/tagged_memory.hh"
+
+namespace memfwd
+{
+namespace
+{
+
+TEST(MetadataPlanePacking, RoundTripsFields)
+{
+    const MetadataPlane::Meta m =
+        MetadataPlane::pack(/*object_id=*/0x1234, /*bounds_class=*/5,
+                            /*quarantined=*/true);
+    EXPECT_EQ(MetadataPlane::objectId(m), 0x1234u);
+    EXPECT_EQ(MetadataPlane::boundsClass(m), 5u);
+    EXPECT_TRUE(MetadataPlane::isQuarantined(m));
+
+    const MetadataPlane::Meta live =
+        MetadataPlane::pack(MetadataPlane::max_object_id, 0xff, false);
+    EXPECT_EQ(MetadataPlane::objectId(live), MetadataPlane::max_object_id);
+    EXPECT_EQ(MetadataPlane::boundsClass(live), 0xffu);
+    EXPECT_FALSE(MetadataPlane::isQuarantined(live));
+}
+
+TEST(MetadataPlanePacking, BoundsClassIsCeilLog2)
+{
+    EXPECT_EQ(MetadataPlane::boundsClassFor(1), 0u);
+    EXPECT_EQ(MetadataPlane::boundsClassFor(2), 1u);
+    EXPECT_EQ(MetadataPlane::boundsClassFor(8), 3u);
+    EXPECT_EQ(MetadataPlane::boundsClassFor(9), 4u);
+    EXPECT_EQ(MetadataPlane::boundsClassFor(4096), 12u);
+    EXPECT_EQ(MetadataPlane::boundsClassFor(4097), 13u);
+}
+
+TEST(MetadataPlane, UnsetWordsReadNone)
+{
+    MetadataPlane plane;
+    EXPECT_EQ(plane.get(0x1000), MetadataPlane::none);
+    EXPECT_EQ(plane.pagesAllocated(), 0u);
+    // Reads never materialize pages.
+    EXPECT_EQ(plane.get(0xdead000), MetadataPlane::none);
+    EXPECT_EQ(plane.pagesAllocated(), 0u);
+}
+
+TEST(MetadataPlane, SetGetAcrossPages)
+{
+    MetadataPlane plane;
+    const MetadataPlane::Meta m = MetadataPlane::pack(7, 3, true);
+    plane.set(0x1000, m);
+    plane.set(0x42000 + 8 * wordBytes, m);
+    EXPECT_EQ(plane.get(0x1000), m);
+    EXPECT_EQ(plane.get(0x42000 + 8 * wordBytes), m);
+    EXPECT_EQ(plane.get(0x1008), MetadataPlane::none);
+    EXPECT_EQ(plane.pagesAllocated(), 2u);
+    EXPECT_EQ(plane.taggedWords(), 2u);
+}
+
+TEST(MetadataPlane, LastPageCacheSurvivesInterleavedPages)
+{
+    MetadataPlane plane;
+    const MetadataPlane::Meta a = MetadataPlane::pack(1, 0, true);
+    const MetadataPlane::Meta b = MetadataPlane::pack(2, 0, true);
+    plane.set(0x1000, a);
+    plane.set(0x9000, b);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(plane.get(0x1000), a);
+        EXPECT_EQ(plane.get(0x9000), b);
+        EXPECT_EQ(plane.get(0x5000), MetadataPlane::none);
+    }
+}
+
+TEST(MetadataPlane, SetRangeCoversWholeObjectAndClearRangeUndoes)
+{
+    MetadataPlane plane;
+    const MetadataPlane::Meta m = MetadataPlane::pack(9, 6, true);
+    const Addr base = 0x2000 - 2 * wordBytes; // straddles a page edge
+    plane.setRange(base, 8 * wordBytes, m);
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(plane.get(base + w * wordBytes), m);
+    EXPECT_EQ(plane.get(base - wordBytes), MetadataPlane::none);
+    EXPECT_EQ(plane.get(base + 8 * wordBytes), MetadataPlane::none);
+    EXPECT_EQ(plane.taggedWords(), 8u);
+
+    plane.clearRange(base, 8 * wordBytes);
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(plane.get(base + w * wordBytes), MetadataPlane::none);
+    EXPECT_EQ(plane.taggedWords(), 0u);
+}
+
+TEST(MetadataPlane, ClearRangeSkipsUnmaterializedPages)
+{
+    MetadataPlane plane;
+    plane.clearRange(0x100000, 16 * MetadataPlane::pageBytes);
+    EXPECT_EQ(plane.pagesAllocated(), 0u);
+}
+
+TEST(MetadataPlane, ForEachTaggedWordWalksAscending)
+{
+    MetadataPlane plane;
+    const MetadataPlane::Meta m = MetadataPlane::pack(3, 2, true);
+    plane.set(0x9000, m);
+    plane.set(0x1000, m);
+    plane.set(0x1008, m);
+    std::vector<Addr> seen;
+    plane.forEachTaggedWord([&](Addr word, MetadataPlane::Meta meta) {
+        seen.push_back(word);
+        EXPECT_EQ(meta, m);
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 0x1000u);
+    EXPECT_EQ(seen[1], 0x1008u);
+    EXPECT_EQ(seen[2], 0x9000u);
+}
+
+TEST(TaggedMemoryPlane, EnableIsIdempotentAndOffByDefault)
+{
+    TaggedMemory mem;
+    EXPECT_EQ(mem.metadataPlane(), nullptr);
+    MetadataPlane &p1 = mem.enableMetadataPlane();
+    MetadataPlane &p2 = mem.enableMetadataPlane();
+    EXPECT_EQ(&p1, &p2);
+    EXPECT_EQ(mem.metadataPlane(), &p1);
+}
+
+TEST(TaggedMemoryPlane, InitializeRegionClearsStaleMetadata)
+{
+    // A recycled quarantine slot must never inherit the dead object's
+    // tag: initializeRegion (the allocator's fresh-memory sweep) clears
+    // the plane over the region.
+    TaggedMemory mem;
+    MetadataPlane &plane = mem.enableMetadataPlane();
+    plane.setRange(0x3000, 4 * wordBytes, MetadataPlane::pack(5, 5, true));
+    mem.initializeRegion(0x3000, 4 * wordBytes);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(plane.get(0x3000 + w * wordBytes), MetadataPlane::none);
+}
+
+} // namespace
+} // namespace memfwd

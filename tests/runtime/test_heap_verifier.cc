@@ -8,6 +8,7 @@
 #include "core/fault_injector.hh"
 #include "runtime/compacting_heap.hh"
 #include "runtime/heap_verifier.hh"
+#include "runtime/quarantine_allocator.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
@@ -221,6 +222,65 @@ TEST(AuditReport, StatsAndDump)
     std::ostringstream os;
     r.dump(os);
     EXPECT_NE(os.str().find("orphan"), std::string::npos);
+}
+
+TEST(HeapVerifier, QuarantinedChainsAreExpectedStateNotCorruption)
+{
+    MachineConfig cfg;
+    cfg.quarantine(1ULL << 20);
+    Machine machine(cfg);
+    SimAllocator alloc(machine, /*seed=*/7);
+    QuarantineAllocator qa(machine, alloc);
+
+    constexpr unsigned obj_words = 4;
+    const Addr live = alloc.alloc(obj_words * wordBytes);
+    machine.poke(live, 8, 42);
+    const Addr dead = qa.alloc(obj_words * wordBytes);
+    for (unsigned w = 0; w < obj_words; ++w)
+        machine.poke(dead + w * wordBytes, 8, 0x100 + w);
+    qa.free(dead);
+    ASSERT_TRUE(qa.isQuarantined(dead));
+
+    const AuditReport r = HeapVerifier(machine.mem()).audit();
+    // A quarantined chain per freed word, flagged as such, counted as
+    // expected state — never as leak or corruption.
+    EXPECT_TRUE(r.clean()) << "violations: " << r.inconsistencies();
+    EXPECT_EQ(r.quarantined_chains.size(), obj_words);
+    unsigned flagged = 0;
+    for (const AuditChain &c : r.chains) {
+        if (c.quarantined) {
+            ++flagged;
+            EXPECT_GE(c.head, dead);
+            EXPECT_LT(c.head, dead + obj_words * wordBytes);
+        }
+    }
+    EXPECT_EQ(flagged, obj_words);
+
+    StatsRegistry reg;
+    r.metrics().flatten(reg, "audit.");
+    EXPECT_EQ(reg.get("audit.quarantined_chains"), obj_words);
+    EXPECT_EQ(reg.get("audit.inconsistencies"), 0u);
+
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("quarantined"), std::string::npos);
+
+    // Reclaiming drains the classification with the metadata.
+    qa.reclaimAll();
+    const AuditReport after = HeapVerifier(machine.mem()).audit();
+    EXPECT_TRUE(after.quarantined_chains.empty());
+    EXPECT_TRUE(after.clean());
+}
+
+TEST(HeapVerifier, PlaneOffChainsNeverClassifiedQuarantined)
+{
+    TaggedMemory mem;
+    mem.unforwardedWrite(0x1000, 0x2000, true);
+    mem.rawWriteWord(0x2000, 7);
+    const AuditReport r = HeapVerifier(mem).audit();
+    EXPECT_TRUE(r.quarantined_chains.empty());
+    ASSERT_EQ(r.chains.size(), 1u);
+    EXPECT_FALSE(r.chains[0].quarantined);
 }
 
 } // namespace

@@ -84,6 +84,16 @@ usage(std::FILE *out, const char *argv0)
         "                     hop threshold, on = 2)\n"
         "  --cycle-policy P   abort | trap | quarantine (default abort)\n"
         "\n"
+        "temporal safety:\n"
+        "  --metadata-plane[=on|off]\n"
+        "                     per-word object-id/bounds metadata plane\n"
+        "                     (default off; enables temporal-violation\n"
+        "                     classification on trap delivery)\n"
+        "  --quarantine[=N]   quarantine freed objects by relocating them\n"
+        "                     into a bounded arena of N bytes (bare flag =\n"
+        "                     1048576; 'off' disables); implies\n"
+        "                     --metadata-plane\n"
+        "\n"
         "execution engine:\n"
         "  --fast-forward[=REGION]\n"
         "                     run REGION ('build', 'opt', 'kernel', or\n"
@@ -97,8 +107,8 @@ usage(std::FILE *out, const char *argv0)
         "                     relocation-plan analyzer (docs/ANALYSIS.md)\n"
         "  --faults SPEC      arm fault injection; SPEC is a ';'-separated\n"
         "                     list of kind@site[:k=v,...] with kinds\n"
-        "                     bitflip|truncate|cycle|allocfail, sites\n"
-        "                     resolve|relocate|alloc, params\n"
+        "                     bitflip|truncate|cycle|allocfail|uaf|oob,\n"
+        "                     sites resolve|relocate|alloc|free, params\n"
         "                     nth=/count=/hop=\n"
         "                     (e.g. 'cycle@resolve:nth=100')\n"
         "  --fault-seed N     fault injector RNG seed\n"
@@ -308,6 +318,22 @@ main(int argc, char **argv)
                 usageError(argv[0], "unknown cycle policy '" + policy +
                                         "' (abort | trap | quarantine)");
             }
+        } else if (name == "--metadata-plane") {
+            cfg.machine.metadataPlane(onOff());
+        } else if (name == "--quarantine") {
+            Addr capacity = QuarantineConfig{}.capacity_bytes;
+            if (has_inline) {
+                if (inline_val == "off") {
+                    cfg.machine.quarantine_cfg.enabled = false;
+                    continue;
+                }
+                capacity = std::strtoull(inline_val.c_str(), nullptr, 0);
+                if (capacity == 0)
+                    usageError(argv[0], "bad --quarantine value '" +
+                                            inline_val +
+                                            "' (off | capacity in bytes)");
+            }
+            cfg.machine.quarantine(capacity);
         } else if (name == "--audit") {
             run_audit = onOff();
         } else if (name == "--analyze") {
@@ -399,6 +425,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     machine.storesForwarded()),
                 static_cast<unsigned long long>(machine.stores()));
+    if (cfg.machine.metadata_plane) {
+        const auto &fs = machine.forwarding().stats();
+        std::printf("temporal       %llu uaf, %llu oob violations\n",
+                    static_cast<unsigned long long>(fs.temporal_uaf),
+                    static_cast<unsigned long long>(fs.temporal_oob));
+    }
     std::printf("checksum       %llu\n",
                 static_cast<unsigned long long>(workload->checksum()));
     std::printf("space overhead %llu bytes\n",
