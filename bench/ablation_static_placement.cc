@@ -25,6 +25,7 @@
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
@@ -55,13 +56,18 @@ struct PhaseCosts
 };
 
 PhaseCosts
-run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
+run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn,
+    BackendKind kind = BackendKind::forwarding)
 {
     MachineConfig mc;
     mc.hierarchy.setLineBytes(64);
+    mc.backend(kind);
     Machine m(mc);
     SimAllocator alloc(m, 7);
     RelocationPool pool(alloc, 256 << 20);
+    std::unique_ptr<LayoutBackend> backend;
+    if (mode == Mode::relocation)
+        backend = makeLayoutBackend(m, alloc);
 
     const Placement init_place = mode == Mode::static_placement
                                      ? Placement::sequential
@@ -131,7 +137,8 @@ run(Mode mode, unsigned n_nodes, unsigned phases, unsigned churn)
             }
             ++op_counter;
             if (mode == Mode::relocation && op_counter >= 50) {
-                listLinearize(m, head, {node_bytes, off_next, 0}, pool);
+                listLinearize(*backend, head, {node_bytes, off_next, 0},
+                              pool);
                 op_counter = 0;
             }
         }
@@ -158,20 +165,27 @@ main()
     const PhaseCosts scattered = run(Mode::scattered, n, phases, churn);
     const PhaseCosts fixed = run(Mode::static_placement, n, phases, churn);
     const PhaseCosts reloc = run(Mode::relocation, n, phases, churn);
+    // Backend axis: the same relocation-mode code run on a backend
+    // that refuses to relocate — the pass becomes a no-op and the
+    // "relocation" curve collapses onto the scattered baseline.
+    const PhaseCosts refused =
+        run(Mode::relocation, n, phases, churn, BackendKind::none);
 
     if (scattered.checksum != fixed.checksum ||
-        fixed.checksum != reloc.checksum) {
+        fixed.checksum != reloc.checksum ||
+        reloc.checksum != refused.checksum) {
         std::printf("CHECKSUM MISMATCH\n");
         return 1;
     }
 
-    std::printf("\n%-8s %14s %18s %14s\n", "phase", "scattered",
-                "static placement", "relocation");
+    std::printf("\n%-8s %14s %18s %14s %16s\n", "phase", "scattered",
+                "static placement", "relocation", "reloc (refused)");
     for (unsigned p = 0; p < phases; ++p) {
-        std::printf("%-8u %14s %18s %14s\n", p,
+        std::printf("%-8u %14s %18s %14s %16s\n", p,
                     withCommas(scattered.per_phase[p]).c_str(),
                     withCommas(fixed.per_phase[p]).c_str(),
-                    withCommas(reloc.per_phase[p]).c_str());
+                    withCommas(reloc.per_phase[p]).c_str(),
+                    withCommas(refused.per_phase[p]).c_str());
     }
 
     const auto total = [](const PhaseCosts &c) {
@@ -186,13 +200,17 @@ main()
                    obs::MetricsNode{});
     report.addCase("relocation", total(reloc), 0, reloc.checksum,
                    obs::MetricsNode{});
+    report.addCase("relocation_backend_none", total(refused), 0,
+                   refused.checksum, obs::MetricsNode{});
     std::printf("\ntotals: scattered %s, static %s (%.2fx), relocation "
-                "%s (%.2fx)\n",
+                "%s (%.2fx), refused %s (%.2fx)\n",
                 withCommas(total(scattered)).c_str(),
                 withCommas(total(fixed)).c_str(),
                 double(total(scattered)) / double(total(fixed)),
                 withCommas(total(reloc)).c_str(),
-                double(total(scattered)) / double(total(reloc)));
+                double(total(scattered)) / double(total(reloc)),
+                withCommas(total(refused)).c_str(),
+                double(total(scattered)) / double(total(refused)));
     std::printf("\ntakeaway: static placement starts as good as "
                 "relocation and decays with churn; relocation tracks "
                 "the dynamic membership — the adaptivity the paper "

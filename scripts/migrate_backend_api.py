@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Migrate layout-optimizer call sites onto the LayoutBackend API.
+
+The four layout optimizers used to take the Machine directly and
+relocate through an implicit ForwardingBackend:
+
+    listLinearize(machine, HEAD, DESC, POOL)
+    subtreeCluster(machine, ROOT, DESC, POOL, BYTES)
+    colorRelocate(machine, ARGS...)
+    copyTile(machine, ARGS...)
+
+The backend-first forms thread the machine-selected LayoutBackend
+instead, so the same pass degrades to a no-op under --backend=none and
+is refused under --backend=handles:
+
+    listLinearize(*backend, HEAD, DESC, POOL)
+    ...
+
+This script rewrites the first argument of those calls, with real
+parenthesis matching (calls may span lines), whenever it is a known
+Machine-typed receiver.  The replacement expression defaults to
+`*backend` — the spelling used throughout src/workloads, where the
+backend is created next to the RelocationPool:
+
+    std::unique_ptr<LayoutBackend> backend;
+    if (variant.layout_opt)
+        backend = makeLayoutBackend(machine, alloc);
+
+Pass --backend-expr to use a different spelling at your call sites.
+The Machine& overloads remain as deprecated shims for one release
+(docs/API.md deprecation table) and forward through an ephemeral
+ForwardingBackend, so unmigrated code keeps old timing exactly.
+
+Usage: scripts/migrate_backend_api.py [--backend-expr EXPR] FILE...
+Rewrites in place; prints a per-file rewrite count.
+"""
+
+import re
+import sys
+
+FUNCTIONS = (
+    "listLinearize",
+    "subtreeCluster",
+    "colorRelocate",
+    "copyTile",
+)
+
+# First-argument spellings known to be Machine-typed.
+MACHINE_ARGS = ("machine_", "machine", "m", "rig.machine", "s.machine",
+                "r.machine")
+
+# Files that define the API itself and must keep both overloads.
+SKIP = (
+    "list_linearize.hh", "list_linearize.cc",
+    "subtree_cluster.hh", "subtree_cluster.cc",
+    "data_coloring.hh", "data_coloring.cc",
+    "layout_backend.hh", "layout_backend.cc",
+)
+
+
+def match_call(text, open_paren):
+    """Return the index one past the ')' matching text[open_paren]."""
+    depth = 0
+    i = open_paren
+    while i < len(text):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < len(text) and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+        i += 1
+    raise ValueError(f"unbalanced parens at {open_paren}")
+
+
+def migrate(text, backend_expr):
+    pat = re.compile(
+        r"(?<![\w.>:])("
+        + "|".join(FUNCTIONS)
+        + r")\s*\(")
+    first_arg = re.compile(
+        r"\s*(" + "|".join(re.escape(a) for a in MACHINE_ARGS) + r")\s*,")
+    out = []
+    pos = 0
+    count = 0
+    while True:
+        m = pat.search(text, pos)
+        if m is None:
+            out.append(text[pos:])
+            break
+        open_paren = m.end() - 1
+        close = match_call(text, open_paren)
+        args = text[open_paren + 1:close - 1]
+        fa = first_arg.match(args)
+        out.append(text[pos:open_paren + 1])
+        if fa is not None:
+            out.append(backend_expr + args[fa.end() - 1:])
+            count += 1
+        else:
+            out.append(args)
+        out.append(")")
+        pos = close
+    return "".join(out), count
+
+
+def main(argv):
+    backend_expr = "*backend"
+    files = []
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--backend-expr":
+            backend_expr = next(it)
+        else:
+            files.append(a)
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 64
+    for path in files:
+        name = path.rsplit("/", 1)[-1]
+        if name in SKIP:
+            print(f"{path}: skipped (defines the API)")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        new_text, count = migrate(text, backend_expr)
+        if count:
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(new_text)
+        print(f"{path}: {count} call(s) migrated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

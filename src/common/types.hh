@@ -59,6 +59,22 @@ roundUpToWord(Addr n)
     return (n + wordBytes - 1) & ~Addr(wordBytes - 1);
 }
 
+/**
+ * Which layout backend mediates allocation and relocation
+ * (runtime/layout_backend.hh).  Lives here so MachineConfig can carry
+ * the selection without pulling the backend headers into every
+ * translation unit.
+ */
+enum class BackendKind : std::uint8_t
+{
+    /** The paper's mechanism: relocation forwards stale pointers. */
+    forwarding,
+    /** Handle-indirection table: every access pays a dependent load. */
+    handles,
+    /** No relocation permitted: compaction refuses, fragmentation accrues. */
+    none,
+};
+
 } // namespace memfwd
 
 #endif // MEMFWD_COMMON_TYPES_HH

@@ -28,9 +28,11 @@
 #define MEMFWD_RUNTIME_COMPACTING_HEAP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
+#include "runtime/layout_backend.hh"
 
 namespace memfwd
 {
@@ -56,9 +58,21 @@ class CompactingHeap
 
     /**
      * Carve two semispaces of @p semispace_bytes each out of
-     * @p alloc's arena.
+     * @p alloc's arena, moving objects through an internal
+     * ForwardingBackend.
      */
     CompactingHeap(Machine &machine, SimAllocator &alloc,
+                   Addr semispace_bytes);
+
+    /**
+     * As above, but as a client of an existing @p backend.  The
+     * collector's forwarding pointers ARE the relocation mechanism, so
+     * the backend must support raw-range relocation with stale-pointer
+     * safety — i.e. only a ForwardingBackend qualifies (fatal
+     * otherwise): a handle table cannot host a collector whose
+     * untracked pointers must survive a flip.
+     */
+    CompactingHeap(LayoutBackend &backend, SimAllocator &alloc,
                    Addr semispace_bytes);
 
     CompactingHeap(const CompactingHeap &) = delete;
@@ -105,6 +119,11 @@ class CompactingHeap
     Addr copyObject(Addr base, Addr &to_cursor);
 
     Machine &machine_;
+
+    /** Backend the copies go through (owned when self-constructed). */
+    std::unique_ptr<ForwardingBackend> owned_backend_;
+    LayoutBackend *backend_;
+
     Addr semispace_bytes_;
     Addr space_a_;
     Addr space_b_;

@@ -2,21 +2,31 @@
 
 #include "analysis/gate.hh"
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
-#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 
 namespace memfwd
 {
 
 ColoringResult
-colorRelocate(Machine &machine, const std::vector<Addr> &items,
+colorRelocate(LayoutBackend &backend, const std::vector<Addr> &items,
               unsigned item_bytes, RelocationPool &pool,
               unsigned cache_bytes, unsigned line_bytes,
               unsigned n_colors)
 {
+    Machine &machine = backend.machine();
     memfwd_assert(n_colors >= 1, "need at least one color");
     item_bytes = roundUpToWord(item_bytes);
+
+    if (!backend.canRelocate()) {
+        // Relocation refused (NullBackend): every item keeps its home.
+        ColoringResult unchanged;
+        unchanged.new_addrs = items;
+        unchanged.colors_used = 0;
+        unchanged.pool_bytes = 0;
+        return unchanged;
+    }
 
     // One "way" of the cache, split into n_colors contiguous bands.
     // Placing item i at band (i % n_colors) guarantees that any
@@ -66,16 +76,32 @@ colorRelocate(Machine &machine, const std::vector<Addr> &items,
     PlanScope scope(machine.analysisGate(), plan);
 
     for (std::size_t i = 0; i < items.size(); ++i) {
-        relocate(machine, items[i], result.new_addrs[i],
-                 item_bytes / wordBytes);
+        backend.relocate(items[i], result.new_addrs[i],
+                         item_bytes / wordBytes);
     }
     return result;
 }
 
+ColoringResult
+colorRelocate(Machine &machine, const std::vector<Addr> &items,
+              unsigned item_bytes, RelocationPool &pool,
+              unsigned cache_bytes, unsigned line_bytes, unsigned n_colors)
+{
+    ForwardingBackend backend(machine);
+    return colorRelocate(backend, items, item_bytes, pool, cache_bytes,
+                         line_bytes, n_colors);
+}
+
 Addr
-copyTile(Machine &machine, Addr tile_base, unsigned rows,
+copyTile(LayoutBackend &backend, Addr tile_base, unsigned rows,
          unsigned row_bytes, Addr row_stride, RelocationPool &pool)
 {
+    Machine &machine = backend.machine();
+    if (!backend.canRelocate()) {
+        // Refused: no contiguous buffer exists, the caller must keep
+        // addressing the strided tile in place.
+        return 0;
+    }
     const unsigned rb = roundUpToWord(row_bytes);
     const Addr buffer = pool.take(Addr(rows) * rb, 64);
 
@@ -88,10 +114,18 @@ copyTile(Machine &machine, Addr tile_base, unsigned rows,
     PlanScope scope(machine.analysisGate(), plan);
 
     for (unsigned r = 0; r < rows; ++r) {
-        relocate(machine, tile_base + Addr(r) * row_stride,
-                 buffer + Addr(r) * rb, rb / wordBytes);
+        backend.relocate(tile_base + Addr(r) * row_stride,
+                         buffer + Addr(r) * rb, rb / wordBytes);
     }
     return buffer;
+}
+
+Addr
+copyTile(Machine &machine, Addr tile_base, unsigned rows,
+         unsigned row_bytes, Addr row_stride, RelocationPool &pool)
+{
+    ForwardingBackend backend(machine);
+    return copyTile(backend, tile_base, rows, row_bytes, row_stride, pool);
 }
 
 } // namespace memfwd

@@ -23,6 +23,7 @@
 namespace memfwd
 {
 
+class LayoutBackend;
 class Machine;
 class RelocationPool;
 
@@ -42,6 +43,18 @@ struct ColoringResult
  * @p n_colors bands drawn from @p pool.  All work is timed on
  * @p machine.
  */
+ColoringResult colorRelocate(LayoutBackend &backend,
+                             const std::vector<Addr> &items,
+                             unsigned item_bytes, RelocationPool &pool,
+                             unsigned cache_bytes, unsigned line_bytes,
+                             unsigned n_colors);
+
+/**
+ * Deprecated compatibility shim: color through an ephemeral
+ * ForwardingBackend on @p machine (docs/API.md deprecation table).
+ * A backend that refuses relocation returns the items unchanged
+ * (new_addrs == items, no pool space consumed).
+ */
 ColoringResult colorRelocate(Machine &machine,
                              const std::vector<Addr> &items,
                              unsigned item_bytes, RelocationPool &pool,
@@ -51,10 +64,15 @@ ColoringResult colorRelocate(Machine &machine,
 /**
  * Data copying for tiles: relocate @p rows rows of @p row_bytes, each
  * starting @p row_stride apart at @p tile_base, into one contiguous
- * buffer from @p pool.  Returns the buffer base.  After this, the tile
- * occupies rows*row_bytes consecutive bytes and cannot conflict with
- * itself.
+ * buffer from @p pool.  Returns the buffer base, or 0 when @p backend
+ * refuses relocation (the caller must keep the strided addressing).
+ * After a successful copy, the tile occupies rows*row_bytes consecutive
+ * bytes and cannot conflict with itself.
  */
+Addr copyTile(LayoutBackend &backend, Addr tile_base, unsigned rows,
+              unsigned row_bytes, Addr row_stride, RelocationPool &pool);
+
+/** Deprecated compatibility shim (ephemeral ForwardingBackend). */
 Addr copyTile(Machine &machine, Addr tile_base, unsigned rows,
               unsigned row_bytes, Addr row_stride, RelocationPool &pool);
 

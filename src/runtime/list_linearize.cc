@@ -4,8 +4,8 @@
 
 #include "analysis/gate.hh"
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
-#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 
 namespace memfwd
@@ -20,9 +20,10 @@ constexpr SiteId linearize_next_site = 0x4C4E; // 'LN'
 } // namespace
 
 LinearizeResult
-listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
+listLinearize(LayoutBackend &backend, Addr head_handle, const ListDesc &desc,
               RelocationPool &pool, unsigned max_nodes)
 {
+    Machine &machine = backend.machine();
     const unsigned node_bytes = roundUpToWord(desc.node_bytes);
     const unsigned node_words = node_bytes / wordBytes;
 
@@ -32,6 +33,10 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
     // locations and no forwarding occurs.
     std::vector<Addr> old_nodes;
     AccessResult cur = machine.access(Access::load(head_handle, wordBytes));
+    if (!backend.canRelocate()) {
+        // Relocation refused (NullBackend): the layout stays as built.
+        return {static_cast<Addr>(cur.value), 0, 0};
+    }
     while (cur.value != desc.list_end) {
         old_nodes.push_back(static_cast<Addr>(cur.value));
         memfwd_assert(old_nodes.size() <= max_nodes,
@@ -72,7 +77,7 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
 
     for (std::size_t i = 0; i < old_nodes.size(); ++i) {
         const Addr tgt = chunk + static_cast<Addr>(i) * node_bytes;
-        relocate(machine, old_nodes[i], tgt, node_words);
+        backend.relocate(old_nodes[i], tgt, node_words);
     }
 
     // Pass 3: rewrite the internal next pointers at the *new* locations
@@ -97,6 +102,14 @@ listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
 
     return {chunk, static_cast<unsigned>(old_nodes.size()),
             static_cast<Addr>(node_bytes) * old_nodes.size()};
+}
+
+LinearizeResult
+listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
+              RelocationPool &pool, unsigned max_nodes)
+{
+    ForwardingBackend backend(machine);
+    return listLinearize(backend, head_handle, desc, pool, max_nodes);
 }
 
 } // namespace memfwd

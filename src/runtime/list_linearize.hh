@@ -22,6 +22,7 @@
 namespace memfwd
 {
 
+class LayoutBackend;
 class Machine;
 class RelocationPool;
 
@@ -49,8 +50,21 @@ struct LinearizeResult
 /**
  * Linearize the list whose head pointer lives at @p head_handle.
  * New nodes are packed contiguously from @p pool.  All work is issued
- * as timed operations on @p machine, so the full relocation overhead is
- * charged.  @p max_nodes bounds runaway walks on corrupted lists.
+ * as timed operations through @p backend's machine, so the full
+ * relocation overhead is charged; the node moves themselves go through
+ * @p backend, so a backend that refuses relocation (NullBackend) turns
+ * the pass into a no-op that returns the unchanged head.  @p max_nodes
+ * bounds runaway walks on corrupted lists.
+ */
+LinearizeResult listLinearize(LayoutBackend &backend, Addr head_handle,
+                              const ListDesc &desc, RelocationPool &pool,
+                              unsigned max_nodes = 1u << 22);
+
+/**
+ * Deprecated compatibility shim: linearize through an ephemeral
+ * ForwardingBackend on @p machine.  Timing is identical to the
+ * backend form with a ForwardingBackend (docs/API.md deprecation
+ * table; scripts/migrate_backend_api.py rewrites call sites).
  */
 LinearizeResult listLinearize(Machine &machine, Addr head_handle,
                               const ListDesc &desc, RelocationPool &pool,

@@ -5,6 +5,7 @@
 #include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "core/fault_injector.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/quarantine_allocator.hh"
 #include "runtime/ref_stream.hh"
 
@@ -74,6 +75,42 @@ Machine::setAnalysisGate(AnalysisGate *gate)
     gate_ = gate;
     if (gate_)
         gate_->setTrace(&tracer_, [this] { return cycles(); });
+}
+
+void
+Machine::setLayoutBackend(LayoutBackend *backend)
+{
+    if (backend == nullptr && backend_ != nullptr) {
+        // The backend is going away — this call comes from the BASE
+        // class destructor, where the derived object (and its virtual
+        // kind()) no longer exists.  Keep only the non-virtual counters;
+        // the kind was recorded at registration below.
+        backend_snapshot_ =
+            std::make_unique<LayoutBackendStats>(backend_->stats());
+    } else if (backend != nullptr) {
+        backend_snapshot_kind_ = backend->kind();
+    }
+    backend_ = backend;
+}
+
+BackendKind
+Machine::backendKindSeen() const
+{
+    if (backend_)
+        return backend_->kind();
+    if (backend_snapshot_)
+        return backend_snapshot_kind_;
+    return cfg_.backend_kind;
+}
+
+LayoutBackendStats
+Machine::backendStats() const
+{
+    if (backend_)
+        return backend_->stats();
+    if (backend_snapshot_)
+        return *backend_snapshot_;
+    return {};
 }
 
 Cycles
@@ -422,6 +459,23 @@ Machine::metrics() const
 
     if (gate_)
         gate_->fillMetrics(root.child("analysis"));
+
+    if (backendSeen()) {
+        auto &b = root.child("backend");
+        b.gauge("kind", static_cast<double>(backendKindSeen()));
+        const LayoutBackendStats bs = backendStats();
+        b.counter("allocs", bs.allocs);
+        b.counter("frees", bs.frees);
+        b.counter("relocations", bs.relocations);
+        b.counter("refusals", bs.refusals);
+        b.counter("relocated_words", bs.relocated_words);
+        b.counter("resolves", bs.resolves);
+        b.counter("handle_derefs", bs.handle_derefs);
+        b.counter("compactions", bs.compactions);
+        if (bs.resolves)
+            b.gauge("derefs_per_resolve",
+                    double(bs.handle_derefs) / double(bs.resolves));
+    }
 
     if (cfg_.metadata_plane || quarantine_) {
         // Temporal-safety family: violation classification comes from

@@ -43,7 +43,9 @@ namespace memfwd
 
 class AnalysisGate;
 class FaultInjector;
+class LayoutBackend;
 class QuarantineAllocator;
+struct LayoutBackendStats;
 
 /** How the quarantining allocator bounds its arena (docs/API.md). */
 enum class QuarantinePolicy
@@ -119,6 +121,14 @@ struct MachineConfig
 
     /** Quarantine arena bounds/policy; implies the metadata plane. */
     QuarantineConfig quarantine_cfg{};
+
+    /**
+     * Which layout backend mediates allocation/relocation for backend
+     * clients (runtime/layout_backend.hh, makeLayoutBackend()).  The
+     * default is the paper's mechanism; `handles` and `none` are the
+     * rival safety mechanism and the no-relocation baseline.
+     */
+    BackendKind backend_kind = BackendKind::forwarding;
 
     /**
      * Workload regions executed in functional fast-forward mode:
@@ -263,6 +273,14 @@ struct MachineConfig
         quarantine_cfg.enabled = true;
         quarantine_cfg.capacity_bytes = capacity;
         quarantine_cfg.policy = policy;
+        return *this;
+    }
+
+    /** Select the layout backend (forwarding | handles | none). */
+    MachineConfig &
+    backend(BackendKind kind)
+    {
+        backend_kind = kind;
         return *this;
     }
 };
@@ -553,6 +571,32 @@ class Machine
 
     QuarantineAllocator *quarantineAllocator() const { return quarantine_; }
 
+    /**
+     * Attach (or clear, with nullptr) the active layout backend so
+     * metrics() exports its mediation counters under "backend" and
+     * memfwd_sim can print the per-backend summary line.
+     * makeLayoutBackend() registers the backend it builds; clearing
+     * (which LayoutBackend's destructor does) snapshots the counters so
+     * they outlive the backend — workloads construct backends on their
+     * own stack.  Not owned.
+     */
+    void setLayoutBackend(LayoutBackend *backend);
+
+    LayoutBackend *layoutBackend() const { return backend_; }
+
+    /** True if a layout backend is, or has been, attached. */
+    bool
+    backendSeen() const
+    {
+        return backend_ != nullptr || backend_snapshot_ != nullptr;
+    }
+
+    /** Kind of the attached (or last-detached) backend. */
+    BackendKind backendKindSeen() const;
+
+    /** Counters of the attached (or last-detached) backend. */
+    LayoutBackendStats backendStats() const;
+
     // ----- reference-level forwarding stats (Figure 10(c)) -------------
 
     std::uint64_t loads() const { return loads_; }
@@ -619,6 +663,11 @@ class Machine
     FaultInjector *faults_ = nullptr;
     AnalysisGate *gate_ = nullptr;
     QuarantineAllocator *quarantine_ = nullptr;
+    LayoutBackend *backend_ = nullptr;
+
+    /** Counters of the last detached backend (see setLayoutBackend). */
+    std::unique_ptr<LayoutBackendStats> backend_snapshot_;
+    BackendKind backend_snapshot_kind_ = BackendKind::forwarding;
 
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

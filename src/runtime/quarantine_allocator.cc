@@ -6,7 +6,6 @@
 #include "common/logging.hh"
 #include "mem/metadata_plane.hh"
 #include "mem/tagged_memory.hh"
-#include "runtime/relocation.hh"
 
 namespace memfwd
 {
@@ -18,8 +17,8 @@ QuarantineAllocator::QuarantineAllocator(Machine &machine, SimAllocator &alloc)
 
 QuarantineAllocator::QuarantineAllocator(Machine &machine, SimAllocator &alloc,
                                          const QuarantineConfig &cfg)
-    : machine_(machine), alloc_(alloc), cfg_(cfg),
-      plane_(machine.mem().metadataPlane())
+    : machine_(machine), alloc_(alloc), backend_(machine, alloc),
+      cfg_(cfg), plane_(machine.mem().metadataPlane())
 {
     machine_.setQuarantineAllocator(this);
 }
@@ -50,7 +49,7 @@ QuarantineAllocator::nextId()
 Addr
 QuarantineAllocator::alloc(Addr bytes, Placement placement, Addr align)
 {
-    const Addr addr = alloc_.alloc(bytes, placement, align);
+    const Addr addr = backend_.allocate(bytes, placement, align);
     ids_[addr] = nextId();
     return addr;
 }
@@ -61,7 +60,7 @@ QuarantineAllocator::placeSlot(Addr bytes)
     if (live_bytes_ + bytes > cfg_.capacity_bytes)
         return 0;
     try {
-        return alloc_.alloc(bytes, Placement::sequential, wordBytes);
+        return backend_.allocate(bytes, Placement::sequential, wordBytes);
     } catch (const AllocFailure &) {
         return 0;
     }
@@ -82,14 +81,14 @@ QuarantineAllocator::relocateIntoQuarantine(Addr addr, Addr slot, Addr bytes)
             .move(addr, slot, n_words);
         micro.emplace(gate, plan);
     }
-    relocate(machine_, addr, slot, n_words);
+    backend_.relocate(addr, slot, n_words);
 }
 
 void
 QuarantineAllocator::free(Addr addr)
 {
     if (!active()) {
-        alloc_.free(addr);
+        backend_.free(addr);
         return;
     }
     if (by_old_.find(addr) != by_old_.end()) {
@@ -133,7 +132,7 @@ QuarantineAllocator::free(Addr addr)
         ++degraded_frees_;
         if (id_it != ids_.end())
             ids_.erase(id_it);
-        alloc_.free(addr);
+        backend_.free(addr);
         return;
     }
 
@@ -142,11 +141,11 @@ QuarantineAllocator::free(Addr addr)
     } catch (...) {
         // relocate() rolled the heap back, so the object is intact and
         // the slot untouched — fall back to a plain free.
-        alloc_.free(slot);
+        backend_.free(slot);
         ++degraded_frees_;
         if (id_it != ids_.end())
             ids_.erase(id_it);
-        alloc_.free(addr);
+        backend_.free(addr);
         return;
     }
 
@@ -177,7 +176,7 @@ QuarantineAllocator::reclaimOldest()
     plane_->clearRange(entry.slot, entry.bytes);
     // Freeing the original start walks its forwarding chain and releases
     // every block on it — including the quarantine slot.
-    alloc_.free(entry.old_start);
+    backend_.free(entry.old_start);
     live_bytes_ -= entry.bytes;
     ++reclaims_;
 }

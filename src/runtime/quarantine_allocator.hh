@@ -45,6 +45,7 @@
 
 #include "common/types.hh"
 #include "obs/metrics.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
 
@@ -146,6 +147,16 @@ class QuarantineAllocator
 
     Machine &machine_;
     SimAllocator &alloc_;
+
+    /**
+     * All allocation, release and relocation goes through this
+     * ForwardingBackend over alloc_ — quarantining IS forwarding-backed
+     * relocation, so the allocator is a LayoutBackend client like the
+     * layout optimizers.  (Not the machine-selected backend: a handle
+     * table has no stale pointers to quarantine in the first place.)
+     */
+    ForwardingBackend backend_;
+
     QuarantineConfig cfg_;
     MetadataPlane *plane_;
 

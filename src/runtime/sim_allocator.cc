@@ -69,6 +69,22 @@ SimAllocator::place(Addr bytes, Placement placement, Addr align)
         memfwd_warn("scattered placement degraded to sequential "
                     "(heap too full)");
     }
+    if (placement == Placement::first_fit) {
+        // Lowest hole that fits: walk the live blocks in address order
+        // tracking the gap before each.  Host-side cost is O(live
+        // blocks); the simulated cost stays the flat alloc charge.
+        Addr candidate = (base_ + align - 1) & ~(align - 1);
+        for (const auto &[start, end] : blocks_) {
+            if (candidate + bytes <= start)
+                break;
+            if (end > candidate)
+                candidate = (end + align - 1) & ~(align - 1);
+        }
+        if (candidate + bytes > base_ + span_)
+            throw AllocFailure(bytes, "simulated heap exhausted");
+        bump_ = std::max(bump_, candidate + bytes - base_);
+        return candidate;
+    }
     // Sequential bump with a free-range check (the scattered blocks
     // share the arena).
     Addr candidate = base_ + bump_;

@@ -67,7 +67,13 @@ class AllocFailure : public std::runtime_error
 enum class Placement
 {
     sequential,
-    scattered
+    scattered,
+    /**
+     * Lowest hole that fits, scanning live blocks from the arena base.
+     * This is the compacting placement: relocating a high block into a
+     * first-fit hole shrinks the live extent of the heap.
+     */
+    first_fit
 };
 
 /** Word-aligned allocator over a Machine's simulated heap. */
@@ -122,6 +128,17 @@ class SimAllocator
 
     Addr base() const { return base_; }
     Addr span() const { return span_; }
+
+    /**
+     * End of the highest live block (base() when empty).  The live
+     * extent `highestLiveEnd() - base()` versus bytesLive() is the
+     * external-fragmentation measure the kv_server bench reports.
+     */
+    Addr
+    highestLiveEnd() const
+    {
+        return blocks_.empty() ? base_ : blocks_.rbegin()->second;
+    }
 
   private:
     Addr place(Addr bytes, Placement placement, Addr align);

@@ -5,8 +5,8 @@
 
 #include "analysis/gate.hh"
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
-#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 
 namespace memfwd
@@ -29,9 +29,11 @@ constexpr SiteId cluster_child_write_site = 0x4357; // 'CW'
 } // namespace
 
 ClusterResult
-subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
-               RelocationPool &pool, unsigned cluster_bytes)
+subtreeCluster(LayoutBackend &backend, Addr root_handle,
+               const TreeDesc &desc, RelocationPool &pool,
+               unsigned cluster_bytes)
 {
+    Machine &machine = backend.machine();
     const unsigned node_bytes = roundUpToWord(desc.node_bytes);
     const unsigned node_words = node_bytes / wordBytes;
     unsigned capacity = cluster_bytes / node_bytes;
@@ -41,6 +43,10 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
     const AccessResult root = machine.access(Access::load(root_handle, wordBytes));
     if (root.value == desc.null_child)
         return {desc.null_child, 0, 0, 0};
+    if (!backend.canRelocate()) {
+        // Relocation refused (NullBackend): the layout stays as built.
+        return {static_cast<Addr>(root.value), 0, 0, 0};
+    }
 
     // Is the node at `addr` a leaf that must stay in place?
     auto isLeaf = [&](Addr addr, Cycles dep) {
@@ -141,8 +147,8 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
 
     // ----- execute: relocate, then rewrite child pointers --------------
     for (const PlanNode &pn : nodes)
-        relocate(machine, pn.old_addr, new_addr.at(pn.old_addr),
-                 node_words);
+        backend.relocate(pn.old_addr, new_addr.at(pn.old_addr),
+                         node_words);
 
     // With no gate attached the raw fast path is used as before; when
     // an analyzer is present it must have proven the sites, otherwise
@@ -175,6 +181,14 @@ subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
     machine.access(Access::store(root_handle, wordBytes, nr));
 
     return {nr, static_cast<unsigned>(nodes.size()), clusters, pool_used};
+}
+
+ClusterResult
+subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
+               RelocationPool &pool, unsigned cluster_bytes)
+{
+    ForwardingBackend backend(machine);
+    return subtreeCluster(backend, root_handle, desc, pool, cluster_bytes);
 }
 
 } // namespace memfwd

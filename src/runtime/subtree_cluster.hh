@@ -24,6 +24,7 @@
 namespace memfwd
 {
 
+class LayoutBackend;
 class Machine;
 class RelocationPool;
 
@@ -62,7 +63,17 @@ struct ClusterResult
  * Cluster the tree rooted at the pointer stored at @p root_handle into
  * @p cluster_bytes-sized chunks drawn line-aligned from @p pool.
  * All traversal, relocation, and pointer-rewrite work is issued as
- * timed operations on @p machine.
+ * timed operations through @p backend's machine; the node moves go
+ * through @p backend, so a backend that refuses relocation
+ * (NullBackend) leaves the tree untouched and returns the current root.
+ */
+ClusterResult subtreeCluster(LayoutBackend &backend, Addr root_handle,
+                             const TreeDesc &desc, RelocationPool &pool,
+                             unsigned cluster_bytes);
+
+/**
+ * Deprecated compatibility shim: cluster through an ephemeral
+ * ForwardingBackend on @p machine (docs/API.md deprecation table).
  */
 ClusterResult subtreeCluster(Machine &machine, Addr root_handle,
                              const TreeDesc &desc, RelocationPool &pool,

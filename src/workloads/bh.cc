@@ -23,6 +23,7 @@
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
 #include "runtime/sim_allocator.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/subtree_cluster.hh"
 #include "workloads/workload_util.hh"
 
@@ -133,6 +134,9 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
     std::unique_ptr<RelocationPool> pool;
     if (variant.layout_opt)
         pool = std::make_unique<RelocationPool>(alloc, Addr(64) << 20);
+    std::unique_ptr<LayoutBackend> backend;
+    if (variant.layout_opt)
+        backend = makeLayoutBackend(machine, alloc);
 
     // ----- create bodies (scattered) and the body list -----------------
     // Store-dominated: emit through a BatchEmitter, flushing before
@@ -323,7 +327,7 @@ Bh::run(Machine &machine, const WorkloadVariant &variant)
             const unsigned cluster_bytes = std::max(
                 machine.config().hierarchy.l1d.line_bytes, 256u);
             const ClusterResult r = subtreeCluster(
-                machine, root_handle, desc, *pool, cluster_bytes);
+                *backend, root_handle, desc, *pool, cluster_bytes);
             space_overhead_ += r.pool_bytes;
             machine.exitRegion("opt");
         }

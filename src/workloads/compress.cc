@@ -27,9 +27,9 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
-#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
 
@@ -112,18 +112,25 @@ Compress::run(Machine &machine, const WorkloadVariant &variant)
     };
 
     // ----- layout optimization (invoked once, up front) -----------------
+    // Runs through the machine-selected LayoutBackend: a backend that
+    // refuses relocation (none) leaves merged_layout false, so the
+    // kernel keeps addressing the split tables.
     if (variant.layout_opt) {
         machine.enterRegion("opt");
-        const Addr bytes = Addr(cap / 4) * group_bytes;
-        merged = pool->take(bytes);
-        space_overhead_ += bytes;
-        for (unsigned g = 0; g < cap / 4; ++g) {
-            const Addr grp = merged + Addr(g) * group_bytes;
-            relocate(machine, htab0 + Addr(g) * 4 * wordBytes, grp, 4);
-            relocate(machine, codetab0 + Addr(g) * wordBytes, grp + 32,
-                     1);
+        const auto backend = makeLayoutBackend(machine, alloc);
+        if (backend->canRelocate()) {
+            const Addr bytes = Addr(cap / 4) * group_bytes;
+            merged = pool->take(bytes);
+            space_overhead_ += bytes;
+            for (unsigned g = 0; g < cap / 4; ++g) {
+                const Addr grp = merged + Addr(g) * group_bytes;
+                backend->relocate(htab0 + Addr(g) * 4 * wordBytes, grp,
+                                  4);
+                backend->relocate(codetab0 + Addr(g) * wordBytes,
+                                  grp + 32, 1);
+            }
+            merged_layout = true;
         }
-        merged_layout = true;
         machine.exitRegion("opt");
     }
 

@@ -21,9 +21,9 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
-#include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/workload_util.hh"
 
@@ -128,10 +128,16 @@ Eqntott::run(Machine &machine, const WorkloadVariant &variant)
     machine.exitRegion("build");
 
     // ----- layout optimization (invoked once, Figure 8(b)) -------------
+    // The whole pass runs through the machine-selected LayoutBackend:
+    // under --backend=none relocation is refused, so the pass (and its
+    // pointer rewrites) is skipped and the kernel runs on the original
+    // scattered layout.
     if (variant.layout_opt) {
         machine.enterRegion("opt");
+        const auto backend = makeLayoutBackend(machine, alloc);
         const unsigned chunk_bytes = pt_bytes + array_bytes;
-        for (unsigned i = 0; i < n_pterms; ++i) {
+        for (unsigned i = 0; backend->canRelocate() && i < n_pterms;
+             ++i) {
             const AccessResult rec =
                 machine.access(Access::load(table + Addr(i) * wordBytes, wordBytes));
             const Addr old_rec = static_cast<Addr>(rec.value);
@@ -143,9 +149,9 @@ Eqntott::run(Machine &machine, const WorkloadVariant &variant)
             space_overhead_ += chunk_bytes;
 
             // Record first, its short array right behind it.
-            relocate(machine, old_rec, chunk, pt_bytes / wordBytes);
-            relocate(machine, old_arr, chunk + pt_bytes,
-                     array_bytes / wordBytes);
+            backend->relocate(old_rec, chunk, pt_bytes / wordBytes);
+            backend->relocate(old_arr, chunk + pt_bytes,
+                              array_bytes / wordBytes);
 
             // The optimizer updates the pointers it knows about: the
             // record's array pointer and the hash-table entry.

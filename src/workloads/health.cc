@@ -27,6 +27,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
@@ -104,8 +105,10 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
 
     SimAllocator alloc(machine, params_.seed);
     std::unique_ptr<RelocationPool> pool;
+    std::unique_ptr<LayoutBackend> backend;
     if (variant.layout_opt) {
         pool = std::make_unique<RelocationPool>(alloc, Addr(192) << 20);
+        backend = makeLayoutBackend(machine, alloc);
     }
 
     const unsigned line_bytes = machine.config().hierarchy.l1d.line_bytes;
@@ -261,7 +264,7 @@ Health::run(Machine &machine, const WorkloadVariant &variant)
             if (variant.layout_opt &&
                 v.churn * 2 > std::max<std::uint64_t>(v.list_len, 60)) {
                 const LinearizeResult r = listLinearize(
-                    machine, v.addr + vil_waiting,
+                    *backend, v.addr + vil_waiting,
                     {pat_bytes, pat_next, 0}, *pool);
                 space_overhead_ += r.pool_bytes;
                 v.churn = 0;

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * kv_server: a production-flavoured keyed session cache.
+ *
+ * This is the ninth workload — not one of the paper's Table 1 kernels
+ * but the extension experiment the LayoutBackend interface exists for:
+ * a server-style cache whose references all flow through
+ * LayoutBackend::resolve(), so the *same* workload binary runs under
+ * forwarding, handle indirection, and no-relocation, and the three
+ * safety mechanisms compete head-to-head on hit rate, hops (or handle
+ * derefs) per reference, cycles per op and live-heap fragmentation.
+ *
+ * Shape of the workload:
+ *
+ *  - A keyspace of K sessions served Zipf(s=0.99)-skewed get/put/expire
+ *    traffic (70/25/5) with FIFO churn: every 64th op additionally
+ *    expires the oldest resident session.  Puts delete + rebuild, so
+ *    the heap ages exactly the way long-running servers' heaps do.
+ *
+ *  - A session record is a 4-word header plus a chain of 1..3 value
+ *    blocks (scattered placement), linked by BackendRefs *stored in
+ *    simulated memory*: every hop of a get traversal loads a ref and
+ *    resolves it through the backend.  Under forwarding the ref is the
+ *    address (resolve is free; stale refs pay chain hops after
+ *    compaction).  Under handles every ref costs a dependent table
+ *    load.  Under none nothing ever moves and fragmentation accrues.
+ *
+ *  - The L variants run *online compaction*: every 512 ops, if live
+ *    fragmentation exceeds 25%, the highest-addressed sessions are
+ *    moved into first-fit holes via LayoutBackend::compactObject().
+ *
+ * Determinism: all value words are pure functions of the key
+ * (mix64(key, word index)), and a get miss performs a read-through
+ * fill before reading, so every get folds identical data into the
+ * checksum regardless of residency.  The checksum is therefore
+ * invariant across backends AND variants even though hit rates,
+ * eviction patterns and timing legitimately differ.
+ */
+
+#ifndef MEMFWD_WORKLOADS_KV_SERVER_HH
+#define MEMFWD_WORKLOADS_KV_SERVER_HH
+
+#include <cstdint>
+
+#include "workloads/workload.hh"
+
+namespace memfwd
+{
+
+/** Functional + locality counters the kv_server bench reports. */
+struct KvStats
+{
+    std::uint64_t ops = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t expires = 0;
+    /** Sessions dropped to make room (capacity pressure). */
+    std::uint64_t evictions = 0;
+    /** Compaction epochs that actually ran (frag over threshold). */
+    std::uint64_t compaction_epochs = 0;
+    /** Objects moved by compaction across all epochs. */
+    std::uint64_t compacted_objects = 0;
+    /** Forwarding hops paid by get-path loads. */
+    std::uint64_t hops_total = 0;
+    /** Timed references issued by the get path (hops_total's divisor). */
+    std::uint64_t get_refs = 0;
+    /** Fragmentation (1 - live/extent) sampled once per epoch. */
+    double frag_sum = 0.0;
+    std::uint64_t frag_samples = 0;
+    double frag_final = 0.0;
+    std::uint64_t bytes_live_final = 0;
+    std::uint64_t extent_final = 0;
+};
+
+/**
+ * The session-cache workload.  Runs under every BackendKind; the
+ * backend is selected by the machine's config (MachineConfig::backend).
+ */
+class KvServer final : public Workload
+{
+  public:
+    explicit KvServer(const WorkloadParams &params) : params_(params) {}
+
+    std::string name() const override { return "kv_server"; }
+
+    std::string
+    description() const override
+    {
+        return "extension: Zipf-skewed KV/session cache with churn; "
+               "online compaction through the selected LayoutBackend";
+    }
+
+    std::string
+    optimization() const override
+    {
+        return "online heap compaction of the hottest-fragmenting "
+               "sessions via LayoutBackend::compactObject";
+    }
+
+    void run(Machine &machine, const WorkloadVariant &variant) override;
+
+    std::uint64_t checksum() const override { return checksum_; }
+    Addr spaceOverheadBytes() const override { return space_overhead_; }
+
+    /** Every backend: references are fully mediated by resolve(). */
+    bool supportsBackend(BackendKind) const override { return true; }
+
+    const KvStats &kvStats() const { return kv_; }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t checksum_ = 0;
+    Addr space_overhead_ = 0;
+    KvStats kv_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_WORKLOADS_KV_SERVER_HH

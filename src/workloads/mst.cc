@@ -22,6 +22,7 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
@@ -157,10 +158,13 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
     machine.enterRegion("opt");
 
     // ----- layout optimization (one-shot, after construction) ----------
+    // Relocation goes through the machine-selected LayoutBackend; a
+    // backend that refuses it (none) leaves the scattered layout.
     if (variant.layout_opt) {
+        const auto backend = makeLayoutBackend(machine, alloc);
         // Linearize the vertex list itself...
         const LinearizeResult lv = listLinearize(
-            machine, vlist_head, {vtx_bytes, vtx_next, 0}, *pool);
+            *backend, vlist_head, {vtx_bytes, vtx_next, 0}, *pool);
         space_overhead_ += lv.pool_bytes;
         // ...then every bucket chain of every vertex, walking the list
         // at its new addresses.
@@ -170,7 +174,7 @@ Mst::run(Machine &machine, const WorkloadVariant &variant)
             const Addr v = static_cast<Addr>(cur.value);
             for (unsigned b = 0; b < n_buckets; ++b) {
                 const LinearizeResult le = listLinearize(
-                    machine, v + vtx_buckets + b * wordBytes,
+                    *backend, v + vtx_buckets + b * wordBytes,
                     {ent_bytes, ent_next, 0}, *pool);
                 space_overhead_ += le.pool_bytes;
             }

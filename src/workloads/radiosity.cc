@@ -21,6 +21,7 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
@@ -101,6 +102,9 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
     std::unique_ptr<RelocationPool> pool;
     if (variant.layout_opt)
         pool = std::make_unique<RelocationPool>(alloc, Addr(128) << 20);
+    std::unique_ptr<LayoutBackend> backend;
+    if (variant.layout_opt)
+        backend = makeLayoutBackend(machine, alloc);
 
     // ----- build elements and initial interaction lists ----------------
     // Store-dominated: emit through a BatchEmitter, flushing before
@@ -233,7 +237,7 @@ Radiosity::run(Machine &machine, const WorkloadVariant &variant)
             // Layout optimization: linearize churned lists.
             if (variant.layout_opt && churn[i] > linearize_threshold) {
                 const LinearizeResult lr = listLinearize(
-                    machine, e + elem_ilist, {int_bytes, int_next, 0},
+                    *backend, e + elem_ilist, {int_bytes, int_next, 0},
                     *pool);
                 space_overhead_ += lr.pool_bytes;
                 churn[i] = 0;

@@ -24,6 +24,7 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/ref_stream.hh"
@@ -125,6 +126,9 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
     std::unique_ptr<RelocationPool> pool;
     if (variant.layout_opt)
         pool = std::make_unique<RelocationPool>(alloc, Addr(64) << 20);
+    std::unique_ptr<LayoutBackend> backend;
+    if (variant.layout_opt)
+        backend = makeLayoutBackend(machine, alloc);
 
     // ----- unique table --------------------------------------------------
     // Construction is store-dominated: emit through a BatchEmitter,
@@ -226,7 +230,7 @@ Smv::run(Machine &machine, const WorkloadVariant &variant)
             machine.enterRegion("opt");
             for (unsigned b = 0; b < n_buckets; ++b) {
                 const LinearizeResult lr = listLinearize(
-                    machine, buckets + Addr(b) * wordBytes,
+                    *backend, buckets + Addr(b) * wordBytes,
                     {bdd_bytes, bdd_next, 0}, *pool);
                 space_overhead_ += lr.pool_bytes;
             }

@@ -24,6 +24,7 @@
 #include "workloads/workload.hh"
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
@@ -118,6 +119,9 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
     std::unique_ptr<RelocationPool> pool;
     if (variant.layout_opt)
         pool = std::make_unique<RelocationPool>(alloc, Addr(192) << 20);
+    std::unique_ptr<LayoutBackend> backend;
+    if (variant.layout_opt)
+        backend = makeLayoutBackend(machine, alloc);
 
     // ----- library: primitive list operations --------------------------
 
@@ -135,7 +139,7 @@ Vis::run(Machine &machine, const WorkloadVariant &variant)
         if (c.value <= vis_linearize_threshold)
             return;
         const LinearizeResult lr = listLinearize(
-            machine, head + head_ptr, {node_bytes, node_next, 0}, *pool);
+            *backend, head + head_ptr, {node_bytes, node_next, 0}, *pool);
         space_overhead_ += lr.pool_bytes;
         machine.access(Access::store(head + head_counter, wordBytes, 0));
     };

@@ -14,6 +14,7 @@ std::unique_ptr<Workload> makeVis(const WorkloadParams &);
 std::unique_ptr<Workload> makeEqntott(const WorkloadParams &);
 std::unique_ptr<Workload> makeCompress(const WorkloadParams &);
 std::unique_ptr<Workload> makeSmv(const WorkloadParams &);
+std::unique_ptr<Workload> makeKvServer(const WorkloadParams &);
 
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadParams &params)
@@ -34,6 +35,8 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return makeCompress(params);
     if (name == "smv")
         return makeSmv(params);
+    if (name == "kv_server")
+        return makeKvServer(params);
     memfwd_fatal("unknown workload '%s'", name.c_str());
 }
 
@@ -43,6 +46,17 @@ workloadNames()
     static const std::vector<std::string> names = {
         "bh", "compress", "eqntott", "health",
         "mst", "radiosity", "smv", "vis",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+extendedWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bh", "compress", "eqntott", "health",
+        "mst", "radiosity", "smv", "vis",
+        "kv_server",
     };
     return names;
 }

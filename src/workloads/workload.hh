@@ -82,15 +82,35 @@ class Workload
      * "Space Overhead" column).  Zero before run() or for N variants.
      */
     virtual Addr spaceOverheadBytes() const = 0;
+
+    /**
+     * Whether this workload can run under layout backend @p kind
+     * (MachineConfig::backend(...)).  The paper's eight applications
+     * pass raw pointers around freely, so they cannot run behind a
+     * handle table; they do run under `none` (layout optimizations
+     * degrade to no-ops via LayoutBackend::canRelocate()).  Workloads
+     * that route every reference through LayoutBackend::resolve()
+     * (kv_server) override this to accept all kinds.
+     */
+    virtual bool
+    supportsBackend(BackendKind kind) const
+    {
+        return kind != BackendKind::handles;
+    }
 };
 
 /** Construct workload @p name ("health", "mst", "bh", "radiosity",
- *  "vis", "eqntott", "compress", "smv"). */
+ *  "vis", "eqntott", "compress", "smv", or the extension
+ *  "kv_server"). */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &params = {});
 
 /** The eight application names, in the paper's Table 1 order. */
 const std::vector<std::string> &workloadNames();
+
+/** All runnable workloads: the paper's eight plus extensions
+ *  (kv_server) that are not part of the Table 1 reproduction. */
+const std::vector<std::string> &extendedWorkloadNames();
 
 /** The seven applications of Figures 5-7 (all but SMV). */
 const std::vector<std::string> &figure5Workloads();

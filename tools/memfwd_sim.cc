@@ -31,6 +31,7 @@
 #include "core/fault_injector.hh"
 #include "obs/metrics.hh"
 #include "runtime/heap_verifier.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/sim_allocator.hh"
 #include "workloads/driver.hh"
 #include "workloads/workload.hh"
@@ -55,10 +56,18 @@ usage(std::FILE *out, const char *argv0)
         "flag means on.  Usage errors exit 64 (EX_USAGE).\n"
         "\n"
         "workload:\n"
-        "  --workload NAME    one of the eight applications (see --list)\n"
+        "  --workload NAME    one of the eight applications or the\n"
+        "                     kv_server extension (see --list)\n"
         "  --list             list workloads and exit\n"
         "  --scale X          workload size multiplier (default 1.0)\n"
         "  --seed N           workload seed (default 42)\n"
+        "\n"
+        "layout backend:\n"
+        "  --backend KIND     forwarding | handles | none (default\n"
+        "                     forwarding): the mechanism behind\n"
+        "                     allocation/relocation.  The paper's eight\n"
+        "                     applications hold raw pointers and refuse\n"
+        "                     'handles'; kv_server runs under all three\n"
         "\n"
         "machine:\n"
         "  --line BYTES       cache line size, both levels (default 32)\n"
@@ -236,11 +245,18 @@ main(int argc, char **argv)
             cfg.workload = value();
         } else if (name == "--list") {
             noValue();
-            for (const auto &n : workloadNames()) {
+            for (const auto &n : extendedWorkloadNames()) {
                 std::printf("%-10s %s\n", n.c_str(),
                             makeWorkload(n)->description().c_str());
             }
             return 0;
+        } else if (name == "--backend") {
+            const std::string kind = value();
+            if (!backendKindFromName(kind, cfg.machine.backend_kind)) {
+                usageError(argv[0], "unknown backend '" + kind +
+                                        "' (forwarding | handles | "
+                                        "none)");
+            }
         } else if (name == "--scale") {
             cfg.params.scale = std::atof(value().c_str());
         } else if (name == "--seed") {
@@ -356,6 +372,15 @@ main(int argc, char **argv)
     // Run with a live Machine so we can dump its registry afterwards.
     Machine machine(cfg.machine);
 
+    auto workload = makeWorkload(cfg.workload, cfg.params);
+    if (!workload->supportsBackend(cfg.machine.backend_kind)) {
+        usageError(argv[0],
+                   "workload '" + cfg.workload +
+                       "' cannot run under --backend=" +
+                       backendKindName(cfg.machine.backend_kind) +
+                       " (raw pointers cannot be mediated)");
+    }
+
     FaultInjector faults(fault_seed);
     if (!fault_spec.empty()) {
         try {
@@ -370,7 +395,6 @@ main(int argc, char **argv)
     if (analyze_mode != AnalyzeMode::off)
         machine.setAnalysisGate(&gate);
 
-    auto workload = makeWorkload(cfg.workload, cfg.params);
     int exit_code = 0;
     const auto host_t0 = std::chrono::steady_clock::now();
     try {
@@ -425,6 +449,32 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     machine.storesForwarded()),
                 static_cast<unsigned long long>(machine.stores()));
+    if (machine.backendSeen()) {
+        const LayoutBackendStats bs = machine.backendStats();
+        const BackendKind bk = machine.backendKindSeen();
+        if (bk == BackendKind::handles) {
+            std::printf("backend        handles: %llu allocs, %llu moved "
+                        "(%llu refused), %.2f derefs/resolve\n",
+                        static_cast<unsigned long long>(bs.allocs),
+                        static_cast<unsigned long long>(bs.relocations),
+                        static_cast<unsigned long long>(bs.refusals),
+                        bs.resolves ? double(bs.handle_derefs) /
+                                          double(bs.resolves)
+                                    : 0.0);
+        } else {
+            const auto &fs = machine.forwarding().stats();
+            std::printf("backend        %s: %llu allocs, %llu moved "
+                        "(%llu refused), %.4f hops/ref\n",
+                        backendKindName(bk),
+                        static_cast<unsigned long long>(bs.allocs),
+                        static_cast<unsigned long long>(bs.relocations),
+                        static_cast<unsigned long long>(bs.refusals),
+                        machine.refsExecuted()
+                            ? double(fs.hops) /
+                                  double(machine.refsExecuted())
+                            : 0.0);
+        }
+    }
     if (cfg.machine.metadata_plane) {
         const auto &fs = machine.forwarding().stats();
         std::printf("temporal       %llu uaf, %llu oob violations\n",
