@@ -23,6 +23,7 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "runtime/data_coloring.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
 #include "runtime/sim_allocator.hh"
@@ -86,8 +87,9 @@ main()
             static_cast<unsigned>(30000 * benchScale());
         const Cycles before = chase(m, items[0], hops);
 
+        ForwardingBackend fwd(m);
         const ColoringResult cr = colorRelocate(
-            m, items, 64, pool, cache,
+            fwd, items, 64, pool, cache,
             m.config().hierarchy.l1d.line_bytes, 8);
 
         // Chase via stale pointers: the ring still stores the OLD
@@ -153,8 +155,9 @@ main()
             static_cast<unsigned>(1500 * benchScale());
         const Cycles before = reuse(matrix, cache, passes);
 
+        ForwardingBackend fwd(m);
         const Addr buffer =
-            copyTile(m, matrix, rows, row_bytes, cache, pool);
+            copyTile(fwd, matrix, rows, row_bytes, cache, pool);
         const Cycles after = reuse(buffer, row_bytes, passes);
 
         report.addCase("copying/strided", before, 0, 0, obs::MetricsNode{});

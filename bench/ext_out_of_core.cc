@@ -17,6 +17,7 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "mem/page_cache.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
@@ -102,7 +103,8 @@ main()
 
     // The optimizer's own work is not metered.
     m.tracer().removeSink(&sink);
-    listLinearize(m, head, {node_bytes, off_next, 0}, pool);
+    ForwardingBackend fwd(m);
+    listLinearize(fwd, head, {node_bytes, off_next, 0}, pool);
 
     paging.clearStats();
     m.tracer().addSink(&sink);

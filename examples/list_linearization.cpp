@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
@@ -74,8 +75,9 @@ main()
     std::uint64_t sum_before = 0, sum_after = 0, sum_stale = 0;
     const Cycles scattered = traverse(m, head, sum_before);
 
+    ForwardingBackend fwd(m);
     const LinearizeResult lin = listLinearize(
-        m, head, {node_bytes, off_next, 0}, pool);
+        fwd, head, {node_bytes, off_next, 0}, pool);
     std::printf("linearized %u nodes into %llu contiguous bytes\n",
                 lin.nodes,
                 static_cast<unsigned long long>(lin.pool_bytes));

@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
 #include "runtime/subtree_cluster.hh"
@@ -96,8 +97,9 @@ main()
     TreeDesc desc;
     desc.node_bytes = node_bytes;
     desc.child_offsets = {off_left, off_right};
+    ForwardingBackend fwd(m);
     const ClusterResult r =
-        subtreeCluster(m, root_handle, desc, pool,
+        subtreeCluster(fwd, root_handle, desc, pool,
                        m.config().hierarchy.l1d.line_bytes);
     std::printf("clustered %u nodes into %u line-sized clusters\n",
                 r.nodes, r.clusters);

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/sim_allocator.hh"
 #include "runtime/sim_struct.hh"
@@ -84,7 +85,8 @@ main()
     lookup(1998); // full walk, scattered
     const Cycles scattered_walk = m.cycles() - before;
 
-    listLinearize(m, head, {Entry::bytes, Entry::next.offset, 0}, pool);
+    ForwardingBackend fwd(m);
+    listLinearize(fwd, head, {Entry::bytes, Entry::next.offset, 0}, pool);
 
     const Cycles after = m.cycles();
     lookup(1998); // full walk, linearized

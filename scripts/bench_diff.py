@@ -23,7 +23,10 @@ naming the bench, case, and metric — never a hard failure — so adding
 a new gauge does not invalidate committed baselines mid-migration.
 `--require-metric M` (repeatable) turns a *candidate-side* gap into a
 structural error: every NEW case must carry metric M (dotted path) or
-the diff exits 2 naming the offending bench/case/metric.
+the diff exits 2 naming the offending bench/case/metric.  By default
+the first gap aborts the run; `--list-missing` collects *every*
+violation across all benches and cases, prints the full list, and then
+exits 2 — useful when wiring a new gauge through many benches at once.
 
 Exit codes: 0 no regression, 1 regression(s) past threshold,
 2 structural error (unreadable input, bad schema, nothing to compare,
@@ -131,6 +134,10 @@ def main():
                          "carry (repeatable); a missing one is a "
                          "structural error (exit 2) naming the "
                          "bench/case/metric")
+    ap.add_argument("--list-missing", action="store_true",
+                    help="with --require-metric, report every missing "
+                         "metric across all benches/cases before "
+                         "exiting 2, instead of stopping at the first")
     ap.add_argument("old", help="baseline results (directory or file)")
     ap.add_argument("new", help="candidate results (directory or file)")
     args = ap.parse_args()
@@ -138,12 +145,22 @@ def main():
     old = load_side(args.old)
     new = load_side(args.new)
 
+    missing_required = []
     for metric in args.require_metric:
         for (bench, label), case in sorted(new.items()):
             if lookup_metric(case, metric) is None:
-                fail(f"candidate bench '{bench}' case '{label}' is "
-                     f"missing required metric '{metric}' "
-                     f"(--require-metric)")
+                if not args.list_missing:
+                    fail(f"candidate bench '{bench}' case '{label}' is "
+                         f"missing required metric '{metric}' "
+                         f"(--require-metric)")
+                missing_required.append((bench, label, metric))
+    if missing_required:
+        for bench, label, metric in missing_required:
+            print(f"bench_diff: missing: bench '{bench}' case "
+                  f"'{label}' lacks required metric '{metric}'",
+                  file=sys.stderr)
+        fail(f"{len(missing_required)} required-metric violation(s) "
+             f"(--require-metric, listed above)")
 
     common = sorted(set(old) & set(new))
     only_old = sorted(set(old) - set(new))

@@ -60,6 +60,7 @@ namespace memfwd
 {
 
 class TaggedMemory;
+class PlanScheduler;
 
 /** How much of the analysis machinery is active. */
 enum class AnalyzeMode
@@ -144,6 +145,36 @@ class AnalysisGate
     /** Retain every submitted plan's report (the lint tool reads them). */
     void setRetainReports(bool retain) { retain_reports_ = retain; }
 
+    /** Retain a copy of every submitted plan (interference passes
+     *  cross-check them pairwise after the run). */
+    void setRetainPlans(bool retain) { retain_plans_ = retain; }
+
+    /** Plans retained under setRetainPlans(true), oldest first. */
+    const std::vector<RelocationPlan> &plans() const { return plans_; }
+
+    /**
+     * Attach a PlanScheduler (analysis/scheduler.hh): every submission
+     * is then checked for interference against the in-flight plans and
+     * refused (ScheduleRefused) when the verdict matrix forbids
+     * concurrent admission.  Not owned; nullptr detaches.
+     */
+    void setScheduler(PlanScheduler *scheduler)
+    {
+        scheduler_ = scheduler;
+    }
+
+    PlanScheduler *scheduler() const { return scheduler_; }
+
+    /**
+     * Ticket of the innermost active plan (0 when none): the id that
+     * tags this plan's relocation transactions in the trace
+     * (txn_begin/txn_commit) and in the scheduler's pair checks.
+     */
+    std::uint64_t activeTicket() const
+    {
+        return active_.empty() ? 0 : active_.back().ticket;
+    }
+
     /**
      * Submit a plan: analyze it, account its diagnostics, and — in any
      * active mode — activate it for enforcement until planDone().
@@ -212,17 +243,22 @@ class AnalysisGate
     AnalyzeMode mode_;
     bool keep_going_ = false;
     bool retain_reports_ = false;
+    bool retain_plans_ = false;
     unsigned annotate_depth_ = 0;
 
     PlanAnalyzer analyzer_;
     GateStats stats_;
     std::vector<AnalysisReport> reports_;
+    std::vector<RelocationPlan> plans_;
     obs::Tracer *tracer_ = nullptr;
     std::function<Cycles()> clock_;
+    PlanScheduler *scheduler_ = nullptr;
+    std::uint64_t next_ticket_ = 0;
 
     /** Source ranges of every active (nested) plan, as (begin,end). */
     struct ActivePlan
     {
+        std::uint64_t ticket = 0;
         std::vector<std::pair<Addr, Addr>> src_ranges;
         std::vector<SiteId> approved;
     };

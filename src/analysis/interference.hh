@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The InterferenceAnalyzer: pairwise safety of concurrent relocations.
+ *
+ * The PlanAnalyzer (analysis/analyzer.hh) proves one RelocationPlan
+ * safe in isolation.  A sharded runtime wants to run several approved
+ * plans *at the same time*, and whole-plan safety does not compose:
+ * two individually-verified plans can append to the same chain head,
+ * copy into the same destination words, or close a forwarding cycle
+ * that exists in neither plan alone.  This pass answers the composition
+ * question statically, per unordered plan pair:
+ *
+ *  - `commute`  — the pair is safe in either order and interleaved at
+ *                 transaction granularity: disjoint source and
+ *                 destination ranges, no shared forwarding-chain heads,
+ *                 and the composed planned-forwarding graph is acyclic.
+ *                 Executing the two plans concurrently yields the same
+ *                 canonical heap as either serialization (the
+ *                 commutativity differential in
+ *                 tests/integration/test_commutativity.cc checks this
+ *                 empirically for every pair the analyzer passes);
+ *  - `ordered`  — safe only in one serialization; the finding carries
+ *                 the required happens-before edge (`first` must fully
+ *                 commit before `second` begins).  The canonical case is
+ *                 W201: plan B relocates words plan A is about to park
+ *                 data in, so B must drain A's *final* destination, not
+ *                 a stale snapshot of it;
+ *  - `conflict` — no serialization is safe to admit concurrently:
+ *                 overlapping move ranges (E101/E102), a raw access
+ *                 site whose static proof the other plan invalidates
+ *                 (E104), or a cycle — in the composed forwarding graph
+ *                 or in the ordering constraints themselves — that
+ *                 appears only under composition (E103).
+ *
+ * Verdicts come with the same stable, append-only diagnostic code
+ * family the single-plan analyzer uses: E1xx interference errors and
+ * W2xx ordering warnings (docs/ANALYSIS.md).  Like the PlanAnalyzer,
+ * this pass is purely static — it consumes declarative plans (plus an
+ * optional summary of concurrently-running access sites) and never
+ * touches the Machine.
+ */
+
+#ifndef MEMFWD_ANALYSIS_INTERFERENCE_HH
+#define MEMFWD_ANALYSIS_INTERFERENCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/plan.hh"
+#include "obs/json.hh"
+
+namespace memfwd
+{
+
+/** Pairwise verdict for two plans considered for concurrent execution. */
+enum class InterferenceVerdict
+{
+    commute, ///< safe in either order and interleaved
+    ordered, ///< safe only when `first` commits before `second` begins
+    conflict ///< not safe to admit concurrently in any order
+};
+
+const char *interferenceVerdictName(InterferenceVerdict verdict);
+
+/** One analyzed pair: verdict, required order (if any), and evidence. */
+struct PairFinding
+{
+    std::size_t a = 0; ///< index of the first plan in the analyzed set
+    std::size_t b = 1; ///< index of the second plan in the analyzed set
+    InterferenceVerdict verdict = InterferenceVerdict::commute;
+
+    /** Required serialization when `ordered`: plan index that must
+     *  fully commit first / begin second.  no_plan_index otherwise. */
+    std::size_t first = no_plan_index;
+    std::size_t second = no_plan_index;
+
+    std::vector<Diagnostic> diags;
+
+    bool hasCode(DiagCode code) const;
+    obs::Json toJson() const;
+};
+
+/** The full pairwise matrix over one set of plans. */
+class InterferenceReport
+{
+  public:
+    /** All unordered pairs (i < j), in (i, j) lexicographic order. */
+    const std::vector<PairFinding> &pairs() const { return pairs_; }
+
+    /** The finding for pair (a, b); nullptr if out of range. */
+    const PairFinding *pair(std::size_t a, std::size_t b) const;
+
+    std::size_t plans() const { return plans_; }
+    std::size_t count(InterferenceVerdict verdict) const;
+    bool allCommute() const
+    {
+        return count(InterferenceVerdict::commute) == pairs_.size();
+    }
+
+    /** Plan-vs-concurrent-site findings (E104 against ambient sites). */
+    const std::vector<Diagnostic> &siteDiagnostics() const
+    {
+        return site_diags_;
+    }
+
+    obs::Json toJson() const;
+
+  private:
+    friend class InterferenceAnalyzer;
+
+    std::size_t plans_ = 0;
+    std::vector<PairFinding> pairs_;
+    std::vector<Diagnostic> site_diags_;
+};
+
+/** Static pairwise interference checker for RelocationPlans. */
+class InterferenceAnalyzer
+{
+  public:
+    /**
+     * Analyze one unordered pair.  @p a and @p b are the indices the
+     * finding reports (defaults suit a standalone pair); the plans are
+     * assumed individually well-formed — single-plan defects are the
+     * PlanAnalyzer's jurisdiction and are not re-reported here.
+     */
+    PairFinding analyzePair(const RelocationPlan &plan_a,
+                            const RelocationPlan &plan_b,
+                            std::size_t a = 0, std::size_t b = 1) const;
+
+    /**
+     * Analyze every unordered pair of @p plans, plus each plan against
+     * @p concurrent_sites — a summary of raw access sites running
+     * concurrently with the whole set (an ambient site overlapping a
+     * plan's moves is an E104 in the report's siteDiagnostics()).
+     */
+    InterferenceReport
+    analyze(const std::vector<RelocationPlan> &plans,
+            const std::vector<AccessSite> &concurrent_sites = {}) const;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_ANALYSIS_INTERFERENCE_HH

@@ -43,6 +43,18 @@ diagCodeName(DiagCode code)
         return "W103";
       case DiagCode::N201_site_demoted:
         return "N201";
+      case DiagCode::E101_shared_move_source:
+        return "E101";
+      case DiagCode::E102_shared_move_dest:
+        return "E102";
+      case DiagCode::E103_composed_cycle:
+        return "E103";
+      case DiagCode::E104_site_invalidated:
+        return "E104";
+      case DiagCode::W201_ordered_dest_drain:
+        return "W201";
+      case DiagCode::W202_shared_root_slot:
+        return "W202";
     }
     return "?";
 }

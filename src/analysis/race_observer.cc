@@ -1,0 +1,181 @@
+#include "analysis/race_observer.hh"
+
+#include <algorithm>
+
+#include "analysis/interference.hh"
+
+namespace memfwd
+{
+
+void
+RaceObserver::observe(unsigned lane, const obs::TraceEvent &event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    switch (event.kind) {
+      case obs::EventKind::txn_begin: {
+        // A begin while a txn is still open on the lane means the
+        // previous one aborted (rollback) without a commit marker.
+        if (open_.count(lane)) {
+            ++aborted_;
+            open_.erase(lane);
+        }
+        Txn t;
+        t.lane = lane;
+        t.ticket = event.arg;
+        const Addr bytes = Addr(event.size) * wordBytes;
+        if (bytes) {
+            t.ranges.emplace_back(event.addr, event.addr + bytes);
+            t.ranges.emplace_back(event.addr2, event.addr2 + bytes);
+        }
+        t.begin_vc = vc_[lane];
+        open_.emplace(lane, std::move(t));
+        break;
+      }
+      case obs::EventKind::txn_commit:
+        closeTxn(lane);
+        break;
+      case obs::EventKind::rollback:
+        // The transaction undid itself; it never becomes visible, so
+        // it cannot participate in a race.
+        if (open_.count(lane)) {
+            ++aborted_;
+            open_.erase(lane);
+        }
+        break;
+      case obs::EventKind::race_check:
+        if (static_cast<InterferenceVerdict>(event.arg) ==
+            InterferenceVerdict::commute) {
+            const std::uint64_t lo = std::min(event.addr, event.addr2);
+            const std::uint64_t hi = std::max(event.addr, event.addr2);
+            commute_pairs_.emplace_back(lo, hi);
+        }
+        break;
+      case obs::EventKind::reference:
+        if (track_references_ && !open_.count(lane)) {
+            // A raw access outside any transaction: a degenerate txn
+            // that begins and commits at once.
+            Txn t;
+            t.lane = lane;
+            t.ranges.emplace_back(
+                event.addr2 ? event.addr2 : event.addr,
+                (event.addr2 ? event.addr2 : event.addr) +
+                    std::max<Addr>(event.size, 1));
+            t.begin_vc = vc_[lane];
+            t.commit_stamp = ++vc_[lane][lane];
+            closed_.push_back(std::move(t));
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+RaceObserver::closeTxn(unsigned lane)
+{
+    auto it = open_.find(lane);
+    if (it == open_.end())
+        return;
+    Txn t = std::move(it->second);
+    open_.erase(it);
+    t.commit_stamp = ++vc_[lane][lane];
+    closed_.push_back(std::move(t));
+}
+
+void
+RaceObserver::syncEdge(unsigned from, unsigned to)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    VectorClock &dst = vc_[to];
+    for (const auto &[lane, stamp] : vc_[from]) {
+        auto [it, fresh] = dst.emplace(lane, stamp);
+        if (!fresh)
+            it->second = std::max(it->second, stamp);
+    }
+}
+
+void
+RaceObserver::setTrackReferences(bool track)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    track_references_ = track;
+}
+
+bool
+RaceObserver::happensBefore(const Txn &earlier, const Txn &later)
+{
+    // `earlier` is ordered before `later` iff later's begin snapshot
+    // already includes earlier's commit on earlier's own lane.
+    auto it = later.begin_vc.find(earlier.lane);
+    return it != later.begin_vc.end() &&
+           it->second >= earlier.commit_stamp;
+}
+
+bool
+RaceObserver::overlap(const Txn &x, const Txn &y, Addr &where)
+{
+    for (const auto &[xb, xe] : x.ranges) {
+        for (const auto &[yb, ye] : y.ranges) {
+            if (xb < ye && yb < xe) {
+                where = std::max(xb, yb);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<RaceObserver::Race>
+RaceObserver::races() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Race> out;
+    for (std::size_t i = 0; i < closed_.size(); ++i) {
+        for (std::size_t j = i + 1; j < closed_.size(); ++j) {
+            const Txn &x = closed_[i];
+            const Txn &y = closed_[j];
+            if (x.lane == y.lane)
+                continue; // program order: never a race
+            Addr where = 0;
+            if (!overlap(x, y, where))
+                continue;
+            if (happensBefore(x, y) || happensBefore(y, x))
+                continue;
+            out.push_back({x.lane, y.lane, x.ticket, y.ticket, where});
+        }
+    }
+    return out;
+}
+
+std::vector<RaceObserver::Race>
+RaceObserver::falseCommutes() const
+{
+    std::vector<Race> all = races();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Race> out;
+    for (const Race &r : all) {
+        const std::uint64_t lo = std::min(r.ticket_a, r.ticket_b);
+        const std::uint64_t hi = std::max(r.ticket_a, r.ticket_b);
+        if (std::find(commute_pairs_.begin(), commute_pairs_.end(),
+                      std::make_pair(lo, hi)) != commute_pairs_.end())
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::size_t
+RaceObserver::transactions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_.size();
+}
+
+std::size_t
+RaceObserver::aborted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+}
+
+} // namespace memfwd

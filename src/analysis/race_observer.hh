@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The RaceObserver: dynamic validation of static COMMUTE verdicts.
+ *
+ * The InterferenceAnalyzer *claims* two plans commute; this sink
+ * *checks* it on a real execution.  Each concurrent execution lane
+ * (a shard, a thread, or one side of an interleaved replay) registers
+ * a LaneSink with its machine's Tracer and the observer builds a
+ * vector clock per lane over the relocation-transaction events:
+ *
+ *  - `txn_begin`  opens a transaction on the lane, snapshotting the
+ *    lane's clock and recording the word ranges ([src,src+n) and
+ *    [tgt,tgt+n)) the transaction will touch;
+ *  - `txn_commit` closes it and advances the lane's clock;
+ *  - `race_check` (emitted by the AnalysisGate when a scheduler
+ *    computes a pair verdict) teaches the observer which ticket pairs
+ *    the static pass called COMMUTE;
+ *  - `syncEdge(from, to)` is the harness's serialization point: lane
+ *    `to` learns everything lane `from` has committed (the
+ *    happens-before edge an ORDERED admission requires).
+ *
+ * Two transactions race when their word ranges overlap and neither
+ * happened-before the other under the vector clocks.  races() lists
+ * every such pair; falseCommutes() restricts the list to pairs the
+ * static pass vouched for — a non-empty result means a COMMUTE verdict
+ * was empirically wrong, which is exactly what the TSan CI lane and
+ * the commutativity differential assert never happens.
+ *
+ * With `setTrackReferences(true)` raw demand references are also
+ * treated as degenerate (single-range, instantly-committed)
+ * transactions, so an access racing a relocation is caught too; this
+ * is off by default because it records every reference event.
+ *
+ * All entry points are mutex-guarded: lanes may emit from real threads
+ * (the TSan lane runs exactly that configuration).
+ */
+
+#ifndef MEMFWD_ANALYSIS_RACE_OBSERVER_HH
+#define MEMFWD_ANALYSIS_RACE_OBSERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/trace.hh"
+
+namespace memfwd
+{
+
+/** Vector-clock race detector over relocation-transaction events. */
+class RaceObserver
+{
+  public:
+    /** Adapter registering one lane with a Tracer: forwards every
+     *  event to the observer tagged with the lane id.  Not owned by
+     *  the tracer; must outlive its registration. */
+    class LaneSink : public obs::TraceSink
+    {
+      public:
+        LaneSink(RaceObserver &observer, unsigned lane)
+            : observer_(observer), lane_(lane)
+        {
+        }
+
+        void emit(const obs::TraceEvent &event) override
+        {
+            observer_.observe(lane_, event);
+        }
+
+        unsigned lane() const { return lane_; }
+
+      private:
+        RaceObserver &observer_;
+        unsigned lane_;
+    };
+
+    /** One detected overlap between unordered transactions. */
+    struct Race
+    {
+        unsigned lane_a = 0;
+        unsigned lane_b = 0;
+        std::uint64_t ticket_a = 0;
+        std::uint64_t ticket_b = 0;
+        Addr overlap = 0; ///< first overlapping byte
+    };
+
+    /** Consume one event on behalf of @p lane (LaneSink calls this). */
+    void observe(unsigned lane, const obs::TraceEvent &event);
+
+    /**
+     * Record a happens-before edge: everything lane @p from has
+     * committed is now ordered before whatever lane @p to does next.
+     * Call at the serialization point an ORDERED admission demands.
+     */
+    void syncEdge(unsigned from, unsigned to);
+
+    /** Also model raw demand references as degenerate transactions. */
+    void setTrackReferences(bool track);
+
+    /** Every overlapping unordered transaction pair observed so far. */
+    std::vector<Race> races() const;
+
+    /** races() filtered to ticket pairs a race_check event declared
+     *  COMMUTE: the static verdicts the execution refuted. */
+    std::vector<Race> falseCommutes() const;
+
+    /** Closed transactions observed (degenerate ones included). */
+    std::size_t transactions() const;
+
+    /** Transactions opened but never committed (rolled back / lost). */
+    std::size_t aborted() const;
+
+  private:
+    using VectorClock = std::map<unsigned, std::uint64_t>;
+
+    struct Txn
+    {
+        unsigned lane = 0;
+        std::uint64_t ticket = 0;
+        std::vector<std::pair<Addr, Addr>> ranges;
+        VectorClock begin_vc;
+        std::uint64_t commit_stamp = 0;
+    };
+
+    static bool happensBefore(const Txn &earlier, const Txn &later);
+    static bool overlap(const Txn &x, const Txn &y, Addr &where);
+
+    void closeTxn(unsigned lane);
+
+    mutable std::mutex mu_;
+    bool track_references_ = false;
+    std::map<unsigned, VectorClock> vc_;      ///< per-lane clock
+    std::map<unsigned, Txn> open_;            ///< lane -> open txn
+    std::vector<Txn> closed_;
+    std::size_t aborted_ = 0;
+    /** Ticket pairs (lo, hi) the static pass called COMMUTE. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> commute_pairs_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_ANALYSIS_RACE_OBSERVER_HH

@@ -1,0 +1,105 @@
+#include "analysis/scheduler.hh"
+
+namespace memfwd
+{
+
+namespace
+{
+
+std::string
+refusalMessage(const std::string &optimizer,
+               const std::vector<Diagnostic> &diags)
+{
+    std::string msg = "relocation plan from '" + optimizer +
+                      "' refused admission: interferes with " +
+                      std::to_string(diags.empty() ? 1 : diags.size()) +
+                      " in-flight plan(s)";
+    if (!diags.empty()) {
+        msg += "; [";
+        msg += diagCodeName(diags.front().code);
+        msg += "] " + diags.front().message;
+    }
+    return msg;
+}
+
+} // namespace
+
+ScheduleRefused::ScheduleRefused(const std::string &optimizer,
+                                 const std::vector<Diagnostic> &diags)
+    : std::runtime_error(refusalMessage(optimizer, diags)),
+      optimizer_(optimizer),
+      diags_(diags)
+{
+}
+
+PlanScheduler::Decision
+PlanScheduler::admit(const RelocationPlan &plan, std::uint64_t ticket)
+{
+    Decision decision;
+    for (const InFlight &running : inflight_) {
+        // Pair indexing convention: 0 = the plan already in flight,
+        // 1 = the candidate.  An `ordered` verdict is honorable only
+        // when the in-flight plan is the required-first one; we cannot
+        // retroactively run the candidate before a plan that is
+        // already executing.
+        const PairFinding finding =
+            analyzer_.analyzePair(running.plan, plan, 0, 1);
+
+        ++stats_.pairs_checked;
+        switch (finding.verdict) {
+          case InterferenceVerdict::commute:
+            ++stats_.pairs_commute;
+            break;
+          case InterferenceVerdict::ordered:
+            ++stats_.pairs_ordered;
+            break;
+          case InterferenceVerdict::conflict:
+            ++stats_.pairs_conflict;
+            break;
+        }
+
+        decision.checks.push_back({running.ticket, finding.verdict});
+
+        const bool refuse =
+            finding.verdict == InterferenceVerdict::conflict ||
+            (finding.verdict == InterferenceVerdict::ordered &&
+             finding.first != 0);
+        if (refuse) {
+            decision.admitted = false;
+            for (const Diagnostic &d : finding.diags)
+                decision.diags.push_back(d);
+        }
+    }
+
+    if (decision.admitted) {
+        ++stats_.plans_admitted;
+        inflight_.push_back({ticket, plan});
+    } else {
+        ++stats_.plans_refused;
+    }
+    return decision;
+}
+
+void
+PlanScheduler::release(std::uint64_t ticket)
+{
+    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->ticket == ticket) {
+            inflight_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+PlanScheduler::fillMetrics(obs::MetricsNode &into) const
+{
+    into.counter("plans_admitted", stats_.plans_admitted);
+    into.counter("plans_refused", stats_.plans_refused);
+    into.counter("pairs_checked", stats_.pairs_checked);
+    into.counter("pairs_commute", stats_.pairs_commute);
+    into.counter("pairs_ordered", stats_.pairs_ordered);
+    into.counter("pairs_conflict", stats_.pairs_conflict);
+}
+
+} // namespace memfwd

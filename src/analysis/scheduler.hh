@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The PlanScheduler: admission control for concurrent relocation plans.
+ *
+ * This is the API the future sharded runtime calls: the AnalysisGate
+ * consults an attached scheduler on every plan submission, so the
+ * machine can hold multiple approved plans in flight at once and
+ * serialize or refuse them per the InterferenceAnalyzer's verdict
+ * matrix:
+ *
+ *  - `commute`   — the new plan is admitted beside every in-flight
+ *                  plan; the pair may interleave freely;
+ *  - `ordered`   — admitted only when the required happens-before edge
+ *                  already holds, i.e. the in-flight plan is the one
+ *                  that must run first.  An edge demanding the *new*
+ *                  plan run first cannot be honored (the other plan is
+ *                  already executing) and refuses admission;
+ *  - `conflict`  — refused outright.
+ *
+ * Refusal surfaces as ScheduleRefused from AnalysisGate::submit()
+ * (suppressed in keep-going/lint mode, like PlanRejected).  Each
+ * admitted plan holds a ticket until AnalysisGate::planDone() releases
+ * it; tickets also tag the relocation-transaction trace events
+ * (txn_begin/txn_commit) so the dynamic RaceObserver can attribute
+ * overlaps to the static verdict that allowed them.
+ */
+
+#ifndef MEMFWD_ANALYSIS_SCHEDULER_HH
+#define MEMFWD_ANALYSIS_SCHEDULER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/interference.hh"
+#include "analysis/plan.hh"
+#include "obs/metrics.hh"
+
+namespace memfwd
+{
+
+/** Thrown when admission would violate the interference matrix. */
+class ScheduleRefused : public std::runtime_error
+{
+  public:
+    ScheduleRefused(const std::string &optimizer,
+                    const std::vector<Diagnostic> &diags);
+
+    const std::string &optimizer() const { return optimizer_; }
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+  private:
+    std::string optimizer_;
+    std::vector<Diagnostic> diags_;
+};
+
+/** Counters the scheduler keeps (exported under analysis.interference). */
+struct SchedulerStats
+{
+    std::uint64_t plans_admitted = 0;
+    std::uint64_t plans_refused = 0;
+    std::uint64_t pairs_checked = 0;
+    std::uint64_t pairs_commute = 0;
+    std::uint64_t pairs_ordered = 0;
+    std::uint64_t pairs_conflict = 0;
+};
+
+/** Interference-aware admission control over in-flight plans. */
+class PlanScheduler
+{
+  public:
+    /** One pairwise check performed during an admission decision. */
+    struct PairCheck
+    {
+        std::uint64_t other_ticket = 0;
+        InterferenceVerdict verdict = InterferenceVerdict::commute;
+    };
+
+    /** The outcome of one admission attempt. */
+    struct Decision
+    {
+        bool admitted = true;
+        std::vector<PairCheck> checks; ///< one per in-flight plan
+        std::vector<Diagnostic> diags; ///< evidence for a refusal
+    };
+
+    /**
+     * Try to admit @p plan beside every in-flight plan, under ticket
+     * @p ticket (the gate's monotonic plan id).  An admitted plan is
+     * tracked until release(); a refused plan is not tracked even if
+     * the caller (keep-going lint) executes it anyway.
+     */
+    Decision admit(const RelocationPlan &plan, std::uint64_t ticket);
+
+    /** Drop the in-flight plan holding @p ticket (unknown is a no-op). */
+    void release(std::uint64_t ticket);
+
+    /** Plans currently admitted and not yet released. */
+    std::size_t inFlight() const { return inflight_.size(); }
+
+    const SchedulerStats &stats() const { return stats_; }
+
+    /** Add the scheduler's counters to @p into (docs/METRICS.md). */
+    void fillMetrics(obs::MetricsNode &into) const;
+
+  private:
+    struct InFlight
+    {
+        std::uint64_t ticket;
+        RelocationPlan plan;
+    };
+
+    std::vector<InFlight> inflight_;
+    InterferenceAnalyzer analyzer_;
+    SchedulerStats stats_;
+};
+
+} // namespace memfwd
+
+#endif // MEMFWD_ANALYSIS_SCHEDULER_HH

@@ -82,16 +82,6 @@ colorRelocate(LayoutBackend &backend, const std::vector<Addr> &items,
     return result;
 }
 
-ColoringResult
-colorRelocate(Machine &machine, const std::vector<Addr> &items,
-              unsigned item_bytes, RelocationPool &pool,
-              unsigned cache_bytes, unsigned line_bytes, unsigned n_colors)
-{
-    ForwardingBackend backend(machine);
-    return colorRelocate(backend, items, item_bytes, pool, cache_bytes,
-                         line_bytes, n_colors);
-}
-
 Addr
 copyTile(LayoutBackend &backend, Addr tile_base, unsigned rows,
          unsigned row_bytes, Addr row_stride, RelocationPool &pool)
@@ -118,14 +108,6 @@ copyTile(LayoutBackend &backend, Addr tile_base, unsigned rows,
                          buffer + Addr(r) * rb, rb / wordBytes);
     }
     return buffer;
-}
-
-Addr
-copyTile(Machine &machine, Addr tile_base, unsigned rows,
-         unsigned row_bytes, Addr row_stride, RelocationPool &pool)
-{
-    ForwardingBackend backend(machine);
-    return copyTile(backend, tile_base, rows, row_bytes, row_stride, pool);
 }
 
 } // namespace memfwd

@@ -50,18 +50,6 @@ ColoringResult colorRelocate(LayoutBackend &backend,
                              unsigned n_colors);
 
 /**
- * Deprecated compatibility shim: color through an ephemeral
- * ForwardingBackend on @p machine (docs/API.md deprecation table).
- * A backend that refuses relocation returns the items unchanged
- * (new_addrs == items, no pool space consumed).
- */
-ColoringResult colorRelocate(Machine &machine,
-                             const std::vector<Addr> &items,
-                             unsigned item_bytes, RelocationPool &pool,
-                             unsigned cache_bytes, unsigned line_bytes,
-                             unsigned n_colors);
-
-/**
  * Data copying for tiles: relocate @p rows rows of @p row_bytes, each
  * starting @p row_stride apart at @p tile_base, into one contiguous
  * buffer from @p pool.  Returns the buffer base, or 0 when @p backend
@@ -70,10 +58,6 @@ ColoringResult colorRelocate(Machine &machine,
  * bytes and cannot conflict with itself.
  */
 Addr copyTile(LayoutBackend &backend, Addr tile_base, unsigned rows,
-              unsigned row_bytes, Addr row_stride, RelocationPool &pool);
-
-/** Deprecated compatibility shim (ephemeral ForwardingBackend). */
-Addr copyTile(Machine &machine, Addr tile_base, unsigned rows,
               unsigned row_bytes, Addr row_stride, RelocationPool &pool);
 
 } // namespace memfwd

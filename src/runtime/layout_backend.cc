@@ -1,5 +1,6 @@
 #include "runtime/layout_backend.hh"
 
+#include "analysis/gate.hh"
 #include "common/logging.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -111,6 +112,14 @@ ForwardingBackend::compactObject(BackendRef ref, Placement placement)
         return false;
     }
     try {
+        // Online compaction declares itself like every other layout
+        // pass: one single-move plan through the analysis gate (plan
+        // submission is host work, so timing is unchanged), instead of
+        // leaning on relocate()'s anonymous micro-plan fallback.
+        RelocationPlan plan("compact_object");
+        plan.assume(AliasAssumption::stale_pointers_possible)
+            .move(ref, tgt, static_cast<unsigned>(bytes / wordBytes));
+        PlanScope scope(machine_.analysisGate(), plan);
         memfwd::relocate(machine_, ref, tgt,
                          static_cast<unsigned>(bytes / wordBytes));
     } catch (...) {

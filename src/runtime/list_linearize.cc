@@ -104,12 +104,4 @@ listLinearize(LayoutBackend &backend, Addr head_handle, const ListDesc &desc,
             static_cast<Addr>(node_bytes) * old_nodes.size()};
 }
 
-LinearizeResult
-listLinearize(Machine &machine, Addr head_handle, const ListDesc &desc,
-              RelocationPool &pool, unsigned max_nodes)
-{
-    ForwardingBackend backend(machine);
-    return listLinearize(backend, head_handle, desc, pool, max_nodes);
-}
-
 } // namespace memfwd

@@ -60,16 +60,6 @@ LinearizeResult listLinearize(LayoutBackend &backend, Addr head_handle,
                               const ListDesc &desc, RelocationPool &pool,
                               unsigned max_nodes = 1u << 22);
 
-/**
- * Deprecated compatibility shim: linearize through an ephemeral
- * ForwardingBackend on @p machine.  Timing is identical to the
- * backend form with a ForwardingBackend (docs/API.md deprecation
- * table; scripts/migrate_backend_api.py rewrites call sites).
- */
-LinearizeResult listLinearize(Machine &machine, Addr head_handle,
-                              const ListDesc &desc, RelocationPool &pool,
-                              unsigned max_nodes = 1u << 22);
-
 } // namespace memfwd
 
 #endif // MEMFWD_RUNTIME_LIST_LINEARIZE_HH

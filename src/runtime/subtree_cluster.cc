@@ -183,12 +183,4 @@ subtreeCluster(LayoutBackend &backend, Addr root_handle,
     return {nr, static_cast<unsigned>(nodes.size()), clusters, pool_used};
 }
 
-ClusterResult
-subtreeCluster(Machine &machine, Addr root_handle, const TreeDesc &desc,
-               RelocationPool &pool, unsigned cluster_bytes)
-{
-    ForwardingBackend backend(machine);
-    return subtreeCluster(backend, root_handle, desc, pool, cluster_bytes);
-}
-
 } // namespace memfwd

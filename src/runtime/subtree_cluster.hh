@@ -71,14 +71,6 @@ ClusterResult subtreeCluster(LayoutBackend &backend, Addr root_handle,
                              const TreeDesc &desc, RelocationPool &pool,
                              unsigned cluster_bytes);
 
-/**
- * Deprecated compatibility shim: cluster through an ephemeral
- * ForwardingBackend on @p machine (docs/API.md deprecation table).
- */
-ClusterResult subtreeCluster(Machine &machine, Addr root_handle,
-                             const TreeDesc &desc, RelocationPool &pool,
-                             unsigned cluster_bytes);
-
 } // namespace memfwd
 
 #endif // MEMFWD_RUNTIME_SUBTREE_CLUSTER_HH

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * RaceObserver unit tests: vector-clock happens-before over the
+ * txn_begin/txn_commit trace events, syncEdge ordering, aborted
+ * transactions, reference tracking, and falseCommutes() — the dynamic
+ * refutation of a static COMMUTE verdict.
+ *
+ * RaceObserverThreads.* drives the observer from real std::threads and
+ * runs under the TSan CI lane, which is the point: the observer is the
+ * one analysis component that must itself be data-race free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/interference.hh"
+#include "analysis/race_observer.hh"
+
+using namespace memfwd;
+
+namespace
+{
+
+obs::TraceEvent
+txnEvent(obs::EventKind kind, Addr src, Addr tgt, std::uint64_t ticket,
+         unsigned n_words)
+{
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.access = AccessType::store;
+    e.addr = src;
+    e.addr2 = tgt;
+    e.arg = ticket;
+    e.size = n_words;
+    return e;
+}
+
+obs::TraceEvent
+raceCheck(std::uint64_t other, std::uint64_t ticket,
+          InterferenceVerdict verdict)
+{
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::race_check;
+    e.addr = other;
+    e.addr2 = ticket;
+    e.arg = static_cast<std::uint64_t>(verdict);
+    return e;
+}
+
+/** Run one whole transaction on @p lane. */
+void
+runTxn(RaceObserver &obs, unsigned lane, Addr src, Addr tgt,
+       std::uint64_t ticket, unsigned n_words = 4)
+{
+    obs.observe(lane, txnEvent(obs::EventKind::txn_begin, src, tgt,
+                               ticket, n_words));
+    obs.observe(lane, txnEvent(obs::EventKind::txn_commit, src, tgt,
+                               ticket, n_words));
+}
+
+} // namespace
+
+TEST(RaceObserver, DisjointTransactionsDoNotRace)
+{
+    RaceObserver obs;
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 1, 0x5000, 0x6000, 2);
+    EXPECT_EQ(obs.transactions(), 2u);
+    EXPECT_TRUE(obs.races().empty());
+}
+
+TEST(RaceObserver, UnorderedOverlapIsARace)
+{
+    // Both lanes relocate into 0x2000 with no sync edge between them.
+    RaceObserver obs;
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 1, 0x3000, 0x2000, 2);
+
+    const std::vector<RaceObserver::Race> races = obs.races();
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0].ticket_a, 1u);
+    EXPECT_EQ(races[0].ticket_b, 2u);
+    EXPECT_EQ(races[0].overlap, Addr(0x2000));
+}
+
+TEST(RaceObserver, SourceRangesOverlapToo)
+{
+    RaceObserver obs;
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 1, 0x1008, 0x6000, 2); // src overlaps lane 0's src
+    EXPECT_EQ(obs.races().size(), 1u);
+}
+
+TEST(RaceObserver, SyncEdgeOrdersTheOverlap)
+{
+    // Same overlap as above, but the harness serialized: lane 1 began
+    // after learning everything lane 0 committed.
+    RaceObserver obs;
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    obs.syncEdge(0, 1);
+    runTxn(obs, 1, 0x3000, 0x2000, 2);
+    EXPECT_TRUE(obs.races().empty());
+}
+
+TEST(RaceObserver, SyncEdgeIsDirectional)
+{
+    // The edge points the wrong way: lane 1's overlap is still
+    // unordered with respect to lane 0's commit.
+    RaceObserver obs;
+    obs.syncEdge(1, 0);
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 1, 0x3000, 0x2000, 2);
+    EXPECT_EQ(obs.races().size(), 1u);
+}
+
+TEST(RaceObserver, SameLaneIsProgramOrder)
+{
+    RaceObserver obs;
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 0, 0x3000, 0x2000, 2); // overlaps, same lane
+    EXPECT_TRUE(obs.races().empty());
+}
+
+TEST(RaceObserver, RollbackAbortsTheOpenTransaction)
+{
+    RaceObserver obs;
+    obs.observe(0, txnEvent(obs::EventKind::txn_begin, 0x1000, 0x2000,
+                            1, 4));
+    obs::TraceEvent rb;
+    rb.kind = obs::EventKind::rollback;
+    obs.observe(0, rb);
+    // The aborted txn never becomes visible: no race against it.
+    runTxn(obs, 1, 0x1000, 0x2000, 2);
+    EXPECT_TRUE(obs.races().empty());
+    EXPECT_EQ(obs.aborted(), 1u);
+    EXPECT_EQ(obs.transactions(), 1u);
+}
+
+TEST(RaceObserver, ReBeginCountsAsAbort)
+{
+    RaceObserver obs;
+    obs.observe(0, txnEvent(obs::EventKind::txn_begin, 0x1000, 0x2000,
+                            1, 4));
+    runTxn(obs, 0, 0x5000, 0x6000, 2); // begin while one is open
+    EXPECT_EQ(obs.aborted(), 1u);
+    EXPECT_EQ(obs.transactions(), 1u);
+}
+
+TEST(RaceObserver, TrackedReferencesRaceRelocations)
+{
+    RaceObserver obs;
+    obs.setTrackReferences(true);
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+
+    obs::TraceEvent ref;
+    ref.kind = obs::EventKind::reference;
+    ref.access = AccessType::load;
+    ref.addr = 0x2000;
+    ref.addr2 = 0x2000;
+    ref.size = 8;
+    obs.observe(1, ref);
+
+    EXPECT_EQ(obs.transactions(), 2u);
+    EXPECT_EQ(obs.races().size(), 1u);
+}
+
+TEST(RaceObserver, UntrackedReferencesAreIgnored)
+{
+    RaceObserver obs;
+    obs::TraceEvent ref;
+    ref.kind = obs::EventKind::reference;
+    ref.addr = 0x2000;
+    ref.size = 8;
+    obs.observe(1, ref);
+    EXPECT_EQ(obs.transactions(), 0u);
+}
+
+TEST(RaceObserver, FalseCommutesFiltersToVouchedPairs)
+{
+    RaceObserver obs;
+    // The static pass vouched for tickets (1, 2) but not (1, 3).
+    obs.observe(0, raceCheck(1, 2, InterferenceVerdict::commute));
+    obs.observe(0, raceCheck(1, 3, InterferenceVerdict::conflict));
+
+    runTxn(obs, 0, 0x1000, 0x2000, 1);
+    runTxn(obs, 1, 0x3000, 0x2000, 2); // races 1, vouched -> false commute
+    runTxn(obs, 2, 0x1000, 0x7000, 3); // races 1, not vouched
+
+    EXPECT_GE(obs.races().size(), 2u);
+    const std::vector<RaceObserver::Race> fc = obs.falseCommutes();
+    ASSERT_EQ(fc.size(), 1u);
+    const std::uint64_t lo = std::min(fc[0].ticket_a, fc[0].ticket_b);
+    const std::uint64_t hi = std::max(fc[0].ticket_a, fc[0].ticket_b);
+    EXPECT_EQ(lo, 1u);
+    EXPECT_EQ(hi, 2u);
+}
+
+TEST(RaceObserver, LaneSinkTagsItsLane)
+{
+    RaceObserver obs;
+    RaceObserver::LaneSink lane0(obs, 0);
+    RaceObserver::LaneSink lane1(obs, 1);
+    EXPECT_EQ(lane0.lane(), 0u);
+
+    obs::Tracer t0, t1;
+    t0.addSink(&lane0);
+    t1.addSink(&lane1);
+    t0.emit(txnEvent(obs::EventKind::txn_begin, 0x1000, 0x2000, 1, 4));
+    t0.emit(txnEvent(obs::EventKind::txn_commit, 0x1000, 0x2000, 1, 4));
+    t1.emit(txnEvent(obs::EventKind::txn_begin, 0x3000, 0x2000, 2, 4));
+    t1.emit(txnEvent(obs::EventKind::txn_commit, 0x3000, 0x2000, 2, 4));
+
+    EXPECT_EQ(obs.transactions(), 2u);
+    EXPECT_EQ(obs.races().size(), 1u); // two lanes, no sync edge
+}
+
+// ----- threaded: the TSan lane's subject ------------------------------
+
+TEST(RaceObserverThreads, ConcurrentLanesAreInternallySafe)
+{
+    // Four real threads hammer one observer with disjoint transactions
+    // while a fifth reads races(); TSan validates the locking.
+    RaceObserver obs;
+    constexpr unsigned lanes = 4;
+    constexpr unsigned txns_per_lane = 200;
+
+    std::vector<std::thread> threads;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        threads.emplace_back([&obs, lane] {
+            const Addr base = Addr(0x100000) * (lane + 1);
+            for (unsigned i = 0; i < txns_per_lane; ++i) {
+                const Addr src = base + Addr(i) * 0x100;
+                runTxn(obs, lane, src, src + 0x40, lane * 1000 + i, 2);
+            }
+        });
+    }
+    std::thread reader([&obs] {
+        for (unsigned i = 0; i < 50; ++i) {
+            (void)obs.races();
+            (void)obs.transactions();
+        }
+    });
+    for (std::thread &t : threads)
+        t.join();
+    reader.join();
+
+    EXPECT_EQ(obs.transactions(), std::size_t(lanes) * txns_per_lane);
+    EXPECT_TRUE(obs.races().empty());
+}
+
+TEST(RaceObserverThreads, ConcurrentOverlapIsStillDetected)
+{
+    RaceObserver obs;
+    std::thread a([&obs] { runTxn(obs, 0, 0x1000, 0x2000, 1); });
+    std::thread b([&obs] { runTxn(obs, 1, 0x3000, 0x2000, 2); });
+    a.join();
+    b.join();
+    EXPECT_EQ(obs.races().size(), 1u);
+}

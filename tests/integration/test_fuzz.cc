@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/list_linearize.hh"
 #include "runtime/machine.hh"
 #include "runtime/relocation.hh"
@@ -62,6 +63,7 @@ TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
     Machine m(fuzzConfig(std::get<1>(GetParam())));
     SimAllocator alloc(m, seed);
     RelocationPool pool(alloc, 8 << 20);
+    ForwardingBackend fwd(m);
 
     const Addr root_handle = alloc.alloc(8);
     m.access(Access::store(root_handle, 8, 0));
@@ -121,7 +123,7 @@ TEST_P(RandomTreeFuzz, ClusteringPreservesRandomBsts)
     for (int round = 0; round < 3; ++round) {
         const unsigned cluster =
             32u << rng.below(4); // 32..256
-        subtreeCluster(m, root_handle, desc, pool, cluster);
+        subtreeCluster(fwd, root_handle, desc, pool, cluster);
         EXPECT_EQ(inorder(), keys) << "round " << round;
     }
 }
@@ -148,6 +150,7 @@ TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
     Machine m(fuzzConfig(std::get<1>(GetParam())));
     SimAllocator alloc(m, seed ^ 0xf00);
     RelocationPool pool(alloc, 16 << 20);
+    ForwardingBackend fwd(m);
 
     const Addr head = alloc.alloc(8);
     m.access(Access::store(head, 8, 0));
@@ -196,7 +199,7 @@ TEST_P(RandomListFuzz, LinearizeSurvivesArbitrarySplices)
             m.access(Access::store(slot, 8, nx.value));
             model.erase(model.begin() + pos);
         } else {
-            listLinearize(m, head, {16, 0, 0}, pool);
+            listLinearize(fwd, head, {16, 0, 0}, pool);
         }
         if (op % 37 == 0)
             checkAgainstModel();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "runtime/data_coloring.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
 
@@ -28,6 +29,7 @@ struct ColorRig
     Machine m{directMapped()};
     SimAllocator alloc{m};
     RelocationPool pool{alloc, 4 << 20};
+    ForwardingBackend fwd{m};
 
     /** Allocate n items of `bytes`, all mapping to cache set 0. */
     std::vector<Addr>
@@ -52,7 +54,7 @@ TEST(DataColoring, ItemsLandInDistinctColors)
     const auto items = rig.conflictItems(8, 64);
     const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
     const ColoringResult r =
-        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 8);
+        colorRelocate(rig.fwd, items, 64, rig.pool, cache, 64, 8);
     ASSERT_EQ(r.new_addrs.size(), 8u);
 
     // New homes of consecutive items occupy disjoint set bands.
@@ -67,7 +69,7 @@ TEST(DataColoring, ContentsPreservedThroughStalePointers)
     ColorRig rig;
     const auto items = rig.conflictItems(6, 64);
     const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
-    colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 6);
+    colorRelocate(rig.fwd, items, 64, rig.pool, cache, 64, 6);
     for (unsigned i = 0; i < 6; ++i) {
         for (unsigned off = 0; off < 64; off += 8) {
             EXPECT_EQ(rig.m.access(Access::load(items[i] + off, 8)).value,
@@ -99,7 +101,7 @@ TEST(DataColoring, RemovesConflictMisses)
 
     const std::uint64_t before = sweepMisses(items);
     const ColoringResult r =
-        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 8);
+        colorRelocate(rig.fwd, items, 64, rig.pool, cache, 64, 8);
     const std::uint64_t after = sweepMisses(r.new_addrs);
 
     // Direct-mapped + 8 same-set items: nearly every access refetched
@@ -114,7 +116,7 @@ TEST(DataColoring, RoundRobinAcrossFewerColors)
     const auto items = rig.conflictItems(8, 64);
     const unsigned cache = rig.m.config().hierarchy.l1d.size_bytes;
     const ColoringResult r =
-        colorRelocate(rig.m, items, 64, rig.pool, cache, 64, 4);
+        colorRelocate(rig.fwd, items, 64, rig.pool, cache, 64, 4);
     // Items i and i+4 share a color; i and i+1 do not.
     const auto band = [&](Addr a) {
         return (a % cache) / (cache / 4);
@@ -133,7 +135,7 @@ TEST(CopyTile, ContiguousAndIntact)
             rig.m.access(Access::store(matrix + Addr(r) * cache + off, 8, r * 7 + off));
 
     const Addr buf =
-        copyTile(rig.m, matrix, 8, 128, cache, rig.pool);
+        copyTile(rig.fwd, matrix, 8, 128, cache, rig.pool);
     for (unsigned r = 0; r < 8; ++r) {
         for (unsigned off = 0; off < 128; off += 8) {
             EXPECT_EQ(rig.m.access(Access::load(buf + Addr(r) * 128 + off, 8)).value,
@@ -150,7 +152,7 @@ TEST(DataColoringDeathTest, ZeroColorsRejected)
 {
     ColorRig rig;
     const auto items = rig.conflictItems(2, 64);
-    EXPECT_DEATH(colorRelocate(rig.m, items, 64, rig.pool, 4096, 64, 0),
+    EXPECT_DEATH(colorRelocate(rig.fwd, items, 64, rig.pool, 4096, 64, 0),
                  "at least one color");
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/list_linearize.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/machine.hh"
 #include "runtime/sim_allocator.hh"
 
@@ -22,6 +23,7 @@ struct ListRig
     Machine m;
     SimAllocator alloc{m};
     RelocationPool pool{alloc, 1 << 20};
+    ForwardingBackend fwd{m};
     Addr head = 0;
 
     ListRig() { head = alloc.alloc(wordBytes); }
@@ -63,7 +65,7 @@ TEST(ListLinearize, EmptyList)
     ListRig rig;
     rig.m.access(Access::store(rig.head, 8, 0));
     const LinearizeResult r =
-        listLinearize(rig.m, rig.head, desc, rig.pool);
+        listLinearize(rig.fwd, rig.head, desc, rig.pool);
     EXPECT_EQ(r.nodes, 0u);
     EXPECT_EQ(r.new_head, 0u);
     EXPECT_EQ(r.pool_bytes, 0u);
@@ -75,7 +77,7 @@ TEST(ListLinearize, PreservesOrderAndContents)
     rig.build(20);
     const auto before = rig.payloads();
     const LinearizeResult r =
-        listLinearize(rig.m, rig.head, desc, rig.pool);
+        listLinearize(rig.fwd, rig.head, desc, rig.pool);
     EXPECT_EQ(r.nodes, 20u);
     EXPECT_EQ(rig.payloads(), before);
 }
@@ -85,7 +87,7 @@ TEST(ListLinearize, NodesBecomeContiguousInListOrder)
     ListRig rig;
     rig.build(10);
     const LinearizeResult r =
-        listLinearize(rig.m, rig.head, desc, rig.pool);
+        listLinearize(rig.fwd, rig.head, desc, rig.pool);
     // Walk the new list: node i must be at new_head + 16*i.
     AccessResult cur = rig.m.access(Access::load(rig.head, 8));
     for (unsigned i = 0; i < 10; ++i) {
@@ -104,7 +106,7 @@ TEST(ListLinearize, HeadHandleUpdated)
     const Addr old_first =
         static_cast<Addr>(rig.m.access(Access::load(rig.head, 8)).value);
     const LinearizeResult r =
-        listLinearize(rig.m, rig.head, desc, rig.pool);
+        listLinearize(rig.fwd, rig.head, desc, rig.pool);
     EXPECT_NE(rig.m.access(Access::load(rig.head, 8)).value, old_first);
     EXPECT_EQ(rig.m.access(Access::load(rig.head, 8)).value, r.new_head);
 }
@@ -120,7 +122,7 @@ TEST(ListLinearize, StalePointersStillWork)
         rig.m.access(Access::load(cur.value + 0, 8)).value);
     const std::uint64_t want = rig.m.access(Access::load(stale + 8, 8)).value;
 
-    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
 
     const AccessResult via_stale = rig.m.access(Access::load(stale + 8, 8));
     EXPECT_EQ(via_stale.value, want);
@@ -131,7 +133,7 @@ TEST(ListLinearize, TraversalsAfterwardsDoNotForward)
 {
     ListRig rig;
     rig.build(12);
-    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
     const std::uint64_t walks_before = rig.m.forwarding().stats().walks;
     rig.payloads();
     EXPECT_EQ(rig.m.forwarding().stats().walks, walks_before);
@@ -144,8 +146,8 @@ TEST(ListLinearize, RepeatedLinearizationChainsFromOldNodes)
     // Remember original first node.
     const Addr orig =
         static_cast<Addr>(rig.m.access(Access::load(rig.head, 8)).value);
-    listLinearize(rig.m, rig.head, desc, rig.pool);
-    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
     // The original node now takes two hops; traversal takes none.
     EXPECT_EQ(rig.m.access(Access::load(orig + 8, 8)).hops, 2u);
     EXPECT_EQ(rig.m.access(Access::load(rig.head, 8)).hops, 0u);
@@ -170,7 +172,7 @@ TEST(ListLinearize, SpatialLocalityActuallyImproves)
     };
 
     const std::size_t before = linesTouched();
-    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
     const std::size_t after = linesTouched();
     EXPECT_GE(before, 60u); // scattered: nearly every node its own line
     EXPECT_EQ(after, 64u * 16 / line); // packed (chunk is pool-aligned)
@@ -185,7 +187,7 @@ TEST(ListLinearize, ExternalTailPreserved)
     rig.m.access(Access::store(rig.head, 8, a));
     rig.m.access(Access::store(a + 0, 8, 0xdeadb000));
     rig.m.access(Access::store(a + 8, 8, 5));
-    const LinearizeResult r = listLinearize(rig.m, rig.head, d, rig.pool);
+    const LinearizeResult r = listLinearize(rig.fwd, rig.head, d, rig.pool);
     EXPECT_EQ(r.nodes, 1u);
     EXPECT_EQ(rig.m.access(Access::load(r.new_head + 0, 8)).value, 0xdeadb000u);
 }
@@ -237,7 +239,7 @@ TEST(ListLinearize, SharedTailBetweenTwoLists)
     ASSERT_EQ(walk(head_b), want_b);
 
     // Linearize A: the suffix relocates; B's pointer goes stale.
-    listLinearize(rig.m, rig.head, desc, rig.pool);
+    listLinearize(rig.fwd, rig.head, desc, rig.pool);
     EXPECT_EQ(walk(rig.head), want_a);
     const std::uint64_t walks_before =
         rig.m.forwarding().stats().walks;
@@ -246,7 +248,7 @@ TEST(ListLinearize, SharedTailBetweenTwoLists)
 
     // Linearize B too: the already-moved suffix nodes get a second
     // chain hop appended; both lists still read correctly.
-    listLinearize(rig.m, head_b, desc, rig.pool);
+    listLinearize(rig.fwd, head_b, desc, rig.pool);
     EXPECT_EQ(walk(rig.head), want_a);
     EXPECT_EQ(walk(head_b), want_b);
 }
@@ -258,7 +260,7 @@ TEST(ListLinearizeDeathTest, RunawayListCaught)
     const Addr a = rig.alloc.alloc(16);
     rig.m.access(Access::store(rig.head, 8, a));
     rig.m.access(Access::store(a + 0, 8, a));
-    EXPECT_DEATH(listLinearize(rig.m, rig.head, desc, rig.pool, 100),
+    EXPECT_DEATH(listLinearize(rig.fwd, rig.head, desc, rig.pool, 100),
                  "max_nodes");
 }
 

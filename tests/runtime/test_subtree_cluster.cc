@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/machine.hh"
+#include "runtime/layout_backend.hh"
 #include "runtime/sim_allocator.hh"
 #include "runtime/subtree_cluster.hh"
 
@@ -26,6 +27,7 @@ struct TreeRig
     Machine m;
     SimAllocator alloc{m};
     RelocationPool pool{alloc, 1 << 20};
+    ForwardingBackend fwd{m};
     Addr root_handle = 0;
 
     TreeRig() { root_handle = alloc.alloc(wordBytes); }
@@ -84,7 +86,7 @@ TEST(SubtreeCluster, EmptyTree)
 {
     TreeRig rig;
     rig.m.access(Access::store(rig.root_handle, 8, 0));
-    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+    const ClusterResult r = subtreeCluster(rig.fwd, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
     EXPECT_EQ(r.nodes, 0u);
 }
@@ -94,7 +96,7 @@ TEST(SubtreeCluster, PreservesTreeContents)
     TreeRig rig;
     rig.build(5);
     const auto before = rig.inorder();
-    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+    const ClusterResult r = subtreeCluster(rig.fwd, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
     EXPECT_EQ(r.nodes, 31u);
     EXPECT_EQ(rig.inorder(), before);
@@ -104,7 +106,7 @@ TEST(SubtreeCluster, RootHandleUpdated)
 {
     TreeRig rig;
     const Addr old_root = rig.build(3);
-    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+    const ClusterResult r = subtreeCluster(rig.fwd, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
     EXPECT_EQ(rig.m.access(Access::load(rig.root_handle, 8)).value, r.new_root);
     EXPECT_NE(r.new_root, old_root);
@@ -116,7 +118,7 @@ TEST(SubtreeCluster, ParentAndChildrenShareCluster)
     // children (3 x 32B = 96B) fit in one cluster.
     TreeRig rig;
     rig.build(5);
-    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    subtreeCluster(rig.fwd, rig.root_handle, rig.desc(), rig.pool, 128);
     const Addr root =
         static_cast<Addr>(rig.m.access(Access::load(rig.root_handle, 8)).value);
     const Addr left =
@@ -131,7 +133,7 @@ TEST(SubtreeCluster, ClusterCountMatchesCapacity)
 {
     TreeRig rig;
     rig.build(5); // 31 nodes
-    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+    const ClusterResult r = subtreeCluster(rig.fwd, rig.root_handle,
                                            rig.desc(), rig.pool, 128);
     // Capacity 4 nodes per 128B cluster: at least ceil(31/4) clusters.
     EXPECT_GE(r.clusters, 8u);
@@ -144,7 +146,7 @@ TEST(SubtreeCluster, StalePointersForward)
     const Addr old_root = rig.build(4);
     const std::uint64_t want =
         rig.m.access(Access::load(old_root + off_payload, 8)).value;
-    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    subtreeCluster(rig.fwd, rig.root_handle, rig.desc(), rig.pool, 128);
     const AccessResult stale = rig.m.access(Access::load(old_root + off_payload, 8));
     EXPECT_EQ(stale.value, want);
     EXPECT_EQ(stale.hops, 1u);
@@ -154,7 +156,7 @@ TEST(SubtreeCluster, TraversalAfterwardsDoesNotForward)
 {
     TreeRig rig;
     rig.build(4);
-    subtreeCluster(rig.m, rig.root_handle, rig.desc(), rig.pool, 128);
+    subtreeCluster(rig.fwd, rig.root_handle, rig.desc(), rig.pool, 128);
     const std::uint64_t walks = rig.m.forwarding().stats().walks;
     rig.inorder();
     EXPECT_EQ(rig.m.forwarding().stats().walks, walks);
@@ -193,7 +195,7 @@ TEST(SubtreeCluster, LeafPredicateKeepsLeavesInPlace)
     TreeDesc d = rig.desc();
     d.leaf_tag_offset = off_tag;
     d.leaf_tag_value = 1;
-    const ClusterResult res = subtreeCluster(rig.m, rig.root_handle, d,
+    const ClusterResult res = subtreeCluster(rig.fwd, rig.root_handle, d,
                                              rig.pool, 128);
     EXPECT_EQ(res.nodes, 7u); // only the internal nodes moved
     for (Addr leaf : leaves)
@@ -208,7 +210,7 @@ TEST(SubtreeCluster, HugeNodesDegradeGracefully)
     TreeRig rig;
     rig.build(3);
     const auto before = rig.inorder();
-    const ClusterResult r = subtreeCluster(rig.m, rig.root_handle,
+    const ClusterResult r = subtreeCluster(rig.fwd, rig.root_handle,
                                            rig.desc(), rig.pool, 16);
     EXPECT_EQ(r.nodes, 7u);
     EXPECT_EQ(rig.inorder(), before);
